@@ -1,0 +1,42 @@
+"""Ablation — QuIT's variable-split / redistribute / reset strategies
+toggled independently (bench target for exp_ablation_quit_features)."""
+
+import pytest
+
+from repro.core import (
+    PoleBPlusTree,
+    QuITNoResetTree,
+    QuITNoVariableSplitTree,
+    QuITTree,
+)
+from repro.bench.harness import ingest
+from repro.workloads import alternating_stress_stream
+
+CONTENDERS = {
+    "QuIT": QuITTree,
+    "QuIT-no-reset": QuITNoResetTree,
+    "QuIT-50%-split": QuITNoVariableSplitTree,
+    "pole-B+-tree": PoleBPlusTree,
+}
+
+
+@pytest.mark.parametrize("name", list(CONTENDERS))
+def test_stress_ingest_ablation(benchmark, scale, name):
+    keys = [
+        int(x)
+        for x in alternating_stress_stream(scale.n, 5, seed=scale.seed)
+    ]
+    cls = CONTENDERS[name]
+
+    def build():
+        tree = cls(scale.tree_config)
+        ingest(tree, keys)
+        return tree
+
+    tree = benchmark.pedantic(build, rounds=2, iterations=1)
+    benchmark.extra_info["fast_fraction"] = round(
+        tree.stats.fast_insert_fraction, 4
+    )
+    benchmark.extra_info["occupancy"] = round(
+        tree.occupancy().avg_occupancy, 4
+    )

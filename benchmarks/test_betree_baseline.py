@@ -1,0 +1,26 @@
+"""Bε-tree related-work baseline (bench target for exp_betree; §6)."""
+
+import pytest
+
+from repro.betree import BeTree, BeTreeConfig
+
+
+@pytest.mark.parametrize("workload", ["sorted", "scrambled"])
+def test_betree_ingest(benchmark, scale, request, workload):
+    keys = request.getfixturevalue(f"{workload}_keys")
+    config = BeTreeConfig(
+        leaf_capacity=scale.leaf_capacity,
+        fanout=max(4, scale.leaf_capacity // 8),
+        buffer_capacity=scale.leaf_capacity * 4,
+    )
+
+    def build():
+        tree = BeTree(config)
+        for k in keys:
+            tree.insert(k, k)
+        return tree
+
+    tree = benchmark.pedantic(build, rounds=2, iterations=1)
+    benchmark.extra_info["moves_per_insert"] = round(
+        tree.stats.messages_moved / len(keys), 3
+    )

@@ -1,0 +1,24 @@
+"""Cache-residency simulation (bench target for exp_cache; the Fig. 10b
+mechanism)."""
+
+import pytest
+
+from repro.analysis import simulate_lookup_cache
+from repro.bench.harness import ingest, make_tree
+from repro.workloads.queries import point_lookups
+
+
+@pytest.mark.parametrize("name", ["B+-tree", "QuIT"])
+def test_cache_replay(benchmark, scale, sorted_keys, name):
+    tree = make_tree(name, scale)
+    ingest(tree, sorted_keys)
+    targets = point_lookups(
+        sorted_keys, scale.point_lookups, seed=scale.seed
+    ).tolist()
+    pages = max(1, tree.occupancy().node_count // 3)
+
+    report = benchmark(
+        simulate_lookup_cache, tree, targets, cache_pages=pages
+    )
+    benchmark.extra_info["hit_rate"] = round(report.hit_rate, 4)
+    benchmark.extra_info["nodes"] = tree.occupancy().node_count

@@ -1,0 +1,19 @@
+"""Fig. 10a — leaf occupancy of QuIT vs the classical B+-tree (bench
+target for exp_fig10a)."""
+
+import pytest
+
+from repro.bench.harness import ingest, make_tree
+
+
+@pytest.mark.parametrize("name", ["B+-tree", "QuIT"])
+def test_ingest_and_measure_occupancy(benchmark, scale, sorted_keys, name):
+    tree = make_tree(name, scale)
+    ingest(tree, sorted_keys)
+
+    occ = benchmark(tree.occupancy)
+    benchmark.extra_info["avg_occupancy"] = round(occ.avg_occupancy, 4)
+    if name == "QuIT":
+        assert occ.avg_occupancy > 0.9
+    else:
+        assert occ.avg_occupancy < 0.6

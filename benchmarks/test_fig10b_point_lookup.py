@@ -1,0 +1,25 @@
+"""Fig. 10b — point-lookup latency of QuIT vs B+-tree (bench target for
+exp_fig10b).  QuIT must show no read penalty."""
+
+import pytest
+
+from repro.bench.harness import ingest, make_tree
+from repro.workloads.queries import point_lookups
+
+
+@pytest.mark.parametrize("name", ["B+-tree", "QuIT"])
+def test_point_lookups(benchmark, scale, near_sorted_keys, name):
+    tree = make_tree(name, scale)
+    ingest(tree, near_sorted_keys)
+    targets = point_lookups(
+        near_sorted_keys, scale.point_lookups, seed=scale.seed
+    ).tolist()
+
+    def run():
+        get = tree.get
+        for k in targets:
+            get(k)
+
+    benchmark.pedantic(run, rounds=5, iterations=1)
+    benchmark.extra_info["index"] = name
+    benchmark.extra_info["height"] = tree.height

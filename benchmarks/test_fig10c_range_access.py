@@ -1,0 +1,28 @@
+"""Fig. 10c — range queries touch fewer leaves in QuIT (bench target for
+exp_fig10c)."""
+
+import pytest
+
+from repro.bench.harness import ingest, make_tree
+from repro.workloads.queries import range_queries
+
+
+@pytest.mark.parametrize("selectivity", [0.01, 0.10])
+@pytest.mark.parametrize("name", ["B+-tree", "QuIT"])
+def test_range_queries(benchmark, scale, sorted_keys, name, selectivity):
+    tree = make_tree(name, scale)
+    ingest(tree, sorted_keys)
+    ranges = range_queries(
+        0, scale.n, selectivity, scale.range_lookups, seed=scale.seed
+    )
+
+    def run():
+        rq = tree.range_query
+        for lo, hi in ranges:
+            rq(lo, hi)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+    tree.stats.leaf_accesses = 0
+    run()
+    benchmark.extra_info["leaf_accesses"] = tree.stats.leaf_accesses
+    benchmark.extra_info["selectivity"] = selectivity

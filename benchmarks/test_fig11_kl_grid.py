@@ -1,0 +1,32 @@
+"""Fig. 11 — K x L sensitivity cells for lil and QuIT (bench target for
+exp_fig11; the full grid runs via quit-bench fig11)."""
+
+import pytest
+
+from repro.bench.harness import ingest, make_tree
+from repro.sortedness import generate_keys
+
+CELLS = [(0.05, 0.05), (0.05, 1.0), (0.25, 1.0)]
+
+
+@pytest.mark.parametrize("name", ["lil-B+-tree", "QuIT"])
+@pytest.mark.parametrize("k,l", CELLS)
+def test_kl_cell(benchmark, scale, name, k, l):
+    keys = [
+        int(x) for x in generate_keys(scale.n, k, l, seed=scale.seed)
+    ]
+
+    def build():
+        tree = make_tree(name, scale)
+        ingest(tree, keys)
+        return tree
+
+    tree = benchmark.pedantic(build, rounds=2, iterations=1)
+    benchmark.extra_info["k"] = k
+    benchmark.extra_info["l"] = l
+    benchmark.extra_info["fast_fraction"] = round(
+        tree.stats.fast_insert_fraction, 4
+    )
+    benchmark.extra_info["occupancy"] = round(
+        tree.occupancy().avg_occupancy, 4
+    )

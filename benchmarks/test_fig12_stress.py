@@ -1,0 +1,33 @@
+"""Fig. 12 — alternating near-sorted / scrambled stress test (bench
+target for exp_fig12)."""
+
+import pytest
+
+from repro.bench.harness import ingest, make_tree
+from repro.workloads import alternating_stress_stream
+
+INDEXES = ("tail-B+-tree", "lil-B+-tree", "pole-B+-tree", "QuIT")
+
+
+@pytest.mark.parametrize("name", INDEXES)
+def test_stress_ingest(benchmark, scale, name):
+    keys = [
+        int(x)
+        for x in alternating_stress_stream(scale.n, 5, seed=scale.seed)
+    ]
+
+    def build():
+        tree = make_tree(name, scale)
+        ingest(tree, keys)
+        return tree
+
+    tree = benchmark.pedantic(build, rounds=3, iterations=1)
+    benchmark.extra_info["fast_fraction"] = round(
+        tree.stats.fast_insert_fraction, 4
+    )
+    if name == "QuIT":
+        benchmark.extra_info["pole_resets"] = tree.stats.pole_resets
+        assert tree.stats.fast_insert_fraction > 0.40
+    if name == "pole-B+-tree":
+        # Without the reset strategy the pole traps (Fig. 12b).
+        assert tree.stats.fast_insert_fraction < 0.45

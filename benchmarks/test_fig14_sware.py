@@ -1,0 +1,37 @@
+"""Fig. 14 — SWARE vs QuIT insert and lookup latency (bench target for
+exp_fig14)."""
+
+import pytest
+
+from repro.bench.harness import ingest, make_tree
+from repro.workloads.queries import point_lookups
+
+
+@pytest.mark.parametrize("name", ["SWARE", "QuIT"])
+def test_insert_latency(benchmark, scale, near_sorted_keys, name):
+    def build():
+        tree = make_tree(name, scale)
+        ingest(tree, near_sorted_keys)
+        return tree
+
+    benchmark.pedantic(build, rounds=3, iterations=1)
+    benchmark.extra_info["index"] = name
+
+
+@pytest.mark.parametrize("name", ["SWARE", "QuIT"])
+def test_lookup_latency_with_live_buffer(
+    benchmark, scale, near_sorted_keys, name
+):
+    tree = make_tree(name, scale)
+    ingest(tree, near_sorted_keys)  # SWARE's buffer stays partially full
+    targets = point_lookups(
+        near_sorted_keys, scale.point_lookups, seed=scale.seed
+    ).tolist()
+
+    def run():
+        get = tree.get
+        for k in targets:
+            get(k)
+
+    benchmark.pedantic(run, rounds=5, iterations=1)
+    benchmark.extra_info["index"] = name

@@ -1,0 +1,37 @@
+"""Fig. 15 — ingestion of (synthetic) stock-price data (bench target for
+exp_fig15)."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.bench.harness import ingest, make_tree
+from repro.workloads import NIFTY_SPEC, SPXUSD_SPEC, instrument_keys
+
+INDEXES = ("B+-tree", "tail-B+-tree", "SWARE", "lil-B+-tree", "QuIT")
+
+
+@pytest.fixture(scope="module", params=["NIFTY", "SPXUSD"])
+def instrument_stream(request):
+    spec = NIFTY_SPEC if request.param == "NIFTY" else SPXUSD_SPEC
+    keys = instrument_keys(replace(spec, n=20_000))
+    return request.param, [int(k) for k in keys]
+
+
+@pytest.mark.parametrize("name", INDEXES)
+def test_ingest_instrument(benchmark, scale, instrument_stream, name):
+    label, keys = instrument_stream
+
+    def build():
+        tree = make_tree(name, scale)
+        ingest(tree, keys)
+        return tree
+
+    tree = benchmark.pedantic(build, rounds=3, iterations=1)
+    benchmark.extra_info["instrument"] = label
+    if name != "SWARE":
+        benchmark.extra_info["fast_fraction"] = round(
+            tree.stats.fast_insert_fraction, 4
+        )
+    if name == "QuIT":
+        assert tree.stats.fast_insert_fraction > 0.6

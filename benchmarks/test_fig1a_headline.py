@@ -1,0 +1,42 @@
+"""Fig. 1a — headline: ingestion and lookup latency per index on a
+near-sorted stream (bench target for exp_fig1a)."""
+
+import pytest
+
+from repro.bench.harness import make_tree, ingest
+from repro.workloads.queries import point_lookups
+
+INDEXES = ("B+-tree", "tail-B+-tree", "SWARE", "QuIT")
+
+
+@pytest.mark.parametrize("name", INDEXES)
+def test_ingest_near_sorted(benchmark, scale, near_sorted_keys, name):
+    def build():
+        tree = make_tree(name, scale)
+        ingest(tree, near_sorted_keys)
+        return tree
+
+    tree = benchmark.pedantic(build, rounds=3, iterations=1)
+    stats = tree.stats
+    benchmark.extra_info["index"] = name
+    if stats.inserts:
+        benchmark.extra_info["fast_fraction"] = round(
+            stats.fast_insert_fraction, 4
+        )
+
+
+@pytest.mark.parametrize("name", INDEXES)
+def test_point_lookups_near_sorted(benchmark, scale, near_sorted_keys, name):
+    tree = make_tree(name, scale)
+    ingest(tree, near_sorted_keys)
+    targets = point_lookups(
+        near_sorted_keys, scale.point_lookups, seed=scale.seed
+    ).tolist()
+
+    def run():
+        get = tree.get
+        for k in targets:
+            get(k)
+
+    benchmark.pedantic(run, rounds=5, iterations=1)
+    benchmark.extra_info["index"] = name

@@ -1,0 +1,33 @@
+"""Fig. 1b — the qualitative comparison, quantified (bench target for
+exp_fig1b).  Benchmarks the read path the figure's "read cost" axis is
+about."""
+
+import pytest
+
+from repro.bench.fig1b import exp_fig1b
+from repro.bench.harness import ingest, make_tree
+from repro.workloads.queries import point_lookups
+
+
+@pytest.mark.parametrize("name", ["B+-tree", "tail-B+-tree", "SWARE", "QuIT"])
+def test_read_cost_axis(benchmark, scale, near_sorted_keys, name):
+    tree = make_tree(name, scale)
+    ingest(tree, near_sorted_keys)
+    targets = point_lookups(
+        near_sorted_keys, scale.point_lookups, seed=scale.seed
+    ).tolist()
+
+    def run():
+        get = tree.get
+        for k in targets:
+            get(k)
+
+    benchmark.pedantic(run, rounds=5, iterations=1)
+    benchmark.extra_info["index"] = name
+
+
+def test_fig1b_shape(scale):
+    result = exp_fig1b(scale)
+    rows = {r["index"]: r for r in result.rows}
+    assert rows["QuIT"]["tuning_knobs"] == 0
+    assert rows["QuIT"]["bytes_per_entry_norm"] < 1.0

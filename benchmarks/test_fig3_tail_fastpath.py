@@ -1,0 +1,32 @@
+"""Fig. 3 — the tail-leaf fast path collapses with tiny out-of-order
+fractions (bench target for exp_fig3)."""
+
+import pytest
+
+from repro.bench.harness import ingest, make_tree
+from repro.sortedness import generate_keys
+
+
+@pytest.mark.parametrize("k_pct", [0.0, 0.1, 2.0, 10.0])
+def test_tail_ingest_by_sortedness(benchmark, scale, k_pct):
+    keys = [
+        int(x)
+        for x in generate_keys(scale.n, k_pct / 100, 1.0, seed=scale.seed)
+    ]
+
+    def build():
+        tree = make_tree("tail-B+-tree", scale)
+        ingest(tree, keys)
+        return tree
+
+    tree = benchmark.pedantic(build, rounds=3, iterations=1)
+    benchmark.extra_info["k_pct"] = k_pct
+    benchmark.extra_info["fast_fraction"] = round(
+        tree.stats.fast_insert_fraction, 4
+    )
+    if k_pct == 0.0:
+        assert tree.stats.fast_insert_fraction == 1.0
+    if k_pct >= 2.0:
+        # The collapse point scales with n/leaf_capacity (DESIGN.md
+        # substitution 1); at smoke scale it sits near K=1-2%.
+        assert tree.stats.fast_insert_fraction < 0.35

@@ -1,0 +1,27 @@
+"""Fig. 5a — lil vs tail at high sortedness (bench target for
+exp_fig5a)."""
+
+import pytest
+
+from repro.bench.harness import ingest, make_tree
+from repro.sortedness import generate_keys
+
+
+@pytest.mark.parametrize("name", ["tail-B+-tree", "lil-B+-tree"])
+def test_ingest_k1pct(benchmark, scale, name):
+    keys = [
+        int(x) for x in generate_keys(scale.n, 0.01, 1.0, seed=scale.seed)
+    ]
+
+    def build():
+        tree = make_tree(name, scale)
+        ingest(tree, keys)
+        return tree
+
+    tree = benchmark.pedantic(build, rounds=3, iterations=1)
+    benchmark.extra_info["fast_fraction"] = round(
+        tree.stats.fast_insert_fraction, 4
+    )
+    if name == "lil-B+-tree":
+        # Eq. 1 at k=1%: ~98% fast inserts.
+        assert tree.stats.fast_insert_fraction > 0.9

@@ -1,0 +1,28 @@
+"""Fig. 5b — the analytical fast-insert model and its Monte-Carlo
+simulation (bench target for exp_fig5b)."""
+
+from repro.analysis import (
+    ideal_fast_fraction,
+    lil_expected_fast_fraction,
+    simulate_lil_fast_fraction,
+)
+
+
+def test_simulation(benchmark):
+    result = benchmark(
+        simulate_lil_fast_fraction, 0.25, n=100_000, seed=1
+    )
+    assert abs(result - lil_expected_fast_fraction(0.25)) < 0.01
+
+
+def test_closed_form_curve(benchmark):
+    def curve():
+        grid = [k / 100 for k in range(0, 101)]
+        return [
+            (lil_expected_fast_fraction(k), ideal_fast_fraction(k))
+            for k in grid
+        ]
+
+    points = benchmark(curve)
+    assert len(points) == 101
+    assert all(ideal >= lil for lil, ideal in points)

@@ -1,0 +1,26 @@
+"""Fig. 8 — ingestion speedup over the classical B+-tree (bench target
+for exp_fig8)."""
+
+import pytest
+
+from repro.bench.harness import ingest, make_tree
+
+INDEXES = ("B+-tree", "tail-B+-tree", "lil-B+-tree", "QuIT")
+
+
+@pytest.mark.parametrize("name", INDEXES)
+@pytest.mark.parametrize("workload", ["sorted", "near_sorted"])
+def test_ingest(benchmark, request, scale, name, workload):
+    keys = request.getfixturevalue(f"{workload}_keys")
+
+    def build():
+        tree = make_tree(name, scale)
+        ingest(tree, keys)
+        return tree
+
+    tree = benchmark.pedantic(build, rounds=3, iterations=1)
+    benchmark.extra_info["index"] = name
+    benchmark.extra_info["workload"] = workload
+    benchmark.extra_info["fast_fraction"] = round(
+        tree.stats.fast_insert_fraction, 4
+    )

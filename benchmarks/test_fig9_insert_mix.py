@@ -1,0 +1,30 @@
+"""Fig. 9 — fast- vs top-insert mix per index (bench target for
+exp_fig9).  The benchmark times the full ingest; the insert mix lands in
+extra_info and is shape-checked here."""
+
+import pytest
+
+from repro.bench.harness import ingest, make_tree
+
+EXPECTED_MIN_FAST = {
+    "tail-B+-tree": 0.0,
+    "lil-B+-tree": 0.55,
+    "pole-B+-tree": 0.65,
+    "QuIT": 0.65,
+}
+
+
+@pytest.mark.parametrize("name", list(EXPECTED_MIN_FAST))
+def test_insert_mix_less_sorted(benchmark, scale, less_sorted_keys, name):
+    def build():
+        tree = make_tree(name, scale)
+        ingest(tree, less_sorted_keys)
+        return tree
+
+    tree = benchmark.pedantic(build, rounds=3, iterations=1)
+    fast = tree.stats.fast_insert_fraction
+    benchmark.extra_info["fast_fraction"] = round(fast, 4)
+    benchmark.extra_info["top_fraction"] = round(
+        tree.stats.top_insert_fraction, 4
+    )
+    assert fast >= EXPECTED_MIN_FAST[name]

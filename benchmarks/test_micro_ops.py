@@ -1,0 +1,66 @@
+"""Micro-benchmarks of the primitive operations every figure builds on:
+single insert (fast vs top path), point lookup, range scan, delete."""
+
+import pytest
+
+from repro.bench.harness import ingest, make_tree
+
+INDEXES = ("B+-tree", "tail-B+-tree", "lil-B+-tree", "pole-B+-tree", "QuIT")
+
+
+@pytest.mark.parametrize("name", INDEXES)
+def test_single_fast_insert(benchmark, scale, name):
+    """Appending at the frontier — the operation the fast path optimizes."""
+    tree = make_tree(name, scale)
+    ingest(tree, range(scale.n))
+    counter = [scale.n]
+
+    def op():
+        counter[0] += 1
+        tree.insert(counter[0], None)
+
+    benchmark(op)
+    if name != "B+-tree":
+        assert tree.stats.top_inserts <= 1  # only the warmup boundary
+
+
+@pytest.mark.parametrize("name", INDEXES)
+def test_single_top_insert(benchmark, scale, name):
+    """A backward out-of-order insert — always a full traversal."""
+    tree = make_tree(name, scale)
+    ingest(tree, range(0, scale.n * 10, 10))
+    probe = [1]
+
+    def op():
+        probe[0] += 10
+        tree.insert(probe[0], None)
+
+    benchmark(op)
+
+
+@pytest.mark.parametrize("name", INDEXES)
+def test_single_point_lookup(benchmark, scale, name):
+    tree = make_tree(name, scale)
+    ingest(tree, range(scale.n))
+    benchmark(tree.get, scale.n // 2)
+
+
+def test_range_scan_1pct(benchmark, scale):
+    tree = make_tree("QuIT", scale)
+    ingest(tree, range(scale.n))
+    width = scale.n // 100
+    result = benchmark(tree.range_query, scale.n // 2, scale.n // 2 + width)
+    assert len(result) == width
+
+
+def test_single_delete_insert_cycle(benchmark, scale):
+    tree = make_tree("B+-tree", scale)
+    ingest(tree, range(scale.n))
+    key = scale.n // 3
+
+    def op():
+        tree.delete(key)
+        tree.insert(key, None)
+
+    benchmark(op)
+    tree.validate(check_min_fill=False)

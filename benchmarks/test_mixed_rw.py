@@ -1,0 +1,38 @@
+"""Read/write mix sensitivity (bench target for exp_mixed_rw; §2's
+argument that SWARE's read penalty grows with the read share)."""
+
+import itertools
+
+import pytest
+
+from repro.bench.harness import make_tree
+from repro.workloads.queries import point_lookups
+
+
+@pytest.mark.parametrize("read_pct", [0, 50, 90])
+@pytest.mark.parametrize("name", ["B+-tree", "SWARE", "QuIT"])
+def test_mixed_workload(benchmark, scale, near_sorted_keys, name, read_pct):
+    warm = near_sorted_keys[: scale.n // 2]
+    live = near_sorted_keys[scale.n // 2:]
+    targets = point_lookups(
+        near_sorted_keys, 1000, seed=scale.seed
+    ).tolist()
+    reads_per_insert = read_pct / (100 - read_pct) if read_pct < 100 else 0
+
+    def build_and_run():
+        tree = make_tree(name, scale)
+        for k in warm:
+            tree.insert(k, k)
+        cyc = itertools.cycle(targets)
+        acc = 0.0
+        for k in live:
+            tree.insert(k, k)
+            acc += reads_per_insert
+            while acc >= 1.0:
+                tree.get(next(cyc))
+                acc -= 1.0
+        return tree
+
+    benchmark.pedantic(build_and_run, rounds=2, iterations=1)
+    benchmark.extra_info["read_pct"] = read_pct
+    benchmark.extra_info["index"] = name

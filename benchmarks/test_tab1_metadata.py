@@ -1,0 +1,24 @@
+"""Table 1 — metadata digest per index (bench target for exp_tab1).
+
+The 'benchmark' here times the fast-path admission check, which is the
+hot use of the Table 1 metadata; the digest itself is asserted."""
+
+import pytest
+
+from repro.bench.harness import ingest, make_tree
+from repro.core.metadata import extra_metadata_bytes, metadata_bytes
+
+
+@pytest.mark.parametrize("name", ["tail-B+-tree", "lil-B+-tree", "QuIT"])
+def test_fastpath_admission_check(benchmark, scale, near_sorted_keys, name):
+    tree = make_tree(name, scale)
+    ingest(tree, near_sorted_keys)
+    probe = near_sorted_keys[-1] + 1
+
+    result = benchmark(tree._fast_path_accepts, probe)
+    assert isinstance(result, bool)
+
+
+def test_metadata_digest_matches_table1():
+    assert metadata_bytes("B+-tree") < metadata_bytes("tail-B+-tree")
+    assert 0 < extra_metadata_bytes("QuIT") < 20

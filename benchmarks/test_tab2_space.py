@@ -1,0 +1,25 @@
+"""Table 2 — space reduction of QuIT over the B+-tree (bench target for
+exp_tab2)."""
+
+import pytest
+
+from repro.analysis import space_reduction
+from repro.bench.harness import ingest, make_tree
+
+
+@pytest.mark.parametrize("name", ["B+-tree", "QuIT"])
+def test_memory_accounting(benchmark, scale, sorted_keys, name):
+    tree = make_tree(name, scale)
+    ingest(tree, sorted_keys)
+
+    total = benchmark(tree.memory_bytes)
+    benchmark.extra_info["memory_kb"] = total // 1024
+
+
+def test_sorted_reduction_near_2x(scale, sorted_keys):
+    bt = make_tree("B+-tree", scale)
+    qt = make_tree("QuIT", scale)
+    ingest(bt, sorted_keys)
+    ingest(qt, sorted_keys)
+    # Paper Table 2: 1.96x at K=0.
+    assert space_reduction(bt, qt) > 1.7

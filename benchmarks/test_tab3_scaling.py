@@ -1,0 +1,25 @@
+"""Table 3 — QuIT's scaling with data size (bench target for exp_tab3)."""
+
+import pytest
+
+from repro.bench.harness import ingest, make_tree
+from repro.sortedness import generate_keys
+
+
+@pytest.mark.parametrize("factor", [1, 2, 4])
+def test_quit_ingest_scaling(benchmark, scale, factor):
+    n = scale.n * factor
+    keys = [int(x) for x in generate_keys(n, 0.05, 0.05, seed=scale.seed)]
+
+    def build():
+        tree = make_tree("QuIT", scale)
+        ingest(tree, keys)
+        return tree
+
+    tree = benchmark.pedantic(build, rounds=2, iterations=1)
+    fast = tree.stats.fast_insert_fraction
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["fast_fraction"] = round(fast, 4)
+    # Table 3: the fast-insert fraction is size-invariant (~95% at the
+    # nearly-sorted setting).
+    assert fast > 0.85

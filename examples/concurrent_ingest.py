@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Concurrent ingestion with the §4.5 locking protocol.
+
+Four writer threads ingest disjoint slices of a near-sorted stream into a
+shared QuIT while reader threads run point lookups, exercising the
+fast-path metadata lock, the striped leaf latches, and the structural
+reader-writer lock.  Also prints the modeled Fig. 13 throughput curves
+(CPython threads cannot scale CPU-bound work; see DESIGN.md).
+
+Run:  python examples/concurrent_ingest.py
+"""
+
+import random
+import threading
+import time
+
+from repro.concurrency import (
+    ConcurrentTree,
+    insert_profile,
+    lookup_profile,
+    throughput_curve,
+)
+from repro.core import QuITTree, TreeConfig
+from repro.sortedness import generate_keys
+
+N = 30_000
+WRITERS = 4
+READERS = 2
+
+
+def main() -> None:
+    keys = [int(k) for k in generate_keys(N, 0.05, 1.0, seed=3)]
+    shared = ConcurrentTree(QuITTree(
+        TreeConfig(leaf_capacity=64, internal_capacity=64)
+    ))
+    stop = threading.Event()
+    lookup_counts = [0] * READERS
+
+    def writer(slice_no: int) -> None:
+        for key in keys[slice_no::WRITERS]:
+            shared.insert(key, key)
+
+    def reader(reader_no: int) -> None:
+        rng = random.Random(reader_no)
+        while not stop.is_set():
+            probe = rng.randrange(N)
+            value = shared.get(probe)
+            assert value is None or value == probe
+            lookup_counts[reader_no] += 1
+
+    threads = [
+        threading.Thread(target=writer, args=(i,)) for i in range(WRITERS)
+    ] + [
+        threading.Thread(target=reader, args=(i,)) for i in range(READERS)
+    ]
+    start = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads[:WRITERS]:
+        t.join()
+    stop.set()
+    for t in threads[WRITERS:]:
+        t.join()
+    elapsed = time.perf_counter() - start
+
+    shared.validate()
+    print(f"{WRITERS} writers + {READERS} readers finished in "
+          f"{elapsed:.2f}s; tree holds {len(shared):,} entries (valid)")
+    print(f"fast-path inserts: {shared.fast_path_inserts:,}, "
+          f"exclusive inserts: {shared.exclusive_inserts:,}")
+    print(f"concurrent lookups served: {sum(lookup_counts):,}")
+
+    # Modeled scaling (the Fig. 13 shape) from measured service times.
+    single = QuITTree(TreeConfig(leaf_capacity=64, internal_capacity=64))
+    t0 = time.perf_counter()
+    for key in keys:
+        single.insert(key, key)
+    insert_time = (time.perf_counter() - t0) / N
+    profile = insert_profile(
+        insert_time, single.stats.fast_insert_fraction
+    )
+    print("\nmodeled insert throughput (ops/sec) vs threads:")
+    for threads_n, ops in throughput_curve(profile).items():
+        bar = "#" * int(ops / 100_000)
+        print(f"  {threads_n:3d}: {ops:12,.0f} {bar}")
+    t0 = time.perf_counter()
+    for key in keys[:5000]:
+        single.get(key)
+    lookup_time = (time.perf_counter() - t0) / 5000
+    print("modeled lookup throughput (ops/sec) vs threads:")
+    for threads_n, ops in throughput_curve(
+        lookup_profile(lookup_time)
+    ).items():
+        bar = "#" * int(ops / 100_000)
+        print(f"  {threads_n:3d}: {ops:12,.0f} {bar}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Sweep data sortedness (the BoDS K knob) and watch each fast-path
+design react — a miniature of the paper's Figures 8-10.
+
+Run:  python examples/sortedness_sweep.py
+"""
+
+from repro.core import (
+    BPlusTree,
+    LilBPlusTree,
+    QuITTree,
+    TailBPlusTree,
+    TreeConfig,
+)
+from repro.analysis import lil_expected_fast_fraction
+from repro.sortedness import generate_keys
+
+N = 40_000
+CONFIG = TreeConfig(leaf_capacity=64, internal_capacity=64)
+K_GRID = (0.0, 0.01, 0.05, 0.10, 0.25, 0.50, 1.0)
+
+
+def ingest(cls, keys):
+    tree = cls(CONFIG)
+    for k in keys:
+        tree.insert(int(k), None)
+    return tree
+
+
+def main() -> None:
+    print(f"ingesting {N:,} keys per configuration "
+          f"(leaf capacity {CONFIG.leaf_capacity})\n")
+    header = (
+        f"{'K':>5s} | {'tail':>6s} {'lil':>6s} {'QuIT':>6s} "
+        f"{'(Eq.1)':>7s} | {'B+occ':>6s} {'QuITocc':>7s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for k in K_GRID:
+        keys = generate_keys(N, k, 1.0, seed=7)
+        tail = ingest(TailBPlusTree, keys)
+        lil = ingest(LilBPlusTree, keys)
+        quit_tree = ingest(QuITTree, keys)
+        classical = ingest(BPlusTree, keys)
+        print(
+            f"{k:5.0%} |"
+            f" {tail.stats.fast_insert_fraction:6.1%}"
+            f" {lil.stats.fast_insert_fraction:6.1%}"
+            f" {quit_tree.stats.fast_insert_fraction:6.1%}"
+            f" {lil_expected_fast_fraction(k):7.1%} |"
+            f" {classical.occupancy().avg_occupancy:6.1%}"
+            f" {quit_tree.occupancy().avg_occupancy:7.1%}"
+        )
+    print(
+        "\nReading the table: the tail fast path collapses almost "
+        "immediately; lil tracks its (1-K)^2 model; QuIT stays closest "
+        "to the ideal 1-K while also packing leaves far denser than the "
+        "classical B+-tree."
+    )
+
+
+if __name__ == "__main__":
+    main()

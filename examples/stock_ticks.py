@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Index a stream of stock-market closing prices (the paper's §5.5
+scenario): real-world data with implicit, hard-to-quantify sortedness.
+
+Every index variant ingests the same synthetic NIFTY-like minute-bar
+series; the script reports ingestion time, fast-path utilization and
+memory footprint, then runs a query mix.
+
+Run:  python examples/stock_ticks.py
+"""
+
+import time
+from dataclasses import replace
+
+from repro.core import (
+    BPlusTree,
+    LilBPlusTree,
+    QuITTree,
+    TailBPlusTree,
+    TreeConfig,
+)
+from repro.sware import SABPlusTree
+from repro.workloads import NIFTY_SPEC, instrument_keys
+
+
+def main() -> None:
+    spec = replace(NIFTY_SPEC, n=60_000)
+    keys = [int(k) for k in instrument_keys(spec)]
+    print(
+        f"instrument {spec.name}: {len(keys):,} one-minute bars, "
+        f"prices composited into unique integer keys"
+    )
+
+    config = TreeConfig(leaf_capacity=64, internal_capacity=64)
+    contenders = {
+        "B+-tree": BPlusTree(config),
+        "tail-B+-tree": TailBPlusTree(config),
+        "lil-B+-tree": LilBPlusTree(config),
+        "QuIT": QuITTree(config),
+        "SWARE": SABPlusTree(config, buffer_capacity=len(keys) // 100),
+    }
+
+    print(f"\n{'index':14s} {'ingest':>9s} {'speedup':>8s} "
+          f"{'fast-path':>10s} {'memory':>10s}")
+    base_seconds = None
+    for name, index in contenders.items():
+        start = time.perf_counter()
+        for key in keys:
+            index.insert(key, key)
+        elapsed = time.perf_counter() - start
+        if base_seconds is None:
+            base_seconds = elapsed
+        stats = index.stats
+        fast = (
+            f"{stats.fast_insert_fraction:9.1%}"
+            if stats.inserts else "   (buff.)"
+        )
+        memory = index.memory_bytes() / 1024
+        print(
+            f"{name:14s} {elapsed:8.2f}s {base_seconds / elapsed:7.2f}x "
+            f"{fast} {memory:8.0f}KB"
+        )
+
+    # Query phase: recent-price point lookups + a price-band scan.
+    quit_index = contenders["QuIT"]
+    recent = keys[-1000:]
+    start = time.perf_counter()
+    for key in recent:
+        assert quit_index.get(key) == key
+    lookup_us = (time.perf_counter() - start) / len(recent) * 1e6
+    print(f"\nQuIT point lookups on the freshest 1000 ticks: "
+          f"{lookup_us:.1f} us/op")
+
+    lo, hi = min(keys), max(keys)
+    band = lo + (hi - lo) // 2
+    width = (hi - lo) // 100
+    matches = quit_index.range_query(band, band + width)
+    print(
+        f"price-band scan (~1% of the key domain): "
+        f"{len(matches):,} entries, "
+        f"{quit_index.stats.leaf_accesses:,} leaf accesses so far"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Streaming / time-series ingestion (the paper's §6 applicability
+claim): events arrive roughly by timestamp but with bounded arrival skew
+— the situation where streaming systems interpose a reorder buffer.
+
+QuIT absorbs the skew directly: in-order events ride the fast path, the
+skewed fraction surfaces as top-inserts, and no extra buffer (with its
+query penalty) is needed.  The script simulates event streams with
+increasing arrival skew and shows the fast-path fraction degrading
+gracefully while windowed range queries stay cheap.
+
+Run:  python examples/streaming_windows.py
+"""
+
+import numpy as np
+
+from repro.core import QuITTree, TreeConfig
+from repro.sortedness import kl_sortedness
+
+N_EVENTS = 40_000
+WINDOW = 1_000  # query window, in event-time units
+
+
+def skewed_event_stream(n: int, max_skew: int, seed: int) -> np.ndarray:
+    """Event timestamps 0..n-1 permuted by bounded arrival skew: each
+    event arrives within ``max_skew`` positions of its true slot (the
+    classic out-of-order streaming model)."""
+    rng = np.random.default_rng(seed)
+    slots = np.arange(n) + rng.uniform(0, max_skew + 1e-9, size=n)
+    return np.argsort(slots, kind="stable").astype(np.int64)
+
+
+def main() -> None:
+    config = TreeConfig(leaf_capacity=64, internal_capacity=64)
+    print(f"{'max skew':>9s} {'measured K':>11s} {'fast-path':>10s} "
+          f"{'resets':>7s} {'win. scan leaves':>17s}")
+    for max_skew in (0, 4, 32, 256, 2048):
+        stream = skewed_event_stream(N_EVENTS, max_skew, seed=9)
+        measured = kl_sortedness(stream[:10_000].tolist())
+        index = QuITTree(config)
+        for ts in stream:
+            index.insert(int(ts), f"event@{ts}")
+
+        # Tumbling-window queries over event time (e.g. per-window
+        # aggregation after ingestion).
+        index.stats.leaf_accesses = 0
+        windows = 0
+        for start in range(0, N_EVENTS, WINDOW):
+            index.range_query(start, start + WINDOW)
+            windows += 1
+        leaves_per_window = index.stats.leaf_accesses / windows
+
+        print(
+            f"{max_skew:9d} {measured.k_fraction:11.2%} "
+            f"{index.stats.fast_insert_fraction:10.1%} "
+            f"{index.stats.pole_resets:7d} {leaves_per_window:17.1f}"
+        )
+    print(
+        "\nBounded arrival skew keeps most events on the fast path: the "
+        "index itself absorbs the disorder that streaming systems "
+        "usually buffer for, and event-time window scans stay "
+        "proportional to window size."
+    )
+
+
+if __name__ == "__main__":
+    main()

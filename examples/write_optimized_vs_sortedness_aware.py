@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Write-optimized vs sortedness-aware (the paper's §6 distinction).
+
+A Bε-tree amortizes *every* insert through message batching; QuIT
+accelerates only what the data's sortedness allows.  Sweeping sortedness
+shows the two philosophies diverge: the Bε-tree's per-insert work is
+flat across K while QuIT's traversal count tracks 1-K.
+
+Run:  python examples/write_optimized_vs_sortedness_aware.py
+"""
+
+import time
+
+from repro.betree import BeTree, BeTreeConfig
+from repro.core import BPlusTree, QuITTree, TreeConfig
+from repro.sortedness import generate_keys
+
+N = 40_000
+TREE_CFG = TreeConfig(leaf_capacity=64, internal_capacity=64)
+BE_CFG = BeTreeConfig(leaf_capacity=64, fanout=8, buffer_capacity=256)
+
+
+def main() -> None:
+    print(f"{'K':>5s} | {'B+ us/op':>9s} | {'Be us/op':>9s} "
+          f"{'msg hops':>9s} | {'QuIT us/op':>10s} {'fast path':>10s}")
+    for k in (0.0, 0.05, 0.25, 1.0):
+        keys = [int(x) for x in generate_keys(N, k, 1.0, seed=13)]
+
+        bt = BPlusTree(TREE_CFG)
+        start = time.perf_counter()
+        for key in keys:
+            bt.insert(key, key)
+        bt_us = (time.perf_counter() - start) / N * 1e6
+
+        be = BeTree(BE_CFG)
+        start = time.perf_counter()
+        for key in keys:
+            be.insert(key, key)
+        be_us = (time.perf_counter() - start) / N * 1e6
+        hops = be.stats.messages_moved / N
+
+        qt = QuITTree(TREE_CFG)
+        start = time.perf_counter()
+        for key in keys:
+            qt.insert(key, key)
+        qt_us = (time.perf_counter() - start) / N * 1e6
+
+        print(
+            f"{k:5.0%} | {bt_us:9.2f} | {be_us:9.2f} {hops:9.2f} | "
+            f"{qt_us:10.2f} {qt.stats.fast_insert_fraction:10.1%}"
+        )
+
+    print(
+        "\nThe Be-tree's columns barely move with K — its batching is "
+        "oblivious to arrival order.  QuIT's cost tracks sortedness: "
+        "near-sorted streams ride the fast path, scrambled ones pay "
+        "B+-tree prices.  (In C++ the Be-tree's flat cost would sit "
+        "below the B+-tree's; in Python its per-message bookkeeping "
+        "shows up directly — the shape, not the constant, is the "
+        "point.)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""Reproduction of "QuIT your B+-tree for the Quick Insertion Tree"
+(EDBT 2025).
+
+Public API: the five tree variants, configuration, sortedness tooling, the
+SWARE baseline, and the benchmark harness.  See README.md for a tour.
+"""
+
+from .core import (
+    BPlusTree,
+    LilBPlusTree,
+    PoleBPlusTree,
+    QuITTree,
+    TailBPlusTree,
+    TreeConfig,
+    TreeStats,
+    TREE_VARIANTS,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BPlusTree",
+    "TailBPlusTree",
+    "LilBPlusTree",
+    "PoleBPlusTree",
+    "QuITTree",
+    "TreeConfig",
+    "TreeStats",
+    "TREE_VARIANTS",
+    "__version__",
+]

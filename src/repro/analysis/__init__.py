@@ -1,0 +1,44 @@
+"""Analytical models (Eq. 1, Fig. 5b), memory-utilization analysis, and
+the buffer-pool cache simulator behind the Fig. 10b mechanism."""
+
+from .cache import (
+    CacheReport,
+    LruPageCache,
+    lookup_trace,
+    simulate_lookup_cache,
+)
+from .memory import (
+    MemoryBreakdown,
+    OccupancyHistogram,
+    memory_breakdown,
+    occupancy_histogram,
+    space_reduction,
+)
+from .model import (
+    crossover_k,
+    expected_ingest_speedup,
+    fast_fraction_from_counts,
+    ideal_fast_fraction,
+    lil_expected_fast_fraction,
+    simulate_lil_fast_fraction,
+    tail_expected_fast_fraction,
+)
+
+__all__ = [
+    "lil_expected_fast_fraction",
+    "ideal_fast_fraction",
+    "tail_expected_fast_fraction",
+    "simulate_lil_fast_fraction",
+    "expected_ingest_speedup",
+    "fast_fraction_from_counts",
+    "crossover_k",
+    "occupancy_histogram",
+    "OccupancyHistogram",
+    "space_reduction",
+    "memory_breakdown",
+    "MemoryBreakdown",
+    "CacheReport",
+    "LruPageCache",
+    "lookup_trace",
+    "simulate_lookup_cache",
+]

@@ -1,0 +1,89 @@
+"""Memory-utilization analysis (Fig. 10a, Fig. 11c-d, Table 2).
+
+Footprints follow the paged model of
+:meth:`repro.core.bptree.BPlusTree.memory_bytes`: every node occupies a
+full page, so memory is proportional to node count and Table 2's "space
+reduction" is the node-count ratio between the baseline B+-tree and QuIT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.bptree import BPlusTree
+
+
+@dataclass
+class OccupancyHistogram:
+    """Distribution of leaf fill fractions.
+
+    Attributes:
+        edges: bucket upper bounds (fractions of capacity).
+        counts: leaves per bucket.
+    """
+
+    edges: list[float] = field(default_factory=list)
+    counts: list[int] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        """Total leaves across all buckets."""
+        return sum(self.counts)
+
+
+def occupancy_histogram(
+    tree: BPlusTree, n_buckets: int = 10
+) -> OccupancyHistogram:
+    """Histogram of leaf occupancy fractions over ``n_buckets`` equal
+    buckets of [0, 1]."""
+    if n_buckets < 1:
+        raise ValueError(f"n_buckets must be >= 1, got {n_buckets}")
+    edges = [(i + 1) / n_buckets for i in range(n_buckets)]
+    counts = [0] * n_buckets
+    cap = tree.config.leaf_capacity
+    for leaf in tree.leaves():
+        frac = leaf.size / cap
+        bucket = min(int(frac * n_buckets), n_buckets - 1)
+        counts[bucket] += 1
+    return OccupancyHistogram(edges=edges, counts=counts)
+
+
+def space_reduction(baseline: BPlusTree, contender: BPlusTree) -> float:
+    """Table 2's metric: ``baseline_bytes / contender_bytes`` (>1 means
+    the contender is smaller)."""
+    if len(contender) == 0:
+        raise ValueError("contender tree is empty")
+    return baseline.memory_bytes() / contender.memory_bytes()
+
+
+@dataclass(frozen=True)
+class MemoryBreakdown:
+    """Byte-level footprint decomposition of an index."""
+
+    leaf_bytes: int
+    internal_bytes: int
+    auxiliary_bytes: int = 0
+
+    @property
+    def total(self) -> int:
+        """Whole-index footprint in bytes."""
+        return self.leaf_bytes + self.internal_bytes + self.auxiliary_bytes
+
+
+def memory_breakdown(tree: BPlusTree) -> MemoryBreakdown:
+    """Per-level footprint of a tree (paged model)."""
+    from ..core.config import (
+        ENTRY_BYTES,
+        NODE_HEADER_BYTES,
+        PIVOT_BYTES,
+    )
+
+    occ = tree.occupancy()
+    leaf_page = NODE_HEADER_BYTES + tree.config.leaf_capacity * ENTRY_BYTES
+    internal_page = (
+        NODE_HEADER_BYTES + tree.config.internal_capacity * PIVOT_BYTES
+    )
+    return MemoryBreakdown(
+        leaf_bytes=occ.leaf_count * leaf_page,
+        internal_bytes=occ.internal_count * internal_page,
+    )

@@ -1,0 +1,118 @@
+"""Analytical models from §3 of the paper (Eq. 1 and Fig. 5b).
+
+``lil`` fast-inserts exactly when two consecutive entries are in order,
+giving Eq. 1: ``FI(k) = (1 - k)^2``.  The ideal sortedness-aware index
+top-inserts only the out-of-order entries (``FI = 1 - k``); the tail-leaf
+optimization collapses to ~0 fast-inserts as soon as a leaf's worth of
+forward outliers accumulates.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+
+def lil_expected_fast_fraction(k: float) -> float:
+    """Eq. 1: expected lil fast-insert fraction at out-of-order rate ``k``.
+
+    Derivation: with ``y = n(1-k)`` in-order entries, the probability two
+    consecutive entries are both in order is ``(y/n)((y-1)/(n-1))`` which
+    approaches ``(1-k)^2`` for large n.
+    """
+    if not 0.0 <= k <= 1.0:
+        raise ValueError(f"k must be in [0, 1], got {k}")
+    return (1.0 - k) ** 2
+
+
+def ideal_fast_fraction(k: float) -> float:
+    """The optimal sortedness-aware index: one top-insert per out-of-order
+    entry (§3, "Optimal sortedness-awareness")."""
+    if not 0.0 <= k <= 1.0:
+        raise ValueError(f"k must be in [0, 1], got {k}")
+    return 1.0 - k
+
+
+def tail_expected_fast_fraction(
+    k: float, n: int, leaf_capacity: int
+) -> float:
+    """Heuristic expectation for the tail-leaf fast path (Fig. 3 / 5b).
+
+    The tail path survives until roughly a few leaves' worth of forward
+    outliers have accumulated above the in-order frontier; past that the
+    tail's lower bound outruns the stream permanently.  We model the
+    surviving fraction as the portion of the stream ingested before
+    ~5 leaves of outliers exist: ``min(1, 5 * cap / (k/2 * n))``.
+    """
+    if not 0.0 <= k <= 1.0:
+        raise ValueError(f"k must be in [0, 1], got {k}")
+    if k == 0.0:
+        return 1.0
+    forward_outliers = k * n / 2.0
+    survive = min(1.0, (5.0 * leaf_capacity) / max(forward_outliers, 1e-9))
+    return survive * (1.0 - k)
+
+
+def simulate_lil_fast_fraction(
+    k: float, n: int = 100_000, seed: int = 42
+) -> float:
+    """Monte-Carlo simulation of lil's success process (Fig. 5b).
+
+    Draws a Bernoulli in-order/out-of-order sequence and counts pairs of
+    consecutive in-order entries — the event in which lil fast-inserts.
+    """
+    if n < 2:
+        raise ValueError(f"n must be >= 2, got {n}")
+    rng = random.Random(seed)
+    fast = 0
+    prev_in_order = True
+    for _ in range(n):
+        in_order = rng.random() >= k
+        if in_order and prev_in_order:
+            fast += 1
+        prev_in_order = in_order
+    return fast / n
+
+
+def expected_ingest_speedup(
+    fast_fraction: float,
+    top_to_fast_cost_ratio: float = 3.5,
+) -> float:
+    """Expected ingest speedup over a top-insert-only B+-tree.
+
+    A top-insert costs ``top_to_fast_cost_ratio`` fast-inserts (the paper
+    cites 3-4x depending on tree height).  The baseline pays the top cost
+    for every entry; a fast-path index pays it only for misses.
+    """
+    if not 0.0 <= fast_fraction <= 1.0:
+        raise ValueError(
+            f"fast_fraction must be in [0, 1], got {fast_fraction}"
+        )
+    if top_to_fast_cost_ratio <= 0:
+        raise ValueError("top_to_fast_cost_ratio must be positive")
+    r = top_to_fast_cost_ratio
+    blended = fast_fraction * 1.0 + (1.0 - fast_fraction) * r
+    return r / blended
+
+
+def fast_fraction_from_counts(fast: int, top: int) -> float:
+    """Fast-insert fraction from raw counters."""
+    total = fast + top
+    return fast / total if total else 0.0
+
+
+def crossover_k(
+    curve_a: Sequence[tuple[float, float]],
+    curve_b: Sequence[tuple[float, float]],
+) -> float | None:
+    """First ``k`` at which curve ``a`` stops beating curve ``b``.
+
+    Curves are ``(k, value)`` points on a shared, ascending k-grid.
+    Returns None when ``a`` dominates everywhere.
+    """
+    for (ka, va), (kb, vb) in zip(curve_a, curve_b):
+        if abs(ka - kb) > 1e-12:
+            raise ValueError("curves must share their k-grid")
+        if va <= vb:
+            return ka
+    return None

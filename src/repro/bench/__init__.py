@@ -1,0 +1,17 @@
+"""Benchmark harness: regenerates every table and figure of the paper."""
+
+from .experiments import EXPERIMENTS
+from .harness import BenchScale, IngestResult, ingest, make_tree, timed_ingest
+from .reporting import ExperimentResult, render, render_all
+
+__all__ = [
+    "EXPERIMENTS",
+    "BenchScale",
+    "IngestResult",
+    "ingest",
+    "make_tree",
+    "timed_ingest",
+    "ExperimentResult",
+    "render",
+    "render_all",
+]

@@ -1,0 +1,143 @@
+"""Command-line entry point: ``quit-bench [experiment ...]``.
+
+Runs the requested experiments (default: all) at the chosen scale and
+prints each as a plain-text table.  Example::
+
+    quit-bench fig8 tab2 --n 50000 --leaf-capacity 64
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Optional, Sequence
+
+import json
+from pathlib import Path
+
+from .experiments import EXPERIMENTS
+from .harness import BenchScale
+from .reporting import render, render_chart, to_json_dict
+
+#: Experiments whose leading numeric column supports a quick ASCII plot:
+#: exp id -> (x column, y columns).
+_PLOTTABLE = {
+    "fig3": ("k_pct", ["fast_pct"]),
+    "fig5a": ("k_pct", ["tail_fast_pct", "lil_fast_pct"]),
+    "fig5b": ("k_pct", ["tail_model_pct", "lil_eq1_pct", "ideal_pct"]),
+    "fig8": ("k_pct", ["tail_x", "lil_x", "quit_x"]),
+    "fig9": ("k_pct", ["tail_fast_pct", "lil_fast_pct", "quit_fast_pct"]),
+    "fig10a": ("k_pct", ["btree_occ_pct", "quit_occ_pct"]),
+    "fig10b": ("k_pct", ["normalized"]),
+    "fig14": ("k_pct", ["sware_insert_us", "quit_insert_us"]),
+    "tab2": ("k_pct", ["reduction_x"]),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Argument parser for quit-bench."""
+    parser = argparse.ArgumentParser(
+        prog="quit-bench",
+        description=(
+            "Regenerate the tables and figures of 'QuIT your B+-tree "
+            "for the Quick Insertion Tree' (EDBT 2025)."
+        ),
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="EXPERIMENT",
+        help=f"experiment ids to run (default: all). "
+             f"Known: {', '.join(EXPERIMENTS)}",
+    )
+    parser.add_argument(
+        "--n", type=int, default=None,
+        help="entries per configuration (default: 100000)",
+    )
+    parser.add_argument(
+        "--leaf-capacity", type=int, default=None,
+        help="leaf node capacity (default: 64)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None, help="base RNG seed",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="use the seconds-scale smoke sizing",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list experiments and exit",
+    )
+    parser.add_argument(
+        "--json-dir", type=Path, default=None,
+        help="also write each result as JSON into this directory",
+    )
+    parser.add_argument(
+        "--plot", action="store_true",
+        help="render an ASCII chart for experiments with numeric series",
+    )
+    return parser
+
+
+def scale_from_args(args: argparse.Namespace) -> BenchScale:
+    """Resolve the CLI flags into a BenchScale."""
+    scale = BenchScale.smoke() if args.smoke else BenchScale.default()
+    overrides = {}
+    if args.n is not None:
+        overrides["n"] = args.n
+    if args.leaf_capacity is not None:
+        overrides["leaf_capacity"] = args.leaf_capacity
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if overrides:
+        from dataclasses import replace
+
+        scale = replace(scale, **overrides)
+    return scale
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.list:
+        for exp_id, fn in EXPERIMENTS.items():
+            doc = (fn.__doc__ or "").strip().splitlines()[0]
+            print(f"{exp_id:10s} {doc}")
+        return 0
+    requested = args.experiments or list(EXPERIMENTS)
+    unknown = [e for e in requested if e not in EXPERIMENTS]
+    if unknown:
+        print(
+            f"unknown experiment(s): {', '.join(unknown)}; "
+            f"known: {', '.join(EXPERIMENTS)}",
+            file=sys.stderr,
+        )
+        return 2
+    scale = scale_from_args(args)
+    print(
+        f"scale: n={scale.n} leaf_capacity={scale.leaf_capacity} "
+        f"seed={scale.seed}",
+        flush=True,
+    )
+    if args.json_dir is not None:
+        args.json_dir.mkdir(parents=True, exist_ok=True)
+    for exp_id in requested:
+        started = time.perf_counter()
+        result = EXPERIMENTS[exp_id](scale)
+        elapsed = time.perf_counter() - started
+        print()
+        print(render(result))
+        if args.plot and exp_id in _PLOTTABLE:
+            x, ys = _PLOTTABLE[exp_id]
+            print()
+            print(render_chart(result, x, ys))
+        if args.json_dir is not None:
+            path = args.json_dir / f"{exp_id}.json"
+            path.write_text(json.dumps(to_json_dict(result), indent=2))
+        print(f"({exp_id} took {elapsed:.1f}s)", flush=True)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,877 @@
+"""One experiment per table and figure of the paper's evaluation (§5).
+
+Each ``exp_*`` function regenerates the rows/series of its figure at a
+configurable :class:`~repro.bench.harness.BenchScale` and returns an
+:class:`~repro.bench.reporting.ExperimentResult`.  EXPERIMENTS.md records
+paper-vs-measured values for every experiment at the default scale.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..analysis.memory import space_reduction
+from ..analysis.model import (
+    ideal_fast_fraction,
+    lil_expected_fast_fraction,
+    simulate_lil_fast_fraction,
+    tail_expected_fast_fraction,
+)
+from ..concurrency.model import (
+    insert_profile,
+    lookup_profile,
+    throughput_curve,
+)
+from ..core import QuITTree, TailBPlusTree
+from ..core.ablation import QuITNoResetTree, QuITNoVariableSplitTree
+from ..core.metadata import METADATA_FIELDS, metadata_bytes
+from ..sortedness.bods import BodsSpec, generate
+from ..workloads.generators import alternating_stress_stream
+from ..workloads.queries import (
+    PAPER_SELECTIVITIES,
+    point_lookups,
+    range_queries,
+)
+from ..workloads.stocks import NIFTY_SPEC, SPXUSD_SPEC, instrument_keys
+from .fig1b import exp_fig1b
+from .harness import (
+    BenchScale,
+    VARIANTS,
+    ingest,
+    make_tree,
+    time_point_lookups,
+    time_range_queries,
+    timed_ingest,
+)
+from .reporting import ExperimentResult
+
+#: K grid (fractions) of Figures 8-10, 14 and Table 2.
+MAIN_K_GRID = (0.0, 0.01, 0.03, 0.05, 0.10, 0.25, 0.50, 1.0)
+
+#: K grid of Fig. 3 / 5a (extreme-sortedness regime).
+FINE_K_GRID = (0.0, 0.0001, 0.0005, 0.001, 0.005, 0.01, 0.03, 0.05, 0.10)
+
+#: K x L grid of Fig. 11.
+KL_GRID = (0.0, 0.01, 0.03, 0.05, 0.25, 0.50)
+
+#: The three sortedness levels of Table 3 / Fig. 13 (§5.2.2).
+SORTEDNESS_LEVELS = {
+    "fully sorted": (0.0, 1.0),
+    "nearly sorted": (0.05, 0.05),
+    "less sorted": (0.25, 0.25),
+}
+
+
+def _keys_for(scale: BenchScale, k: float, l: float = 1.0) -> np.ndarray:
+    return generate(
+        BodsSpec(
+            n=scale.n, k_fraction=k, l_fraction=l, seed=scale.seed
+        )
+    )
+
+
+def _ingest_all(
+    names: Sequence[str], scale: BenchScale, keys: np.ndarray
+) -> dict[str, object]:
+    return {name: timed_ingest(name, scale, keys) for name in names}
+
+
+# ----------------------------------------------------------------------
+# Headline figure
+# ----------------------------------------------------------------------
+
+def exp_fig1a(scale: Optional[BenchScale] = None) -> ExperimentResult:
+    """Fig. 1a: ingestion and lookup latency for tail / SWARE / QuIT at
+    three sortedness levels."""
+    scale = scale or BenchScale.default()
+    result = ExperimentResult(
+        exp_id="fig1a",
+        title="headline: insert/lookup latency by sortedness",
+        columns=[
+            "sortedness", "index", "insert_us", "lookup_us",
+            "insert_speedup_vs_btree",
+        ],
+    )
+    names = ("B+-tree", "tail-B+-tree", "SWARE", "QuIT")
+    for label, (k, l) in SORTEDNESS_LEVELS.items():
+        keys = _keys_for(scale, k, l)
+        runs = _ingest_all(names, scale, keys)
+        targets = point_lookups(keys, scale.point_lookups, seed=scale.seed)
+        base_seconds = runs["B+-tree"].seconds
+        for name in names:
+            run = runs[name]
+            lookup_s = time_point_lookups(run.tree, targets)
+            result.rows.append({
+                "sortedness": label,
+                "index": name,
+                "insert_us": run.per_op_us,
+                "lookup_us": lookup_s / scale.point_lookups * 1e6,
+                "insert_speedup_vs_btree": base_seconds / run.seconds,
+            })
+    return result
+
+
+# ----------------------------------------------------------------------
+# §2-§3 motivation figures
+# ----------------------------------------------------------------------
+
+def exp_fig3(scale: Optional[BenchScale] = None) -> ExperimentResult:
+    """Fig. 3: tail-leaf fast-insert fraction collapses with tiny K."""
+    scale = scale or BenchScale.default()
+    result = ExperimentResult(
+        exp_id="fig3",
+        title="tail-B+-tree fast-inserts vs out-of-order fraction",
+        columns=["k_pct", "fast_pct"],
+        notes=[
+            "The collapse threshold scales with n/leaf_capacity: the "
+            "paper's cliff (K around 0.05-0.1%) appears here at K around "
+            f"{5 * scale.leaf_capacity / scale.n * 2 * 100:.2f}% "
+            "(same ~5-leaves-of-outliers onset; see EXPERIMENTS.md).",
+        ],
+    )
+    for k in FINE_K_GRID:
+        keys = _keys_for(scale, k)
+        run = timed_ingest("tail-B+-tree", scale, keys)
+        result.rows.append({
+            "k_pct": k * 100,
+            "fast_pct": run.tree.stats.fast_insert_fraction * 100,
+        })
+    return result
+
+
+def exp_fig5a(scale: Optional[BenchScale] = None) -> ExperimentResult:
+    """Fig. 5a: lil vs tail fast-insert fraction at high sortedness."""
+    scale = scale or BenchScale.default()
+    result = ExperimentResult(
+        exp_id="fig5a",
+        title="lil vs tail fast-inserts at high sortedness",
+        columns=["k_pct", "tail_fast_pct", "lil_fast_pct"],
+    )
+    for k in FINE_K_GRID[:-2]:
+        keys = _keys_for(scale, k)
+        tail = timed_ingest("tail-B+-tree", scale, keys)
+        lil = timed_ingest("lil-B+-tree", scale, keys)
+        result.rows.append({
+            "k_pct": k * 100,
+            "tail_fast_pct": tail.tree.stats.fast_insert_fraction * 100,
+            "lil_fast_pct": lil.tree.stats.fast_insert_fraction * 100,
+        })
+    return result
+
+
+def exp_fig5b(scale: Optional[BenchScale] = None) -> ExperimentResult:
+    """Fig. 5b: modeled fast-insert fractions (tail / lil / ideal) over
+    the full K range, plus a Monte-Carlo simulation of Eq. 1."""
+    scale = scale or BenchScale.default()
+    result = ExperimentResult(
+        exp_id="fig5b",
+        title="expected fast-inserts: tail vs lil (Eq. 1) vs ideal",
+        columns=[
+            "k_pct", "tail_model_pct", "lil_eq1_pct", "lil_sim_pct",
+            "ideal_pct",
+        ],
+    )
+    for k10 in range(0, 101, 10):
+        k = k10 / 100
+        result.rows.append({
+            "k_pct": k * 100,
+            "tail_model_pct": 100 * tail_expected_fast_fraction(
+                k, scale.n, scale.leaf_capacity
+            ),
+            "lil_eq1_pct": 100 * lil_expected_fast_fraction(k),
+            "lil_sim_pct": 100 * simulate_lil_fast_fraction(
+                k, n=50_000, seed=scale.seed
+            ),
+            "ideal_pct": 100 * ideal_fast_fraction(k),
+        })
+    return result
+
+
+# ----------------------------------------------------------------------
+# §5.1 core comparisons
+# ----------------------------------------------------------------------
+
+def exp_fig8(scale: Optional[BenchScale] = None) -> ExperimentResult:
+    """Fig. 8: ingestion speedup over the classical B+-tree."""
+    scale = scale or BenchScale.default()
+    names = ("B+-tree", "tail-B+-tree", "lil-B+-tree", "QuIT")
+    result = ExperimentResult(
+        exp_id="fig8",
+        title="ingestion speedup vs classical B+-tree",
+        columns=["k_pct", "tail_x", "lil_x", "quit_x"],
+    )
+    for k in MAIN_K_GRID:
+        keys = _keys_for(scale, k)
+        runs = _ingest_all(names, scale, keys)
+        base = runs["B+-tree"].seconds
+        result.rows.append({
+            "k_pct": k * 100,
+            "tail_x": base / runs["tail-B+-tree"].seconds,
+            "lil_x": base / runs["lil-B+-tree"].seconds,
+            "quit_x": base / runs["QuIT"].seconds,
+        })
+    return result
+
+
+def exp_fig9(scale: Optional[BenchScale] = None) -> ExperimentResult:
+    """Fig. 9: fraction of fast- vs top-inserts per index."""
+    scale = scale or BenchScale.default()
+    names = ("tail-B+-tree", "lil-B+-tree", "QuIT")
+    result = ExperimentResult(
+        exp_id="fig9",
+        title="fast-insert fraction per index",
+        columns=["k_pct", "tail_fast_pct", "lil_fast_pct", "quit_fast_pct"],
+    )
+    for k in MAIN_K_GRID:
+        keys = _keys_for(scale, k)
+        runs = _ingest_all(names, scale, keys)
+        result.rows.append({
+            "k_pct": k * 100,
+            "tail_fast_pct":
+                runs["tail-B+-tree"].tree.stats.fast_insert_fraction * 100,
+            "lil_fast_pct":
+                runs["lil-B+-tree"].tree.stats.fast_insert_fraction * 100,
+            "quit_fast_pct":
+                runs["QuIT"].tree.stats.fast_insert_fraction * 100,
+        })
+    return result
+
+
+def exp_fig10a(scale: Optional[BenchScale] = None) -> ExperimentResult:
+    """Fig. 10a: average leaf occupancy, B+-tree vs QuIT."""
+    scale = scale or BenchScale.default()
+    result = ExperimentResult(
+        exp_id="fig10a",
+        title="average leaf occupancy",
+        columns=["k_pct", "btree_occ_pct", "quit_occ_pct"],
+    )
+    for k in MAIN_K_GRID:
+        keys = _keys_for(scale, k)
+        bt = timed_ingest("B+-tree", scale, keys)
+        qt = timed_ingest("QuIT", scale, keys)
+        result.rows.append({
+            "k_pct": k * 100,
+            "btree_occ_pct": bt.tree.occupancy().avg_occupancy * 100,
+            "quit_occ_pct": qt.tree.occupancy().avg_occupancy * 100,
+        })
+    return result
+
+
+def exp_fig10b(scale: Optional[BenchScale] = None) -> ExperimentResult:
+    """Fig. 10b: point-lookup latency of QuIT normalized to B+-tree."""
+    scale = scale or BenchScale.default()
+    result = ExperimentResult(
+        exp_id="fig10b",
+        title="normalized point-lookup latency (QuIT / B+-tree)",
+        columns=["k_pct", "btree_us", "quit_us", "normalized"],
+    )
+    for k in MAIN_K_GRID:
+        keys = _keys_for(scale, k)
+        bt = timed_ingest("B+-tree", scale, keys)
+        qt = timed_ingest("QuIT", scale, keys)
+        targets = point_lookups(keys, scale.point_lookups, seed=scale.seed)
+        bt_s = time_point_lookups(bt.tree, targets)
+        qt_s = time_point_lookups(qt.tree, targets)
+        result.rows.append({
+            "k_pct": k * 100,
+            "btree_us": bt_s / scale.point_lookups * 1e6,
+            "quit_us": qt_s / scale.point_lookups * 1e6,
+            "normalized": qt_s / bt_s,
+        })
+    return result
+
+
+def exp_fig10c(scale: Optional[BenchScale] = None) -> ExperimentResult:
+    """Fig. 10c: x-fewer leaf accesses in range queries (B+-tree / QuIT)."""
+    scale = scale or BenchScale.default()
+    result = ExperimentResult(
+        exp_id="fig10c",
+        title="range queries: leaf-access reduction of QuIT",
+        columns=["k_pct"] + [
+            f"sel_{sel*100:g}pct_x" for sel in PAPER_SELECTIVITIES
+        ],
+    )
+    for k in MAIN_K_GRID:
+        keys = _keys_for(scale, k)
+        bt = timed_ingest("B+-tree", scale, keys)
+        qt = timed_ingest("QuIT", scale, keys)
+        row = {"k_pct": k * 100}
+        for i, sel in enumerate(PAPER_SELECTIVITIES):
+            ranges = range_queries(
+                0, scale.n, sel, scale.range_lookups, seed=scale.seed + i
+            )
+            for run in (bt, qt):
+                run.tree.stats.leaf_accesses = 0
+                time_range_queries(run.tree, ranges)
+            row[f"sel_{sel*100:g}pct_x"] = (
+                bt.tree.stats.leaf_accesses
+                / max(1, qt.tree.stats.leaf_accesses)
+            )
+        result.rows.append(row)
+    return result
+
+
+# ----------------------------------------------------------------------
+# §5.2 sensitivity
+# ----------------------------------------------------------------------
+
+def exp_fig11(scale: Optional[BenchScale] = None) -> ExperimentResult:
+    """Fig. 11: K x L heatmaps of fast-inserts and leaf occupancy for
+    lil-B+-tree and QuIT."""
+    scale = scale or BenchScale.default()
+    result = ExperimentResult(
+        exp_id="fig11",
+        title="K x L sensitivity: fast-inserts and occupancy (lil, QuIT)",
+        columns=[
+            "k_pct", "l_pct", "lil_fast_pct", "quit_fast_pct",
+            "lil_occ_pct", "quit_occ_pct",
+        ],
+    )
+    for l in KL_GRID[1:]:  # L=0 is meaningless when K>0
+        for k in KL_GRID:
+            keys = _keys_for(scale, k, l)
+            lil = timed_ingest("lil-B+-tree", scale, keys)
+            qt = timed_ingest("QuIT", scale, keys)
+            result.rows.append({
+                "k_pct": k * 100,
+                "l_pct": l * 100,
+                "lil_fast_pct":
+                    lil.tree.stats.fast_insert_fraction * 100,
+                "quit_fast_pct":
+                    qt.tree.stats.fast_insert_fraction * 100,
+                "lil_occ_pct":
+                    lil.tree.occupancy().avg_occupancy * 100,
+                "quit_occ_pct":
+                    qt.tree.occupancy().avg_occupancy * 100,
+            })
+    return result
+
+
+def exp_tab3(scale: Optional[BenchScale] = None) -> ExperimentResult:
+    """Table 3: scalability with data size (speedup and fast-inserts)."""
+    scale = scale or BenchScale.default()
+    sizes = [
+        max(1000, scale.n // 8), scale.n // 4, scale.n // 2, scale.n,
+        scale.n * 2,
+    ]
+    result = ExperimentResult(
+        exp_id="tab3",
+        title="QuIT scaling with data size",
+        columns=["sortedness", "n", "speedup_x", "fast_pct"],
+    )
+    for label, (k, l) in SORTEDNESS_LEVELS.items():
+        for n in sizes:
+            sub = scale.with_n(n)
+            keys = _keys_for(sub, k, l)
+            bt = timed_ingest("B+-tree", sub, keys)
+            qt = timed_ingest("QuIT", sub, keys)
+            result.rows.append({
+                "sortedness": label,
+                "n": n,
+                "speedup_x": bt.seconds / qt.seconds,
+                "fast_pct": qt.tree.stats.fast_insert_fraction * 100,
+            })
+    return result
+
+
+def exp_fig12(scale: Optional[BenchScale] = None) -> ExperimentResult:
+    """Fig. 12: stress test with alternating near-sorted / scrambled
+    segments; cumulative fast-inserts per index at segment boundaries."""
+    scale = scale or BenchScale.default()
+    n_segments = 5
+    keys = alternating_stress_stream(
+        n_total=scale.n, n_segments=n_segments, near_k=0.10,
+        scrambled_k=1.0, seed=scale.seed,
+    )
+    names = ("tail-B+-tree", "lil-B+-tree", "pole-B+-tree", "QuIT")
+    trees = {name: make_tree(name, scale) for name in names}
+    result = ExperimentResult(
+        exp_id="fig12",
+        title="stress test: cumulative fast-inserts per segment",
+        columns=["segment", "segment_kind", "inserted"] + [
+            f"{n}_fast" for n in names
+        ],
+    )
+    per = len(keys) // n_segments
+    for seg in range(n_segments):
+        chunk = keys[seg * per: (seg + 1) * per if seg < n_segments - 1
+                     else len(keys)]
+        for tree in trees.values():
+            for k in chunk:
+                tree.insert(int(k), int(k))
+        row = {
+            "segment": seg + 1,
+            "segment_kind": "near-sorted" if seg % 2 == 0 else "scrambled",
+            "inserted": (seg + 1) * per if seg < n_segments - 1
+                        else len(keys),
+        }
+        for name, tree in trees.items():
+            row[f"{name}_fast"] = tree.stats.fast_inserts
+        result.rows.append(row)
+    return result
+
+
+# ----------------------------------------------------------------------
+# §5.3 concurrency
+# ----------------------------------------------------------------------
+
+def exp_fig13(scale: Optional[BenchScale] = None) -> ExperimentResult:
+    """Fig. 13: modeled concurrent throughput for inserts and lookups.
+
+    Single-thread service times are measured from the real trees; the
+    contention model extrapolates to 1-16 threads (DESIGN.md
+    substitution 4: CPython threads cannot scale on CPU-bound work).
+    """
+    scale = scale or BenchScale.default()
+    threads = (1, 2, 4, 8, 16)
+    result = ExperimentResult(
+        exp_id="fig13",
+        title="modeled concurrent throughput (ops/sec)",
+        columns=["workload", "sortedness", "index"] + [
+            f"t{t}" for t in threads
+        ],
+    )
+    for label, (k, l) in SORTEDNESS_LEVELS.items():
+        keys = _keys_for(scale, k, l)
+        for name in ("B+-tree", "QuIT"):
+            run = timed_ingest(name, scale, keys)
+            fast_frac = run.tree.stats.fast_insert_fraction
+            profile = insert_profile(
+                run.seconds / scale.n, fast_frac
+            )
+            curve = throughput_curve(profile, threads)
+            result.rows.append({
+                "workload": "inserts", "sortedness": label, "index": name,
+                **{f"t{t}": curve[t] for t in threads},
+            })
+            targets = point_lookups(
+                keys, scale.point_lookups, seed=scale.seed
+            )
+            lookup_s = time_point_lookups(run.tree, targets)
+            lcurve = throughput_curve(
+                lookup_profile(lookup_s / scale.point_lookups), threads
+            )
+            result.rows.append({
+                "workload": "lookups", "sortedness": label, "index": name,
+                **{f"t{t}": lcurve[t] for t in threads},
+            })
+    return result
+
+
+# ----------------------------------------------------------------------
+# §5.4 SWARE comparison
+# ----------------------------------------------------------------------
+
+def exp_fig14(scale: Optional[BenchScale] = None) -> ExperimentResult:
+    """Fig. 14: SWARE vs QuIT insert and point-lookup latency."""
+    scale = scale or BenchScale.default()
+    result = ExperimentResult(
+        exp_id="fig14",
+        title="SWARE vs QuIT: insert / lookup latency",
+        columns=[
+            "k_pct", "sware_insert_us", "quit_insert_us",
+            "sware_lookup_us", "quit_lookup_us",
+        ],
+    )
+    for k in MAIN_K_GRID:
+        keys = _keys_for(scale, k)
+        key_list = [int(x) for x in keys]
+        # Ingest SWARE without a final flush so the query phase sees the
+        # buffer in its steady, partially-full state (the paper queries
+        # right after ingestion).
+        sw_tree = make_tree("SWARE", scale)
+        sw_seconds = ingest(sw_tree, key_list)
+        qt = timed_ingest("QuIT", scale, keys)
+        targets = point_lookups(keys, scale.point_lookups, seed=scale.seed)
+        sw_s = time_point_lookups(sw_tree, targets)
+        qt_s = time_point_lookups(qt.tree, targets)
+        result.rows.append({
+            "k_pct": k * 100,
+            "sware_insert_us": sw_seconds / scale.n * 1e6,
+            "quit_insert_us": qt.per_op_us,
+            "sware_lookup_us": sw_s / scale.point_lookups * 1e6,
+            "quit_lookup_us": qt_s / scale.point_lookups * 1e6,
+        })
+    return result
+
+
+# ----------------------------------------------------------------------
+# §5.5 real-world data
+# ----------------------------------------------------------------------
+
+def exp_fig15(scale: Optional[BenchScale] = None) -> ExperimentResult:
+    """Fig. 15: ingestion speedup on (synthetic) stock-price data."""
+    scale = scale or BenchScale.default()
+    result = ExperimentResult(
+        exp_id="fig15",
+        title="real-world-style data: ingestion speedup vs B+-tree",
+        columns=["instrument", "index", "speedup_x", "fast_pct"],
+        notes=[
+            "NIFTY/SPXUSD are synthetic stand-ins calibrated per "
+            "DESIGN.md substitution 3 (no network access to the "
+            "original intra-day datasets).",
+        ],
+    )
+    names = ("tail-B+-tree", "SWARE", "lil-B+-tree", "QuIT")
+    for spec in (NIFTY_SPEC, SPXUSD_SPEC):
+        sized = spec if scale.n >= spec.n else _scaled_spec(spec, scale.n)
+        keys = instrument_keys(sized)
+        base = timed_ingest("B+-tree", scale, keys)
+        for name in names:
+            run = timed_ingest(name, scale, keys)
+            stats = run.tree.stats
+            result.rows.append({
+                "instrument": spec.name,
+                "index": name,
+                "speedup_x": base.seconds / run.seconds,
+                "fast_pct": stats.fast_insert_fraction * 100
+                            if name != "SWARE" else float("nan"),
+            })
+    return result
+
+
+def _scaled_spec(spec, n: int):
+    from dataclasses import replace
+
+    return replace(spec, n=n)
+
+
+# ----------------------------------------------------------------------
+# Tables
+# ----------------------------------------------------------------------
+
+def exp_tab1(scale: Optional[BenchScale] = None) -> ExperimentResult:
+    """Table 1: metadata fields per index and the byte totals."""
+    result = ExperimentResult(
+        exp_id="tab1",
+        title="metadata digest per index",
+        columns=["index", "fields", "bytes", "extra_vs_lil_bytes"],
+    )
+    lil_bytes = metadata_bytes("lil-B+-tree")
+    for name, fields in METADATA_FIELDS.items():
+        total = metadata_bytes(name)
+        result.rows.append({
+            "index": name,
+            "fields": len(fields),
+            "bytes": total,
+            "extra_vs_lil_bytes": total - lil_bytes,
+        })
+    result.notes.append(
+        "QuIT adds < 20 bytes of metadata over the lil fast path "
+        "(paper: 'less than 20 bytes of additional metadata')."
+    )
+    return result
+
+
+def exp_tab2(scale: Optional[BenchScale] = None) -> ExperimentResult:
+    """Table 2: space reduction of QuIT over the B+-tree baselines."""
+    scale = scale or BenchScale.default()
+    result = ExperimentResult(
+        exp_id="tab2",
+        title="space reduction of QuIT over B+-tree",
+        columns=["k_pct", "reduction_x"],
+    )
+    for k in MAIN_K_GRID:
+        keys = _keys_for(scale, k)
+        bt = timed_ingest("B+-tree", scale, keys)
+        qt = timed_ingest("QuIT", scale, keys)
+        result.rows.append({
+            "k_pct": k * 100,
+            "reduction_x": space_reduction(bt.tree, qt.tree),
+        })
+    return result
+
+
+def exp_betree(scale: Optional[BenchScale] = None) -> ExperimentResult:
+    """Related-work baseline (§6): the Bε-tree is write-optimized but
+    sortedness-UNAWARE.
+
+    Ingests the K grid into a Bε-tree, the classical B+-tree, and QuIT.
+    The paper's §6 argument appears as a flat Bε-tree speedup curve
+    (its amortization helps equally at every K) against QuIT's
+    sortedness-proportional curve.
+    """
+    import time as _time
+
+    from ..betree import BeTree, BeTreeConfig
+
+    scale = scale or BenchScale.default()
+    be_config = BeTreeConfig(
+        leaf_capacity=scale.leaf_capacity,
+        fanout=max(4, scale.leaf_capacity // 8),
+        buffer_capacity=scale.leaf_capacity * 4,
+    )
+    result = ExperimentResult(
+        exp_id="betree",
+        title="Be-tree baseline: amortized but sortedness-unaware (§6)",
+        columns=["k_pct", "betree_x", "quit_x", "betree_moves_per_insert"],
+        notes=[
+            "betree_moves_per_insert = buffered message hops per insert; "
+            "it is ~flat across K (the amortization is oblivious to "
+            "sortedness), unlike QuIT's sortedness-proportional "
+            "fast-insert fraction.",
+        ],
+    )
+    for k in (0.0, 0.05, 0.25, 1.0):
+        keys = [int(x) for x in _keys_for(scale, k)]
+        base = timed_ingest("B+-tree", scale, keys)
+        qt = timed_ingest("QuIT", scale, keys)
+        best = float("inf")
+        be = None
+        for _ in range(max(1, scale.repeats)):
+            be = BeTree(be_config)
+            start = _time.perf_counter()
+            for key in keys:
+                be.insert(key, key)
+            best = min(best, _time.perf_counter() - start)
+        result.rows.append({
+            "k_pct": k * 100,
+            "betree_x": base.seconds / best,
+            "quit_x": base.seconds / qt.seconds,
+            "betree_moves_per_insert": (
+                be.stats.messages_moved
+                / max(1, be.stats.messages_enqueued)
+            ),
+        })
+    return result
+
+
+def exp_fig13_real(scale: Optional[BenchScale] = None) -> ExperimentResult:
+    """Fig. 13 companion: *measured* multi-threaded throughput.
+
+    Runs the actual :class:`~repro.concurrency.ConcurrentTree` wrapper
+    with real threads.  Under CPython's GIL the curves are flat-to-
+    declining for CPU-bound work — committed here precisely to document
+    why Fig. 13's scaling shape comes from the contention model
+    (DESIGN.md substitution 4) while correctness comes from these real
+    threads.
+    """
+    import threading
+    import time as _time
+
+    from ..concurrency import ConcurrentTree
+
+    scale = scale or BenchScale.default()
+    n = max(4_000, scale.n // 4)
+    keys = [int(k) for k in _keys_for(scale.with_n(n), 0.05)]
+    result = ExperimentResult(
+        exp_id="fig13real",
+        title="measured threaded throughput (GIL-bound; see fig13)",
+        columns=["index", "threads", "kops_per_sec"],
+        notes=[
+            "CPython threads cannot scale CPU-bound work; the modeled "
+            "fig13 curves carry the paper's scaling claim.",
+        ],
+    )
+    for name in ("B+-tree", "QuIT"):
+        for n_threads in (1, 2, 4):
+            ct = ConcurrentTree(make_tree(name, scale))
+
+            def worker(slice_no: int) -> None:
+                for k in keys[slice_no::n_threads]:
+                    ct.insert(k, k)
+
+            threads = [
+                threading.Thread(target=worker, args=(i,))
+                for i in range(n_threads)
+            ]
+            start = _time.perf_counter()
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            elapsed = _time.perf_counter() - start
+            result.rows.append({
+                "index": name,
+                "threads": n_threads,
+                "kops_per_sec": n / elapsed / 1000,
+            })
+    return result
+
+
+def exp_cache(scale: Optional[BenchScale] = None) -> ExperimentResult:
+    """Cache-residency mechanism behind Fig. 10b.
+
+    The paper attributes QuIT's slight point-lookup edge to its smaller
+    tree fitting the cache better.  This experiment replays an identical
+    lookup workload over both trees through an LRU page cache of the
+    same *absolute* size (sized as fractions of the B+-tree's node
+    count) and reports hit rates and simulated I/O.
+    """
+    from ..analysis.cache import simulate_lookup_cache
+
+    scale = scale or BenchScale.default()
+    keys = _keys_for(scale, 0.0)
+    bt = timed_ingest("B+-tree", scale, keys)
+    qt = timed_ingest("QuIT", scale, keys)
+    targets = point_lookups(
+        keys, scale.point_lookups, seed=scale.seed
+    ).tolist()
+    btree_nodes = bt.tree.occupancy().node_count
+    result = ExperimentResult(
+        exp_id="cache",
+        title="LRU cache residency at equal absolute cache size (K=0)",
+        columns=[
+            "cache_pct_of_btree", "index", "nodes", "hit_rate_pct",
+            "simulated_io",
+        ],
+        notes=[
+            "Mechanism check for Fig. 10b: at every cache size the "
+            "smaller QuIT tree performs less simulated I/O.  Compare "
+            "simulated_io, not hit rate — a taller tree re-touches its "
+            "always-hot upper levels more per lookup, inflating its "
+            "rate.",
+        ],
+    )
+    for frac in (0.1, 0.25, 0.5, 0.75):
+        pages = max(1, int(btree_nodes * frac))
+        for run in (bt, qt):
+            report = simulate_lookup_cache(
+                run.tree, targets, cache_pages=pages
+            )
+            result.rows.append({
+                "cache_pct_of_btree": frac * 100,
+                "index": run.name,
+                "nodes": run.tree.occupancy().node_count,
+                "hit_rate_pct": report.hit_rate * 100,
+                "simulated_io": report.misses,
+            })
+    return result
+
+
+def exp_mixed_rw(scale: Optional[BenchScale] = None) -> ExperimentResult:
+    """Read/write mix sensitivity (the §2 argument against SWARE).
+
+    Interleaves near-sorted inserts with point lookups on already-ingested
+    keys at varying read fractions and reports throughput per index.  The
+    paper argues SWARE's buffer probe makes its read penalty "prohibitive
+    as the fraction of reads in the workload increases" — here that
+    appears as SWARE's relative throughput decaying with the read share
+    while QuIT's does not.
+    """
+    import time as _time
+
+    scale = scale or BenchScale.default()
+    keys = _keys_for(scale, 0.05)
+    key_list = [int(k) for k in keys]
+    result = ExperimentResult(
+        exp_id="mixed_rw",
+        title="read/write mix: throughput by read fraction (K=5%)",
+        columns=["read_pct", "index", "kops_per_sec", "vs_btree_x"],
+    )
+    import itertools
+
+    rng_targets = point_lookups(keys, scale.n, seed=scale.seed).tolist()
+    for read_pct in (0, 25, 50, 75, 90):
+        reads_per_insert = (
+            read_pct / (100 - read_pct) if read_pct < 100 else 0.0
+        )
+        rates: dict[str, float] = {}
+        for name in ("B+-tree", "SWARE", "QuIT"):
+            tree = make_tree(name, scale)
+            # Pre-load half the stream so early lookups hit real data.
+            warm = key_list[: scale.n // 2]
+            for k in warm:
+                tree.insert(k, k)
+            live = key_list[scale.n // 2:]
+            ops = 0
+            target_iter = itertools.cycle(rng_targets)
+            acc = 0.0
+            get = tree.get
+            insert = tree.insert
+            start = _time.perf_counter()
+            for k in live:
+                insert(k, k)
+                ops += 1
+                acc += reads_per_insert
+                while acc >= 1.0:
+                    get(next(target_iter))
+                    ops += 1
+                    acc -= 1.0
+            elapsed = _time.perf_counter() - start
+            rates[name] = ops / elapsed if elapsed else 0.0
+        for name, rate in rates.items():
+            result.rows.append({
+                "read_pct": read_pct,
+                "index": name,
+                "kops_per_sec": rate / 1000,
+                "vs_btree_x": rate / rates["B+-tree"],
+            })
+    return result
+
+
+# ----------------------------------------------------------------------
+# Ablation (beyond the paper's own figures)
+# ----------------------------------------------------------------------
+
+def exp_ablation_quit_features(
+    scale: Optional[BenchScale] = None,
+) -> ExperimentResult:
+    """Ablation: toggle QuIT's variable-split and reset strategies.
+
+    Runs the full QuIT, QuIT-no-reset, QuIT-50%-split, and the bare
+    pole-B+-tree on a near-sorted stream and on the Fig. 12 stress
+    stream.
+    """
+    scale = scale or BenchScale.default()
+    contenders = {
+        "QuIT": QuITTree,
+        "QuIT-no-reset": QuITNoResetTree,
+        "QuIT-50%-split": QuITNoVariableSplitTree,
+        "pole-B+-tree": VARIANTS["pole-B+-tree"],
+        "tail-B+-tree": TailBPlusTree,
+    }
+    result = ExperimentResult(
+        exp_id="ablation",
+        title="QuIT feature ablation (fast-inserts / occupancy)",
+        columns=["workload", "index", "fast_pct", "occ_pct"],
+    )
+    workloads = {
+        "near-sorted (K=5%)": _keys_for(scale, 0.05),
+        "less-sorted (K=25%)": _keys_for(scale, 0.25),
+        "stress (Fig.12)": alternating_stress_stream(
+            n_total=scale.n, seed=scale.seed
+        ),
+    }
+    for wname, keys in workloads.items():
+        for cname, cls in contenders.items():
+            tree = cls(scale.tree_config)
+            for k in keys:
+                tree.insert(int(k), int(k))
+            result.rows.append({
+                "workload": wname,
+                "index": cname,
+                "fast_pct": tree.stats.fast_insert_fraction * 100,
+                "occ_pct": tree.occupancy().avg_occupancy * 100,
+            })
+    return result
+
+
+#: Registry used by the CLI and the benchmark suite.
+EXPERIMENTS = {
+    "fig1a": exp_fig1a,
+    "fig1b": exp_fig1b,
+    "fig3": exp_fig3,
+    "fig5a": exp_fig5a,
+    "fig5b": exp_fig5b,
+    "fig8": exp_fig8,
+    "fig9": exp_fig9,
+    "fig10a": exp_fig10a,
+    "fig10b": exp_fig10b,
+    "fig10c": exp_fig10c,
+    "fig11": exp_fig11,
+    "fig12": exp_fig12,
+    "fig13": exp_fig13,
+    "fig14": exp_fig14,
+    "fig15": exp_fig15,
+    "tab1": exp_tab1,
+    "tab2": exp_tab2,
+    "tab3": exp_tab3,
+    "ablation": exp_ablation_quit_features,
+    "mixed_rw": exp_mixed_rw,
+    "cache": exp_cache,
+    "fig13real": exp_fig13_real,
+    "betree": exp_betree,
+}

@@ -1,0 +1,221 @@
+"""Benchmark harness: scale configuration, tree builders, timers.
+
+Every experiment in :mod:`repro.bench.experiments` takes a
+:class:`BenchScale`, so the whole evaluation can run at three sizes:
+
+* ``smoke()`` — seconds; used by the pytest-benchmark suite;
+* ``default()`` — minutes; the scale the committed EXPERIMENTS.md numbers
+  were produced at;
+* ``paper()`` — the paper's own N (500M keys, 510-entry leaves); provided
+  for completeness, impractical in pure Python.
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Iterable, Iterator, Optional, Sequence
+
+import numpy as np
+
+from ..core import (
+    BPlusTree,
+    LilBPlusTree,
+    PoleBPlusTree,
+    QuITTree,
+    TailBPlusTree,
+    TreeConfig,
+)
+from ..sware import SABPlusTree
+
+#: Variant registry in the paper's presentation order.
+VARIANTS: dict[str, type] = {
+    "B+-tree": BPlusTree,
+    "tail-B+-tree": TailBPlusTree,
+    "lil-B+-tree": LilBPlusTree,
+    "pole-B+-tree": PoleBPlusTree,
+    "QuIT": QuITTree,
+}
+
+
+@dataclass(frozen=True)
+class BenchScale:
+    """Workload sizing for one experiment run.
+
+    Attributes:
+        n: entries ingested per configuration.
+        leaf_capacity: tree leaf capacity (also internal fan-out).
+        point_lookups: point lookups per query phase (paper: 1% of n).
+        range_lookups: range queries per selectivity (paper: 1000).
+        sware_buffer_fraction: SWARE buffer size as a fraction of n
+            (paper default: 1%).
+        seed: base RNG seed.
+        repeats: timed runs per measurement; the minimum is reported
+            (single-core environments jitter by 10-20%).
+    """
+
+    n: int = 100_000
+    leaf_capacity: int = 64
+    point_lookups: int = 1_000
+    range_lookups: int = 50
+    sware_buffer_fraction: float = 0.01
+    seed: int = 42
+    repeats: int = 2
+
+    @classmethod
+    def smoke(cls) -> "BenchScale":
+        """Seconds-scale sizing for CI / pytest-benchmark."""
+        return cls(n=20_000, point_lookups=500, range_lookups=20, repeats=1)
+
+    @classmethod
+    def default(cls) -> "BenchScale":
+        """The scale EXPERIMENTS.md numbers are recorded at."""
+        return cls(n=100_000, point_lookups=1_000, range_lookups=50)
+
+    @classmethod
+    def paper(cls) -> "BenchScale":
+        """The paper's own scale (not practical in pure Python)."""
+        return cls(
+            n=500_000_000,
+            leaf_capacity=510,
+            point_lookups=5_000_000,
+            range_lookups=1_000,
+        )
+
+    def with_n(self, n: int) -> "BenchScale":
+        """Copy with a different entry count."""
+        return replace(self, n=n)
+
+    @property
+    def tree_config(self) -> TreeConfig:
+        """The TreeConfig this scale implies."""
+        return TreeConfig(
+            leaf_capacity=self.leaf_capacity,
+            internal_capacity=self.leaf_capacity,
+        )
+
+    @property
+    def sware_buffer_capacity(self) -> int:
+        """SWARE buffer size in entries (paper default: 1% of n)."""
+        return max(64, int(self.n * self.sware_buffer_fraction))
+
+
+@dataclass
+class IngestResult:
+    """Outcome of timed ingestion into one index."""
+
+    name: str
+    tree: Any
+    seconds: float
+    n: int
+
+    @property
+    def per_op_us(self) -> float:
+        """Mean insert latency in microseconds."""
+        return self.seconds / self.n * 1e6 if self.n else 0.0
+
+    @property
+    def ops_per_sec(self) -> float:
+        """Ingestion throughput."""
+        return self.n / self.seconds if self.seconds else 0.0
+
+
+def make_tree(name: str, scale: BenchScale) -> Any:
+    """Instantiate the named index at the given scale (includes SWARE)."""
+    if name == "SWARE":
+        return SABPlusTree(
+            scale.tree_config,
+            buffer_capacity=scale.sware_buffer_capacity,
+        )
+    try:
+        cls = VARIANTS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown index {name!r}; expected one of "
+            f"{[*VARIANTS, 'SWARE']}"
+        ) from None
+    return cls(scale.tree_config)
+
+
+@contextmanager
+def _gc_paused() -> Iterator[None]:
+    """Disable the cyclic GC across a timed section (a major source of
+    run-to-run jitter when millions of nodes are being allocated)."""
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        yield
+    finally:
+        if was_enabled:
+            gc.enable()
+
+
+def ingest(
+    tree: Any,
+    keys: Iterable[int],
+    value_of: Optional[Callable[[int], Any]] = None,
+) -> float:
+    """Insert every key (values default to the key) and return elapsed
+    seconds (cyclic GC paused)."""
+    insert = tree.insert
+    with _gc_paused():
+        start = time.perf_counter()
+        if value_of is None:
+            for k in keys:
+                insert(k, k)
+        else:
+            for k in keys:
+                insert(k, value_of(k))
+        return time.perf_counter() - start
+
+
+def timed_ingest(
+    name: str,
+    scale: BenchScale,
+    keys: Sequence[int] | np.ndarray,
+    repeats: Optional[int] = None,
+) -> IngestResult:
+    """Build the named index, ingest ``keys``, time it.
+
+    Runs ``repeats`` times (default: ``scale.repeats``) and reports the
+    minimum; the returned tree is from the final run.
+    """
+    repeats = scale.repeats if repeats is None else repeats
+    key_list = [int(k) for k in keys]
+    best = float("inf")
+    tree = None
+    for _ in range(max(1, repeats)):
+        tree = make_tree(name, scale)
+        best = min(best, ingest(tree, key_list))
+    if name == "SWARE":
+        tree.flush()
+    return IngestResult(name=name, tree=tree, seconds=best, n=len(key_list))
+
+
+def time_point_lookups(
+    tree: Any, targets: Sequence[int], repeats: int = 2
+) -> float:
+    """Best-of-``repeats`` elapsed seconds for the point-lookup batch."""
+    get = tree.get
+    best = float("inf")
+    with _gc_paused():
+        for _ in range(max(1, repeats)):
+            start = time.perf_counter()
+            for k in targets:
+                get(k)
+            best = min(best, time.perf_counter() - start)
+    return best
+
+
+def time_range_queries(
+    tree: Any, ranges: Sequence[tuple[int, int]]
+) -> float:
+    """Elapsed seconds for the full range-query batch."""
+    rq = tree.range_query
+    with _gc_paused():
+        start = time.perf_counter()
+        for lo, hi in ranges:
+            rq(lo, hi)
+        return time.perf_counter() - start

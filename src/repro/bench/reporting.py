@@ -1,0 +1,151 @@
+"""Plain-text rendering of experiment results.
+
+Every experiment returns an :class:`ExperimentResult`; ``render`` produces
+the aligned table the harness prints (the textual analogue of the paper's
+figure panels).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one experiment (one paper table or figure).
+
+    Attributes:
+        exp_id: identifier used in DESIGN.md's per-experiment index
+            (e.g. ``fig8``).
+        title: human-readable experiment title.
+        columns: column names, in print order.
+        rows: one dict per output row.
+        notes: free-form observations (paper-vs-measured commentary).
+    """
+
+    exp_id: str
+    title: str
+    columns: list[str]
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def column(self, name: str) -> list[Any]:
+        """All values of one column, in row order."""
+        return [row.get(name) for row in self.rows]
+
+    def row_for(self, key_column: str, key_value: Any) -> dict[str, Any]:
+        """First row whose ``key_column`` equals ``key_value``."""
+        for row in self.rows:
+            if row.get(key_column) == key_value:
+                return row
+        raise KeyError(f"no row with {key_column}={key_value!r}")
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3g}"
+    return str(value)
+
+
+def render(result: ExperimentResult) -> str:
+    """Render a result as an aligned plain-text table with title/notes."""
+    header = f"== {result.exp_id}: {result.title} =="
+    if not result.rows:
+        return header + "\n(no rows)"
+    cols = result.columns
+    cells = [[_fmt(row.get(c, "")) for c in cols] for row in result.rows]
+    widths = [
+        max(len(c), *(len(r[i]) for r in cells)) for i, c in enumerate(cols)
+    ]
+    lines = [header]
+    lines.append("  ".join(c.rjust(w) for c, w in zip(cols, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in cells:
+        lines.append("  ".join(v.rjust(w) for v, w in zip(r, widths)))
+    for note in result.notes:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)
+
+
+def render_all(results: Sequence[ExperimentResult]) -> str:
+    """Render several results separated by blank lines."""
+    return "\n\n".join(render(r) for r in results)
+
+
+def render_chart(
+    result: ExperimentResult,
+    x: str,
+    ys: Sequence[str],
+    width: int = 60,
+    height: int = 16,
+) -> str:
+    """Render one or more numeric columns as an ASCII line chart.
+
+    ``x`` values label the horizontal axis positions (equally spaced in
+    row order, which matches the paper's categorical x-axes); each ``ys``
+    column becomes a series drawn with its own glyph.
+    """
+    if not result.rows:
+        return "(no rows)"
+    glyphs = "*o+x#@%&"
+    series = {
+        col: [float(row[col]) for row in result.rows]
+        for col in ys
+    }
+    all_values = [v for vs in series.values() for v in vs]
+    lo, hi = min(all_values), max(all_values)
+    if hi == lo:
+        hi = lo + 1.0
+    n = len(result.rows)
+    grid = [[" "] * width for _ in range(height)]
+    for si, (col, values) in enumerate(series.items()):
+        glyph = glyphs[si % len(glyphs)]
+        for i, value in enumerate(values):
+            cx = round(i * (width - 1) / max(1, n - 1))
+            cy = height - 1 - round(
+                (value - lo) / (hi - lo) * (height - 1)
+            )
+            grid[cy][cx] = glyph
+    lines = [f"{result.exp_id}: {', '.join(ys)} vs {x}"]
+    lines.append(f"{hi:>10.3g} +" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 11 + "|" + "".join(row))
+    lines.append(f"{lo:>10.3g} +" + "".join(grid[-1]))
+    x_labels = [str(row.get(x)) for row in result.rows]
+    lines.append(
+        " " * 12 + x_labels[0] + " ... " + x_labels[-1] + f"   [{x}]"
+    )
+    legend = "  ".join(
+        f"{glyphs[i % len(glyphs)]}={col}" for i, col in enumerate(ys)
+    )
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)
+
+
+def to_json_dict(result: ExperimentResult) -> dict:
+    """Serialize a result to a JSON-compatible dict."""
+    return {
+        "exp_id": result.exp_id,
+        "title": result.title,
+        "columns": list(result.columns),
+        "rows": [dict(r) for r in result.rows],
+        "notes": list(result.notes),
+    }
+
+
+def from_json_dict(data: dict) -> ExperimentResult:
+    """Rebuild a result from :func:`to_json_dict` output."""
+    return ExperimentResult(
+        exp_id=data["exp_id"],
+        title=data["title"],
+        columns=list(data["columns"]),
+        rows=[dict(r) for r in data["rows"]],
+        notes=list(data.get("notes", [])),
+    )

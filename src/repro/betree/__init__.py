@@ -1,0 +1,5 @@
+"""Bε-tree: the write-optimized, sortedness-unaware baseline of §6."""
+
+from .tree import BeTree, BeTreeConfig, BeTreeStats
+
+__all__ = ["BeTree", "BeTreeConfig", "BeTreeStats"]

@@ -1,0 +1,23 @@
+"""Concurrency control (§4.5): reader-writer locks, thread-safe tree
+wrappers, and the contention model behind the Fig. 13 curves."""
+
+from .concurrent_tree import ConcurrentTree
+from .locks import RWLock, StripedLocks
+from .model import (
+    OperationProfile,
+    insert_profile,
+    lookup_profile,
+    throughput,
+    throughput_curve,
+)
+
+__all__ = [
+    "ConcurrentTree",
+    "RWLock",
+    "StripedLocks",
+    "OperationProfile",
+    "insert_profile",
+    "lookup_profile",
+    "throughput",
+    "throughput_curve",
+]

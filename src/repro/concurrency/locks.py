@@ -1,0 +1,100 @@
+"""Reader-writer lock used by the concurrent tree wrappers (§4.5).
+
+A classic writer-preferring RW lock built on a condition variable:
+any number of readers proceed together; a writer waits for readers to
+drain and blocks new readers while waiting, preventing writer starvation.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class RWLock:
+    """Writer-preferring reader-writer lock."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+
+    def acquire_read(self) -> None:
+        """Block until shared (read) access is granted."""
+        with self._cond:
+            while self._writer or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        """Release shared access."""
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    def acquire_write(self) -> None:
+        """Block until exclusive (write) access is granted."""
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer or self._readers:
+                    self._cond.wait()
+                self._writer = True
+            finally:
+                self._writers_waiting -= 1
+
+    def release_write(self) -> None:
+        """Release exclusive access."""
+        with self._cond:
+            self._writer = False
+            self._cond.notify_all()
+
+    @contextmanager
+    def read_locked(self) -> Iterator[None]:
+        """Context manager for shared access."""
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write_locked(self) -> Iterator[None]:
+        """Context manager for exclusive access."""
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()
+
+
+class StripedLocks:
+    """A fixed pool of mutexes addressed by hashable ids.
+
+    Per-node locks without per-node allocations: node ids map onto
+    ``n_stripes`` mutexes.  Two different nodes may share a stripe, which
+    only costs spurious contention, never correctness.
+    """
+
+    def __init__(self, n_stripes: int = 64) -> None:
+        if n_stripes < 1:
+            raise ValueError(f"n_stripes must be >= 1, got {n_stripes}")
+        self._locks = [threading.Lock() for _ in range(n_stripes)]
+        self.n_stripes = n_stripes
+
+    def lock_for(self, node_id: int) -> threading.Lock:
+        """The stripe mutex owning ``node_id``."""
+        return self._locks[node_id % self.n_stripes]
+
+    @contextmanager
+    def locked(self, node_id: int) -> Iterator[None]:
+        """Context manager holding the stripe for ``node_id``."""
+        lock = self.lock_for(node_id)
+        lock.acquire()
+        try:
+            yield
+        finally:
+            lock.release()

@@ -1,0 +1,128 @@
+"""Analytical contention model for concurrent throughput (Fig. 13).
+
+CPython's GIL prevents real parallel scaling, so the reproduction follows
+DESIGN.md substitution 4: the locking protocol is implemented and tested
+for correctness under real threads (:mod:`.concurrent_tree`), while the
+throughput *curves* of Fig. 13 are regenerated from a closed-form
+contention model fed with measured single-thread service times.
+
+The model is Amdahl-style with a serialized share per operation class:
+
+* Near-sorted ingestion concentrates inserts on one leaf, so the insert's
+  critical section is effectively serialized across threads.  QuIT's fast
+  path serializes only the in-leaf append (short); a B+-tree serializes
+  the whole root-to-leaf traversal plus the node update (long, and it
+  grows with tree height).  Throughput saturates at ``1 / serial_time``
+  — which is why the paper observes QuIT's advantage *growing* with
+  thread count (its ceiling is higher).
+* Lookups take shared locks and serialize only briefly at the leaf latch;
+  both trees scale nearly linearly until the hardware limit, with a
+  bandwidth taper past ``taper_threads``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class OperationProfile:
+    """Single-thread timing profile of one operation mix.
+
+    Attributes:
+        service_time: mean time per operation on one thread (seconds).
+        serial_fraction: share of the service time that must execute under
+            an exclusive lock shared by all threads (the critical
+            section).
+    """
+
+    service_time: float
+    serial_fraction: float
+
+    def __post_init__(self) -> None:
+        if self.service_time <= 0:
+            raise ValueError(
+                f"service_time must be > 0, got {self.service_time}"
+            )
+        if not 0.0 <= self.serial_fraction <= 1.0:
+            raise ValueError(
+                f"serial_fraction must be in [0, 1], "
+                f"got {self.serial_fraction}"
+            )
+
+
+def throughput(
+    profile: OperationProfile,
+    threads: int,
+    taper_threads: int = 8,
+    taper_strength: float = 0.15,
+) -> float:
+    """Modeled operations/second at ``threads`` concurrent workers.
+
+    The parallelizable share scales with threads (tapering beyond
+    ``taper_threads`` to model shared-resource limits); the serialized
+    share is a global bottleneck:
+
+        tput(T) = min(T_eff / service_time, 1 / serial_time)
+
+    where ``serial_time = service_time * serial_fraction`` and ``T_eff``
+    applies the taper.
+    """
+    if threads < 1:
+        raise ValueError(f"threads must be >= 1, got {threads}")
+    if threads <= taper_threads:
+        t_eff = float(threads)
+    else:
+        extra = threads - taper_threads
+        t_eff = taper_threads + extra * max(0.0, 1.0 - taper_strength * extra)
+    parallel_limit = t_eff / profile.service_time
+    serial_time = profile.service_time * profile.serial_fraction
+    if serial_time <= 0:
+        return parallel_limit
+    return min(parallel_limit, 1.0 / serial_time)
+
+
+def insert_profile(
+    avg_insert_time: float,
+    fast_fraction: float,
+    fast_serial_share: float = 0.35,
+    top_serial_share: float = 1.0,
+) -> OperationProfile:
+    """Insert profile from measured ingest behaviour.
+
+    Fast-path inserts serialize only the metadata check + leaf append
+    (``fast_serial_share`` of their cost); top-inserts effectively
+    serialize whole-path crabbing (``top_serial_share``).  Near-sorted
+    ingestion hits one leaf, so these critical sections contend globally.
+    """
+    if not 0.0 <= fast_fraction <= 1.0:
+        raise ValueError(
+            f"fast_fraction must be in [0, 1], got {fast_fraction}"
+        )
+    # A fast insert is ~height times cheaper than a top-insert; derive the
+    # blended serialized share from the mix.
+    serial = (
+        fast_fraction * fast_serial_share
+        + (1.0 - fast_fraction) * top_serial_share
+    )
+    return OperationProfile(
+        service_time=avg_insert_time, serial_fraction=serial
+    )
+
+
+def lookup_profile(
+    avg_lookup_time: float,
+    leaf_latch_share: float = 0.05,
+) -> OperationProfile:
+    """Lookup profile: shared locks, tiny serialized leaf-latch share."""
+    return OperationProfile(
+        service_time=avg_lookup_time, serial_fraction=leaf_latch_share
+    )
+
+
+def throughput_curve(
+    profile: OperationProfile,
+    thread_counts: tuple[int, ...] = (1, 2, 4, 8, 16),
+) -> dict[int, float]:
+    """Modeled throughput for each thread count (Fig. 13's x-axis)."""
+    return {t: throughput(profile, t) for t in thread_counts}

@@ -1,0 +1,66 @@
+"""Core index structures: the classical B+-tree substrate and the
+sortedness-aware fast-path variants (tail, lil, pole, QuIT)."""
+
+from .ablation import QuITNoResetTree, QuITNoVariableSplitTree
+from .bptree import BPlusTree
+from .describe import TreeDescription, describe, format_description
+from .duplicates import DuplicateKeyIndex
+from .config import TreeConfig, reset_threshold
+from .fastpath import FastPathTree
+from .ikr import ikr_threshold, is_outlier
+from .lil_tree import LilBPlusTree
+from .metadata import (
+    METADATA_FIELDS,
+    FastPathState,
+    PoleState,
+    extra_metadata_bytes,
+    metadata_bytes,
+)
+from .node import InternalNode, LeafNode, Node
+from .persist import PersistenceError, load_tree, save_tree
+from .pole_tree import PoleBPlusTree
+from .quit_tree import QuITTree
+from .stats import OccupancyStats, TreeStats
+from .tail_tree import TailBPlusTree
+
+#: All tree variants benchmarked by the paper, in presentation order.
+TREE_VARIANTS = (
+    BPlusTree,
+    TailBPlusTree,
+    LilBPlusTree,
+    PoleBPlusTree,
+    QuITTree,
+)
+
+__all__ = [
+    "BPlusTree",
+    "QuITNoResetTree",
+    "QuITNoVariableSplitTree",
+    "FastPathTree",
+    "TailBPlusTree",
+    "LilBPlusTree",
+    "PoleBPlusTree",
+    "QuITTree",
+    "TreeConfig",
+    "TreeStats",
+    "OccupancyStats",
+    "FastPathState",
+    "PoleState",
+    "LeafNode",
+    "InternalNode",
+    "Node",
+    "ikr_threshold",
+    "is_outlier",
+    "reset_threshold",
+    "metadata_bytes",
+    "extra_metadata_bytes",
+    "METADATA_FIELDS",
+    "TREE_VARIANTS",
+    "save_tree",
+    "load_tree",
+    "PersistenceError",
+    "describe",
+    "format_description",
+    "TreeDescription",
+    "DuplicateKeyIndex",
+]

@@ -1,0 +1,903 @@
+"""A classical in-memory B+-tree (the paper's baseline index).
+
+This is the substrate every fast-path variant builds on: top-to-bottom
+traversal for inserts, point and range lookups over interlinked leaves,
+deletes with borrow/merge rebalancing, and bulk loading.  The fast-path
+variants (:mod:`repro.core.tail_tree`, :mod:`repro.core.lil_tree`,
+:mod:`repro.core.pole_tree`, :mod:`repro.core.quit_tree`) override a small
+set of hooks — leaf-split position choice, post-split and post-top-insert
+callbacks — so that all variants share one traversal/split/rebalance
+implementation, mirroring the paper's "same underlying B+-tree
+implementation" methodology (§5).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Optional
+
+from .config import (
+    ENTRY_BYTES,
+    NODE_HEADER_BYTES,
+    PIVOT_BYTES,
+    TreeConfig,
+)
+from .node import InternalNode, Key, LeafNode, Node
+from .stats import OccupancyStats, TreeStats
+
+
+class BPlusTree:
+    """Textbook B+-tree with upsert semantics and instrumentation.
+
+    Args:
+        config: static tree configuration; defaults to
+            :class:`~repro.core.config.TreeConfig` defaults.
+
+    The tree stores unique keys; inserting an existing key overwrites its
+    value.  All operation counts are accumulated in :attr:`stats`.
+    """
+
+    name = "B+-tree"
+
+    def __init__(self, config: Optional[TreeConfig] = None) -> None:
+        self.config = config or TreeConfig()
+        self.stats = TreeStats()
+        root = LeafNode()
+        self._root: Node = root
+        self._head: LeafNode = root
+        self._tail: LeafNode = root
+        self._size = 0
+        self._height = 1
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, key: Key) -> bool:
+        return self.get(key, default=_MISSING) is not _MISSING
+
+    def __getitem__(self, key: Key) -> Any:
+        """Dict-style lookup; raises KeyError when absent."""
+        value = self.get(key, default=_MISSING)
+        if value is _MISSING:
+            raise KeyError(key)
+        return value
+
+    def __setitem__(self, key: Key, value: Any) -> None:
+        """Dict-style upsert."""
+        self.insert(key, value)
+
+    def __delitem__(self, key: Key) -> None:
+        """Dict-style delete; raises KeyError when absent."""
+        if not self.delete(key):
+            raise KeyError(key)
+
+    def __iter__(self) -> Iterator[Key]:
+        return self.keys()
+
+    def __bool__(self) -> bool:
+        # A tree with entries is truthy; don't fall back to __len__ via
+        # surprising paths.
+        return self._size > 0
+
+    @property
+    def height(self) -> int:
+        """Number of levels, counting the leaf level (1 for a leaf root)."""
+        return self._height
+
+    @property
+    def head_leaf(self) -> LeafNode:
+        """Leftmost leaf."""
+        return self._head
+
+    @property
+    def tail_leaf(self) -> LeafNode:
+        """Rightmost leaf."""
+        return self._tail
+
+    @property
+    def root(self) -> Node:
+        """Root node (exposed for validation and white-box tests)."""
+        return self._root
+
+    # ------------------------------------------------------------------
+    # Inserts
+    # ------------------------------------------------------------------
+
+    def insert(self, key: Key, value: Any = None) -> None:
+        """Insert ``(key, value)``; a classical tree always top-inserts."""
+        self._top_insert(key, value)
+
+    def _top_insert(self, key: Key, value: Any) -> LeafNode:
+        """Root-to-leaf traversal insert.  Returns the accepting leaf.
+
+        The returned leaf is the node the entry physically landed in,
+        *after* any split caused by the insertion — the variants use it to
+        retarget their fast-path pointers.
+        """
+        self.stats.top_inserts += 1
+        leaf, low, high = self._descend_for_insert(key)
+        leaf, low, high = self._leaf_insert(leaf, key, value, low, high)
+        self._after_top_insert(leaf, key, low, high)
+        return leaf
+
+    def _leaf_insert(
+        self,
+        leaf: LeafNode,
+        key: Key,
+        value: Any,
+        low: Optional[Key],
+        high: Optional[Key],
+    ) -> tuple[LeafNode, Optional[Key], Optional[Key]]:
+        """Insert into ``leaf`` (splitting first if full).
+
+        ``low``/``high`` are the pivot bounds of ``leaf``'s key range as
+        observed during the descent (None = unbounded).  Returns the leaf
+        the entry landed in together with that leaf's (possibly narrowed)
+        pivot bounds — threading them through here keeps the fast-path
+        metadata updates O(1).
+        """
+        if len(leaf.keys) >= self.config.leaf_capacity:
+            leaf, low, high = self._split_full_leaf(leaf, key, low, high)
+        if leaf.insert_entry(key, value):
+            self._size += 1
+        return leaf, low, high
+
+    def _split_full_leaf(
+        self,
+        leaf: LeafNode,
+        key: Key,
+        low: Optional[Key],
+        high: Optional[Key],
+    ) -> tuple[LeafNode, Optional[Key], Optional[Key]]:
+        """Split a full ``leaf``; return the half that should accept
+        ``key`` plus that half's pivot bounds.  Subclasses hook
+        split-position choice and metadata updates here."""
+        pos = self._choose_leaf_split_pos(leaf, key)
+        right, split_key = self._do_leaf_split(leaf, pos)
+        self._after_leaf_split(leaf, right, split_key, key, low, high)
+        if key >= split_key:
+            return right, split_key, high
+        return leaf, low, split_key
+
+    def _do_leaf_split(self, leaf: LeafNode, pos: int) -> tuple[LeafNode, Key]:
+        """Mechanical leaf split at ``pos`` + parent registration."""
+        right, split_key = leaf.split_at(pos)
+        self.stats.leaf_splits += 1
+        if leaf is self._tail:
+            self._tail = right
+        self._insert_into_parent(leaf, split_key, right)
+        return right, split_key
+
+    def _choose_leaf_split_pos(self, leaf: LeafNode, key: Key) -> int:
+        """Split position for a full leaf; the classical tree splits at 50%."""
+        return leaf.size // 2
+
+    def _after_leaf_split(
+        self,
+        left: LeafNode,
+        right: LeafNode,
+        split_key: Key,
+        key: Key,
+        low: Optional[Key],
+        high: Optional[Key],
+    ) -> None:
+        """Hook invoked after a leaf split (before the entry is placed)."""
+
+    def _after_top_insert(
+        self,
+        leaf: LeafNode,
+        key: Key,
+        low: Optional[Key],
+        high: Optional[Key],
+    ) -> None:
+        """Hook invoked after a top-insert lands in ``leaf``; ``low`` /
+        ``high`` are the leaf's pivot bounds after any split."""
+
+    def _insert_into_parent(
+        self, left: Node, split_key: Key, right: Node
+    ) -> None:
+        """Register ``right`` (split off ``left`` at ``split_key``) with the
+        parent, growing the tree if ``left`` was the root."""
+        parent = left.parent
+        if parent is None:
+            new_root = InternalNode()
+            new_root.keys = [split_key]
+            new_root.children = [left, right]
+            left.parent = new_root
+            right.parent = new_root
+            self._root = new_root
+            self._height += 1
+            return
+        parent.insert_child(split_key, right)
+        if parent.size > self.config.internal_capacity:
+            new_right, push_up = parent.split()
+            self.stats.internal_splits += 1
+            self._insert_into_parent(parent, push_up, new_right)
+
+    # ------------------------------------------------------------------
+    # Descents
+    # ------------------------------------------------------------------
+
+    def _descend_for_insert(
+        self, key: Key
+    ) -> tuple[LeafNode, Optional[Key], Optional[Key]]:
+        """Find the leaf for ``key`` along with its pivot bounds.
+
+        Returns ``(leaf, low, high)`` where the leaf's permissible key range
+        is ``[low, high)`` (None meaning unbounded on that side).  Counts
+        the traversal in ``stats.insert_traversal_nodes``.
+        """
+        node = self._root
+        low: Optional[Key] = None
+        high: Optional[Key] = None
+        nodes = 1
+        while not node.is_leaf:
+            internal: InternalNode = node  # type: ignore[assignment]
+            idx = internal.child_index_for(key)
+            if idx > 0:
+                low = internal.keys[idx - 1]
+            if idx < len(internal.keys):
+                high = internal.keys[idx]
+            node = internal.children[idx]
+            nodes += 1
+        self.stats.insert_traversal_nodes += nodes
+        return node, low, high  # type: ignore[return-value]
+
+    def _find_leaf(self, key: Key, count: bool = True) -> LeafNode:
+        """Leaf that would contain ``key``; counts lookup node accesses."""
+        node = self._root
+        nodes = 1
+        while not node.is_leaf:
+            internal: InternalNode = node  # type: ignore[assignment]
+            node = internal.children[internal.child_index_for(key)]
+            nodes += 1
+        if count:
+            self.stats.node_accesses += nodes
+            self.stats.leaf_accesses += 1
+        return node  # type: ignore[return-value]
+
+    def bounds_of_leaf(
+        self, leaf: LeafNode
+    ) -> tuple[Optional[Key], Optional[Key]]:
+        """Pivot bounds ``[low, high)`` of ``leaf`` from the parent chain.
+
+        This recomputes — in O(height) — the same information a descent
+        produces, and is used to refresh fast-path metadata after deletes
+        and rebalances.
+        """
+        low: Optional[Key] = None
+        high: Optional[Key] = None
+        child: Node = leaf
+        parent = child.parent
+        while parent is not None and (low is None or high is None):
+            idx = parent.index_of_child(child)
+            if low is None and idx > 0:
+                low = parent.keys[idx - 1]
+            if high is None and idx < len(parent.keys):
+                high = parent.keys[idx]
+            child = parent
+            parent = child.parent
+        return low, high
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+
+    def get(self, key: Key, default: Any = None) -> Any:
+        """Point lookup; returns ``default`` when ``key`` is absent."""
+        self.stats.point_lookups += 1
+        leaf = self._find_leaf(key)
+        idx = leaf.find(key)
+        if idx is None:
+            return default
+        return leaf.values[idx]
+
+    def range_query(self, start: Key, end: Key) -> list[tuple[Key, Any]]:
+        """All entries with ``start <= key < end`` in key order (§4.4).
+
+        Performs a point lookup on ``start`` and follows the leaf chain,
+        counting every touched leaf in ``stats.leaf_accesses``.
+        """
+        self.stats.range_lookups += 1
+        if start >= end:
+            return []
+        leaf: Optional[LeafNode] = self._find_leaf(start)
+        out: list[tuple[Key, Any]] = []
+        while leaf is not None:
+            for k, v in leaf.items():
+                if k < start:
+                    continue
+                if k >= end:
+                    return out
+                out.append((k, v))
+            leaf = leaf.next
+            if leaf is not None:
+                self.stats.node_accesses += 1
+                self.stats.leaf_accesses += 1
+        return out
+
+    def count_range(self, start: Key, end: Key) -> int:
+        """Number of entries in ``[start, end)`` (no materialization)."""
+        return len(self.range_query(start, end))
+
+    def update(self, items: Iterable[tuple[Key, Any]]) -> None:
+        """Insert every ``(key, value)`` pair (dict-style bulk upsert)."""
+        insert = self.insert
+        for key, value in items:
+            insert(key, value)
+
+    def delete_range(self, start: Key, end: Key) -> int:
+        """Delete every entry with ``start <= key < end``; returns the
+        number of entries removed."""
+        victims = [k for k, _ in self.range_query(start, end)]
+        for key in victims:
+            self.delete(key)
+        return len(victims)
+
+    # ------------------------------------------------------------------
+    # Deletes
+    # ------------------------------------------------------------------
+
+    def delete(self, key: Key) -> bool:
+        """Delete ``key``; returns True when the key existed (§4.4)."""
+        self.stats.deletes += 1
+        leaf = self._find_leaf(key, count=False)
+        idx = leaf.find(key)
+        if idx is None:
+            return False
+        leaf.remove_at(idx)
+        self._size -= 1
+        self._on_entry_deleted(leaf, key)
+        if leaf.parent is not None and not self._skip_eager_rebalance(leaf):
+            if leaf.size < self._min_leaf_fill():
+                self._rebalance_leaf(leaf)
+        self._after_delete()
+        return True
+
+    def _min_leaf_fill(self) -> int:
+        return self.config.leaf_capacity // 2
+
+    def _min_internal_fill(self) -> int:
+        return max(2, self.config.internal_capacity // 2)
+
+    def _skip_eager_rebalance(self, leaf: LeafNode) -> bool:
+        """QuIT overrides this: deletes in ``pole`` skip eager rebalance."""
+        return False
+
+    def _on_entry_deleted(self, leaf: LeafNode, key: Key) -> None:
+        """Hook: an entry was just removed from ``leaf``."""
+
+    def _on_leaf_removed(self, leaf: LeafNode, merged_into: LeafNode) -> None:
+        """Hook: ``leaf`` was merged away into ``merged_into``."""
+
+    def _after_delete(self) -> None:
+        """Hook: a delete (and any rebalancing) finished."""
+
+    def _rebalance_leaf(self, leaf: LeafNode) -> None:
+        """Restore the min-fill invariant for an underfull ``leaf`` by
+        borrowing from a same-parent sibling or merging with one."""
+        parent = leaf.parent
+        if parent is None:
+            return
+        idx = parent.index_of_child(leaf)
+        min_fill = self._min_leaf_fill()
+        left = parent.children[idx - 1] if idx > 0 else None
+        right = (
+            parent.children[idx + 1]
+            if idx + 1 < len(parent.children)
+            else None
+        )
+        if left is not None and left.size > min_fill:
+            self._borrow_from_left_leaf(parent, idx, left, leaf)
+            return
+        if right is not None and right.size > min_fill:
+            self._borrow_from_right_leaf(parent, idx, leaf, right)
+            return
+        if left is not None:
+            self._merge_leaves(parent, idx - 1, left, leaf)
+        elif right is not None:
+            self._merge_leaves(parent, idx, leaf, right)
+
+    def _borrow_from_left_leaf(
+        self, parent: InternalNode, idx: int, left: LeafNode, leaf: LeafNode
+    ) -> None:
+        key, value = left.remove_at(left.size - 1)
+        leaf.keys.insert(0, key)
+        leaf.values.insert(0, value)
+        parent.keys[idx - 1] = key
+
+    def _borrow_from_right_leaf(
+        self, parent: InternalNode, idx: int, leaf: LeafNode, right: LeafNode
+    ) -> None:
+        key, value = right.remove_at(0)
+        leaf.append_entry(key, value)
+        parent.keys[idx] = right.min_key
+
+    def _merge_leaves(
+        self,
+        parent: InternalNode,
+        sep_idx: int,
+        left: LeafNode,
+        right: LeafNode,
+    ) -> None:
+        """Fold ``right`` into ``left`` and drop the separator at
+        ``sep_idx``; propagates underflow upward."""
+        left.keys.extend(right.keys)
+        left.values.extend(right.values)
+        left.next = right.next
+        if right.next is not None:
+            right.next.prev = left
+        if right is self._tail:
+            self._tail = left
+        parent.keys.pop(sep_idx)
+        parent.children.pop(sep_idx + 1)
+        self._on_leaf_removed(right, left)
+        self._shrink_or_rebalance_internal(parent)
+
+    def _shrink_or_rebalance_internal(self, node: InternalNode) -> None:
+        if node.parent is None:
+            if len(node.children) == 1:
+                self._root = node.children[0]
+                self._root.parent = None
+                self._height -= 1
+            return
+        if node.size < self._min_internal_fill():
+            self._rebalance_internal(node)
+
+    def _rebalance_internal(self, node: InternalNode) -> None:
+        parent = node.parent
+        assert parent is not None
+        idx = parent.index_of_child(node)
+        min_fill = self._min_internal_fill()
+        left = parent.children[idx - 1] if idx > 0 else None
+        right = (
+            parent.children[idx + 1]
+            if idx + 1 < len(parent.children)
+            else None
+        )
+        if left is not None and left.size > min_fill:
+            # Rotate through the parent: parent separator comes down, the
+            # left sibling's last key goes up.
+            node.keys.insert(0, parent.keys[idx - 1])
+            parent.keys[idx - 1] = left.keys.pop()
+            child = left.children.pop()
+            child.parent = node
+            node.children.insert(0, child)
+            return
+        if right is not None and right.size > min_fill:
+            node.keys.append(parent.keys[idx])
+            parent.keys[idx] = right.keys.pop(0)
+            child = right.children.pop(0)
+            child.parent = node
+            node.children.append(child)
+            return
+        if left is not None:
+            self._merge_internals(parent, idx - 1, left, node)
+        elif right is not None:
+            self._merge_internals(parent, idx, node, right)
+
+    def _merge_internals(
+        self,
+        parent: InternalNode,
+        sep_idx: int,
+        left: InternalNode,
+        right: InternalNode,
+    ) -> None:
+        left.keys.append(parent.keys[sep_idx])
+        left.keys.extend(right.keys)
+        for child in right.children:
+            child.parent = left
+        left.children.extend(right.children)
+        parent.keys.pop(sep_idx)
+        parent.children.pop(sep_idx + 1)
+        self._shrink_or_rebalance_internal(parent)
+
+    # ------------------------------------------------------------------
+    # Bulk operations
+    # ------------------------------------------------------------------
+
+    def bulk_load(
+        self,
+        items: Iterable[tuple[Key, Any]],
+        fill_factor: float = 1.0,
+    ) -> None:
+        """Load sorted, unique ``(key, value)`` pairs into an *empty* tree.
+
+        Leaves are packed to ``fill_factor`` of capacity and the internal
+        levels are built bottom-up.
+        """
+        if self._size:
+            raise ValueError("bulk_load requires an empty tree")
+        if not 0.0 < fill_factor <= 1.0:
+            raise ValueError(f"fill_factor must be in (0, 1], got {fill_factor}")
+        pairs = list(items)
+        if not pairs:
+            return
+        for (a, _), (b, _) in zip(pairs, pairs[1:]):
+            if a >= b:
+                raise ValueError("bulk_load input must be strictly sorted")
+        per_leaf = max(1, int(self.config.leaf_capacity * fill_factor))
+        leaves: list[LeafNode] = []
+        for i in range(0, len(pairs), per_leaf):
+            leaf = LeafNode()
+            chunk = pairs[i: i + per_leaf]
+            leaf.keys = [k for k, _ in chunk]
+            leaf.values = [v for _, v in chunk]
+            if leaves:
+                leaves[-1].next = leaf
+                leaf.prev = leaves[-1]
+            leaves.append(leaf)
+        # Avoid leaving a lonely sub-min-fill last leaf: steal from its
+        # predecessor so deletes keep their invariants.
+        if len(leaves) > 1 and leaves[-1].size < self._min_leaf_fill():
+            last, prev = leaves[-1], leaves[-2]
+            need = self._min_leaf_fill() - last.size
+            move = min(need, prev.size - 1)
+            last.keys[:0] = prev.keys[-move:]
+            last.values[:0] = prev.values[-move:]
+            del prev.keys[-move:]
+            del prev.values[-move:]
+        self._head = leaves[0]
+        self._tail = leaves[-1]
+        self._size = len(pairs)
+        self._root = self._build_internal_levels(leaves)
+        self._height = self._measure_height()
+
+    def _build_internal_levels(self, level: list[Node]) -> Node:
+        cap = self.config.internal_capacity
+        while len(level) > 1:
+            parents: list[Node] = []
+            i = 0
+            n = len(level)
+            while i < n:
+                take = min(cap, n - i)
+                # Never leave a trailing group of one child.
+                if n - i - take == 1:
+                    take -= 1
+                group = level[i: i + take]
+                node = InternalNode()
+                node.children = group
+                node.keys = [self._subtree_min(c) for c in group[1:]]
+                for child in group:
+                    child.parent = node
+                parents.append(node)
+                i += take
+            level = parents
+        return level[0]
+
+    @staticmethod
+    def _subtree_min(node: Node) -> Key:
+        while not node.is_leaf:
+            node = node.children[0]  # type: ignore[union-attr]
+        return node.keys[0]
+
+    def _measure_height(self) -> int:
+        node = self._root
+        height = 1
+        while not node.is_leaf:
+            node = node.children[0]  # type: ignore[union-attr]
+            height += 1
+        return height
+
+    def append_run(
+        self,
+        run: Iterable[tuple[Key, Any]],
+        fill_factor: float = 1.0,
+    ) -> int:
+        """Append a sorted run of entries, all strictly greater than the
+        current maximum key, building packed leaves at the tail.
+
+        This is the bulk-append primitive SWARE's opportunistic bulk
+        loading uses (§2).  Returns the number of entries appended.
+        """
+        if not 0.0 < fill_factor <= 1.0:
+            raise ValueError(f"fill_factor must be in (0, 1], got {fill_factor}")
+        per_leaf = max(2, int(self.config.leaf_capacity * fill_factor))
+        appended = 0
+        prev_key = self._tail.max_key if self._tail.size else None
+        for key, value in run:
+            if prev_key is not None and key <= prev_key:
+                raise ValueError(
+                    f"append_run keys must exceed the current max "
+                    f"({key!r} <= {prev_key!r})"
+                )
+            prev_key = key
+            tail = self._tail
+            if tail.size >= per_leaf:
+                fresh = LeafNode()
+                fresh.keys = [key]
+                fresh.values = [value]
+                fresh.prev = tail
+                fresh.next = None
+                tail.next = fresh
+                self._tail = fresh
+                self._insert_into_parent(tail, key, fresh)
+            else:
+                tail.append_entry(key, value)
+            appended += 1
+            self._size += 1
+        return appended
+
+    def bulk_insert_run(
+        self,
+        run: list[tuple[Key, Any]],
+        fill_factor: float = 1.0,
+    ) -> int:
+        """Merge a sorted run of entries into the tree, splicing packed
+        leaves in place (SWARE's opportunistic bulk load, generalized to
+        land anywhere in the key space).
+
+        The run is partitioned at existing pivot boundaries: each segment
+        costs one descent, then its target leaf is rebuilt together with
+        the segment into leaves packed to ``fill_factor``.  Near-sorted
+        flushes produce long segments (few descents); scrambled flushes
+        degrade gracefully to one descent per entry, matching the paper's
+        observation that SWARE falls back to B+-tree behaviour.
+
+        Returns the number of *new* keys added (duplicates upsert).
+        """
+        if not 0.0 < fill_factor <= 1.0:
+            raise ValueError(f"fill_factor must be in (0, 1], got {fill_factor}")
+        for (a, _), (b, _) in zip(run, run[1:]):
+            if a >= b:
+                raise ValueError("bulk_insert_run input must be strictly sorted")
+        added_total = 0
+        i = 0
+        n = len(run)
+        while i < n:
+            leaf, _, high = self._descend_for_insert(run[i][0])
+            self.stats.bulk_splice_segments += 1
+            j = i
+            while j < n and (high is None or run[j][0] < high):
+                j += 1
+            added_total += self._splice_into_leaf(
+                leaf, run[i:j], fill_factor
+            )
+            i = j
+        self._after_bulk_splice()
+        return added_total
+
+    def _splice_into_leaf(
+        self,
+        leaf: LeafNode,
+        segment: list[tuple[Key, Any]],
+        fill_factor: float,
+    ) -> int:
+        """Merge ``segment`` (sorted, within ``leaf``'s pivot range) into
+        ``leaf``, rebuilding it into packed leaves.  Returns new-key count.
+        """
+        merged_keys: list[Key] = []
+        merged_vals: list[Any] = []
+        li, si = 0, 0
+        lk, lv = leaf.keys, leaf.values
+        while li < len(lk) and si < len(segment):
+            if lk[li] < segment[si][0]:
+                merged_keys.append(lk[li])
+                merged_vals.append(lv[li])
+                li += 1
+            elif lk[li] > segment[si][0]:
+                merged_keys.append(segment[si][0])
+                merged_vals.append(segment[si][1])
+                si += 1
+            else:  # duplicate: the run's value wins (freshest write)
+                merged_keys.append(segment[si][0])
+                merged_vals.append(segment[si][1])
+                li += 1
+                si += 1
+        merged_keys.extend(lk[li:])
+        merged_vals.extend(lv[li:])
+        for k, v in segment[si:]:
+            merged_keys.append(k)
+            merged_vals.append(v)
+        added = len(merged_keys) - len(lk)
+        self._size += added
+        if len(merged_keys) <= self.config.leaf_capacity:
+            leaf.keys = merged_keys
+            leaf.values = merged_vals
+            return added
+        per_leaf = max(2, int(self.config.leaf_capacity * fill_factor))
+        cuts = list(range(per_leaf, len(merged_keys), per_leaf))
+        # Keep the last chunk at or above min fill by moving the final cut.
+        if cuts and len(merged_keys) - cuts[-1] < self._min_leaf_fill():
+            cuts[-1] = max(
+                cuts[-1] - (self._min_leaf_fill() - (len(merged_keys) - cuts[-1])),
+                (cuts[-2] + 1) if len(cuts) > 1 else 1,
+            )
+        bounds = [0, *cuts, len(merged_keys)]
+        leaf.keys = merged_keys[: bounds[1]]
+        leaf.values = merged_vals[: bounds[1]]
+        prev = leaf
+        for lo, hi in zip(bounds[1:], bounds[2:]):
+            node = LeafNode()
+            node.keys = merged_keys[lo:hi]
+            node.values = merged_vals[lo:hi]
+            node.next = prev.next
+            node.prev = prev
+            if prev.next is not None:
+                prev.next.prev = node
+            prev.next = node
+            if prev is self._tail:
+                self._tail = node
+            self.stats.leaf_splits += 1
+            self._insert_into_parent(prev, node.keys[0], node)
+            prev = node
+        return added
+
+    def _after_bulk_splice(self) -> None:
+        """Hook: a bulk splice finished (fast-path variants refresh their
+        cached bounds here)."""
+
+    # ------------------------------------------------------------------
+    # Iteration and introspection
+    # ------------------------------------------------------------------
+
+    def leaves(self) -> Iterator[LeafNode]:
+        """Iterate leaves left to right."""
+        leaf: Optional[LeafNode] = self._head
+        while leaf is not None:
+            yield leaf
+            leaf = leaf.next
+
+    def items(self) -> Iterator[tuple[Key, Any]]:
+        """Iterate all entries in key order."""
+        for leaf in self.leaves():
+            yield from leaf.items()
+
+    def iter_from(self, start: Key) -> Iterator[tuple[Key, Any]]:
+        """Iterate entries with ``key >= start`` in key order.
+
+        The cursor API for open-ended scans: one descent to position,
+        then the leaf chain.  Unlike :meth:`range_query` nothing is
+        materialized, so callers can stop early for "next N after K"
+        queries.
+        """
+        leaf: Optional[LeafNode] = self._find_leaf(start)
+        first = True
+        while leaf is not None:
+            if first:
+                for k, v in leaf.items():
+                    if k >= start:
+                        yield k, v
+                first = False
+            else:
+                yield from leaf.items()
+            leaf = leaf.next
+
+    def keys(self) -> Iterator[Key]:
+        """Iterate all keys in order."""
+        for k, _ in self.items():
+            yield k
+
+    def min_key(self) -> Optional[Key]:
+        """Smallest key, or None when empty."""
+        return self._head.keys[0] if self._head.size else None
+
+    def max_key(self) -> Optional[Key]:
+        """Largest key, or None when empty."""
+        return self._tail.keys[-1] if self._tail.size else None
+
+    def occupancy(self) -> OccupancyStats:
+        """Leaf-occupancy summary (Fig. 10a / Fig. 11 metric)."""
+        stats = OccupancyStats(capacity=self.config.leaf_capacity)
+        occs: list[float] = []
+        for leaf in self.leaves():
+            stats.leaf_count += 1
+            stats.entries += leaf.size
+            occs.append(leaf.size / self.config.leaf_capacity)
+        stats.internal_count = self._count_internal(self._root)
+        if occs:
+            stats.min_occupancy = min(occs)
+            stats.max_occupancy = max(occs)
+        return stats
+
+    def _count_internal(self, node: Node) -> int:
+        if node.is_leaf:
+            return 0
+        internal: InternalNode = node  # type: ignore[assignment]
+        return 1 + sum(self._count_internal(c) for c in internal.children)
+
+    def memory_bytes(self) -> int:
+        """Estimated footprint assuming fixed-size pages (Table 2 metric).
+
+        Like a paged system, every node occupies a full page regardless of
+        fill, so footprint is proportional to node count.
+        """
+        occ = self.occupancy()
+        leaf_page = (
+            NODE_HEADER_BYTES + self.config.leaf_capacity * ENTRY_BYTES
+        )
+        internal_page = (
+            NODE_HEADER_BYTES + self.config.internal_capacity * PIVOT_BYTES
+        )
+        return occ.leaf_count * leaf_page + occ.internal_count * internal_page
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+
+    def validate(self, check_min_fill: bool = True) -> None:
+        """Check every structural invariant; raises AssertionError on any
+        violation.  ``check_min_fill=False`` relaxes the leaf minimum-fill
+        bound (QuIT's variable split intentionally creates small leaves).
+        """
+        assert self._root.parent is None, "root must have no parent"
+        leaves_via_tree: list[LeafNode] = []
+        count = self._validate_node(
+            self._root, None, None, self._height, check_min_fill,
+            leaves_via_tree,
+        )
+        assert count == self._size, (
+            f"size mismatch: counted {count}, recorded {self._size}"
+        )
+        chain = list(self.leaves())
+        assert [id(x) for x in chain] == [id(x) for x in leaves_via_tree], (
+            "leaf chain does not match tree order"
+        )
+        assert chain[0] is self._head and chain[-1] is self._tail
+        for a, b in zip(chain, chain[1:]):
+            assert b.prev is a, "broken prev link"
+        flat = [k for leaf in chain for k in leaf.keys]
+        assert flat == sorted(set(flat)), "global key order violated"
+        assert self._height == self._measure_height(), "height drifted"
+
+    def _validate_node(
+        self,
+        node: Node,
+        low: Optional[Key],
+        high: Optional[Key],
+        depth: int,
+        check_min_fill: bool,
+        leaves_out: list[LeafNode],
+    ) -> int:
+        keys = node.keys
+        assert all(a < b for a, b in zip(keys, keys[1:])), (
+            f"unsorted keys in {node!r}"
+        )
+        if keys:
+            if low is not None:
+                assert keys[0] >= low, f"key below lower pivot in {node!r}"
+            if high is not None:
+                assert keys[-1] < high, f"key above upper pivot in {node!r}"
+        if node.is_leaf:
+            leaf: LeafNode = node  # type: ignore[assignment]
+            assert depth == 1, "leaves must share one level"
+            assert len(leaf.keys) == len(leaf.values)
+            assert leaf.size <= self.config.leaf_capacity
+            if check_min_fill and leaf.parent is not None:
+                assert leaf.size >= self._min_leaf_fill(), (
+                    f"leaf {leaf!r} below min fill"
+                )
+            leaves_out.append(leaf)
+            return leaf.size
+        internal: InternalNode = node  # type: ignore[assignment]
+        assert len(internal.children) == len(internal.keys) + 1
+        assert internal.size <= self.config.internal_capacity + 1
+        if internal.parent is not None:
+            assert internal.size >= 2, "internal node with < 2 children"
+        total = 0
+        for i, child in enumerate(internal.children):
+            assert child.parent is internal, "broken parent pointer"
+            child_low = internal.keys[i - 1] if i > 0 else low
+            child_high = (
+                internal.keys[i] if i < len(internal.keys) else high
+            )
+            total += self._validate_node(
+                child, child_low, child_high, depth - 1, check_min_fill,
+                leaves_out,
+            )
+        return total
+
+
+class _Missing:
+    """Sentinel distinguishing "absent" from a stored None value."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<missing>"
+
+
+_MISSING = _Missing()

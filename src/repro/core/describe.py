@@ -1,0 +1,104 @@
+"""Operational introspection: a one-call health report for any index.
+
+``describe(tree)`` gathers the numbers an operator would want on a
+dashboard — size, height, node counts, occupancy distribution, memory,
+fast-path state and utilization — and ``format_description`` renders
+them as text (used by the examples and handy in a REPL).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..analysis.memory import OccupancyHistogram, occupancy_histogram
+from .bptree import BPlusTree
+from .fastpath import FastPathTree
+
+
+@dataclass
+class TreeDescription:
+    """Snapshot of an index's structural and operational state."""
+
+    name: str
+    entries: int
+    height: int
+    leaf_count: int
+    internal_count: int
+    avg_occupancy: float
+    min_occupancy: float
+    max_occupancy: float
+    memory_bytes: int
+    occupancy_histogram: OccupancyHistogram
+    fast_insert_fraction: Optional[float] = None
+    fast_path_leaf_size: Optional[int] = None
+    fast_path_bounds: Optional[tuple[Any, Any]] = None
+    counters: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def bytes_per_entry(self) -> float:
+        """Footprint divided by live entries (inf when empty)."""
+        if not self.entries:
+            return float("inf")
+        return self.memory_bytes / self.entries
+
+
+def describe(tree: BPlusTree) -> TreeDescription:
+    """Collect a :class:`TreeDescription` for ``tree``."""
+    occ = tree.occupancy()
+    desc = TreeDescription(
+        name=tree.name,
+        entries=len(tree),
+        height=tree.height,
+        leaf_count=occ.leaf_count,
+        internal_count=occ.internal_count,
+        avg_occupancy=occ.avg_occupancy,
+        min_occupancy=occ.min_occupancy,
+        max_occupancy=occ.max_occupancy,
+        memory_bytes=tree.memory_bytes(),
+        occupancy_histogram=occupancy_histogram(tree),
+        counters=tree.stats.as_dict(),
+    )
+    if isinstance(tree, FastPathTree):
+        desc.fast_insert_fraction = tree.stats.fast_insert_fraction
+        leaf = tree.fast_path_leaf
+        desc.fast_path_leaf_size = leaf.size if leaf is not None else None
+        desc.fast_path_bounds = tree.fast_path_bounds
+    return desc
+
+
+def format_description(desc: TreeDescription) -> str:
+    """Render a description as an aligned text report."""
+    lines = [
+        f"{desc.name}: {desc.entries:,} entries, height {desc.height}",
+        f"  nodes: {desc.leaf_count:,} leaves + "
+        f"{desc.internal_count:,} internal "
+        f"({desc.memory_bytes / 1024:,.0f} KB, "
+        f"{desc.bytes_per_entry:.1f} B/entry)",
+        f"  leaf occupancy: avg {desc.avg_occupancy:.1%} "
+        f"(min {desc.min_occupancy:.1%}, max {desc.max_occupancy:.1%})",
+    ]
+    hist = desc.occupancy_histogram
+    if hist.total:
+        bar_max = max(hist.counts) or 1
+        for edge, count in zip(hist.edges, hist.counts):
+            bar = "#" * round(20 * count / bar_max)
+            lines.append(f"    <={edge:4.0%} {count:6d} {bar}")
+    if desc.fast_insert_fraction is not None:
+        low, high = desc.fast_path_bounds or (None, None)
+        lines.append(
+            f"  fast path: {desc.fast_insert_fraction:.1%} of inserts, "
+            f"leaf size {desc.fast_path_leaf_size}, "
+            f"range [{low!r}, {high!r})"
+        )
+    busy = {
+        k: v for k, v in desc.counters.items()
+        if v and k not in ("node_accesses", "insert_traversal_nodes")
+    }
+    if busy:
+        lines.append(
+            "  counters: " + ", ".join(
+                f"{k}={v:,}" for k, v in sorted(busy.items())
+            )
+        )
+    return "\n".join(lines)

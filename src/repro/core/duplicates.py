@@ -1,0 +1,142 @@
+"""Duplicate-key support: a secondary-index adapter over the unique-key
+trees.
+
+The paper's real-world workload (§5.5) indexes ``closing_price``, a
+column full of repeated values; the reproduction's trees store unique
+keys.  :class:`DuplicateKeyIndex` bridges the gap the way secondary
+indexes classically do: each logical ``(key, value)`` entry is stored
+under the composite key ``(key, seq)`` where ``seq`` is a monotonically
+increasing discriminator.  Composite tuples order first by the logical
+key, so near-sortedness of the logical stream carries over to the
+physical key order — the fast paths keep working.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional, Type
+
+from .bptree import BPlusTree
+from .config import TreeConfig
+from .node import Key
+from .quit_tree import QuITTree
+
+
+class DuplicateKeyIndex:
+    """Multi-map index: one logical key may hold many values.
+
+    Args:
+        tree_class: the underlying unique-key variant (QuIT by default —
+            duplicates arrive near-sorted in exactly the workloads QuIT
+            targets).
+        config: tree configuration.
+    """
+
+    def __init__(
+        self,
+        tree_class: Type[BPlusTree] = QuITTree,
+        config: Optional[TreeConfig] = None,
+    ) -> None:
+        self.tree = tree_class(config)
+        self._seq = 0
+
+    def __len__(self) -> int:
+        """Number of logical entries (duplicates counted)."""
+        return len(self.tree)
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+
+    def insert(self, key: Key, value: Any = None) -> None:
+        """Add one ``(key, value)`` entry; duplicates accumulate."""
+        self.tree.insert((key, self._seq), value)
+        self._seq += 1
+
+    def delete_one(self, key: Key) -> bool:
+        """Remove the oldest entry for ``key``; False when absent."""
+        for composite, _ in self.tree.iter_from((key, -1)):
+            if composite[0] != key:
+                return False
+            return self.tree.delete(composite)
+        return False
+
+    def delete_all(self, key: Key) -> int:
+        """Remove every entry for ``key``; returns the count removed."""
+        composites = [
+            c for c, _ in self._entries_for(key)
+        ]
+        for composite in composites:
+            self.tree.delete(composite)
+        return len(composites)
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+
+    def _entries_for(self, key: Key) -> Iterator[tuple[tuple, Any]]:
+        for composite, value in self.tree.iter_from((key, -1)):
+            if composite[0] != key:
+                return
+            yield composite, value
+
+    def get_all(self, key: Key) -> list[Any]:
+        """Every value stored under ``key``, oldest first."""
+        return [v for _, v in self._entries_for(key)]
+
+    def get(self, key: Key, default: Any = None) -> Any:
+        """The oldest value for ``key`` (or ``default``)."""
+        for _, value in self._entries_for(key):
+            return value
+        return default
+
+    def count(self, key: Key) -> int:
+        """Number of entries stored under ``key``."""
+        return sum(1 for _ in self._entries_for(key))
+
+    def __contains__(self, key: Key) -> bool:
+        for _ in self._entries_for(key):
+            return True
+        return False
+
+    def range_query(self, start: Key, end: Key) -> list[tuple[Key, Any]]:
+        """All entries with ``start <= key < end``, in key order and
+        arrival order within a key."""
+        out: list[tuple[Key, Any]] = []
+        for composite, value in self.tree.iter_from((start, -1)):
+            if composite[0] >= end:
+                break
+            out.append((composite[0], value))
+        return out
+
+    def items(self) -> Iterator[tuple[Key, Any]]:
+        """All logical entries in (key, arrival) order."""
+        for composite, value in self.tree.items():
+            yield composite[0], value
+
+    def keys(self) -> Iterator[Key]:
+        """Distinct logical keys in order."""
+        previous: Any = _SENTINEL
+        for composite, _ in self.tree.items():
+            if composite[0] != previous:
+                previous = composite[0]
+                yield previous
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def stats(self):
+        """Underlying tree statistics (fast-insert counters etc.)."""
+        return self.tree.stats
+
+    def validate(self) -> None:
+        """Validate the underlying tree."""
+        self.tree.validate(check_min_fill=False)
+
+
+class _Sentinel:
+    __slots__ = ()
+
+
+_SENTINEL = _Sentinel()

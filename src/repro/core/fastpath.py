@@ -1,0 +1,118 @@
+"""Shared machinery for fast-path tree variants.
+
+A fast-path variant keeps a :class:`~repro.core.metadata.FastPathState`
+(leaf pointer + admissible key range) and serves an insert through it —
+without any tree traversal — whenever the key falls inside the range.
+Everything else (the traversal insert, splits, deletes, lookups) is
+inherited from :class:`~repro.core.bptree.BPlusTree`.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Optional
+
+from .bptree import BPlusTree
+from .config import TreeConfig
+from .metadata import FastPathState
+from .node import Key, LeafNode
+
+
+class FastPathTree(BPlusTree):
+    """Base class for tail / lil / pole / QuIT variants."""
+
+    def __init__(self, config: Optional[TreeConfig] = None) -> None:
+        super().__init__(config)
+        self._fp = self._make_fp_state()
+        self._fp.leaf = self._head
+
+    def _make_fp_state(self) -> FastPathState:
+        return FastPathState()
+
+    @property
+    def fast_path_leaf(self) -> Optional[LeafNode]:
+        """The current fast-path leaf (exposed for tests/inspection)."""
+        return self._fp.leaf
+
+    @property
+    def fast_path_bounds(self) -> tuple[Optional[Key], Optional[Key]]:
+        """The fast path's admissible ``[low, high)`` key range."""
+        return self._fp.low, self._fp.high
+
+    # ------------------------------------------------------------------
+    # Insert dispatch
+    # ------------------------------------------------------------------
+
+    def insert(self, key: Key, value: Any = None) -> None:
+        """Insert via the fast path when the key is in range, else via a
+        classical top-insert.
+
+        The in-range, leaf-has-room case is fully inlined: it is the
+        operation the fast path exists for, and each saved Python call
+        measurably widens the fast-vs-top cost gap the paper measures.
+        """
+        if self._fast_path_accepts(key):
+            self.stats.fast_inserts += 1
+            fp = self._fp
+            leaf = fp.leaf
+            keys = leaf.keys
+            if len(keys) < self.config.leaf_capacity:
+                if not keys or key > keys[-1]:
+                    keys.append(key)
+                    leaf.values.append(value)
+                    self._size += 1
+                else:
+                    idx = bisect_left(keys, key)
+                    if keys[idx] == key:
+                        leaf.values[idx] = value
+                    else:
+                        keys.insert(idx, key)
+                        leaf.values.insert(idx, value)
+                        self._size += 1
+            else:
+                leaf, _, _ = self._leaf_insert(
+                    leaf, key, value, fp.low, fp.high
+                )
+            self._after_fast_insert(leaf, key)
+        else:
+            self._top_insert(key, value)
+
+    def _fast_path_accepts(self, key: Key) -> bool:
+        """Whether the fast path may serve ``key`` (variants refine)."""
+        return self._fp.accepts(key)
+
+    def _after_fast_insert(self, leaf: LeafNode, key: Key) -> None:
+        """Hook invoked after a fast-path insert lands in ``leaf``."""
+
+    # ------------------------------------------------------------------
+    # Metadata upkeep on structural changes
+    # ------------------------------------------------------------------
+
+    def _refresh_fp_bounds(self) -> None:
+        """Recompute the fast-path leaf's pivot bounds from the tree.
+
+        Used after deletes: borrows and merges move separators, so the
+        cached range may no longer bracket the leaf.  O(height).
+        """
+        leaf = self._fp.leaf
+        if leaf is None:
+            return
+        self._fp.low, self._fp.high = self.bounds_of_leaf(leaf)
+
+    def _on_leaf_removed(self, leaf: LeafNode, merged_into: LeafNode) -> None:
+        if self._fp.leaf is leaf:
+            self._fp.leaf = merged_into
+
+    def _after_delete(self) -> None:
+        self._refresh_fp_bounds()
+
+    def bulk_load(self, items, fill_factor: float = 1.0) -> None:
+        """Bulk load, then re-pin the fast path to the new tail leaf."""
+        super().bulk_load(items, fill_factor)
+        self._fp.leaf = self._tail
+        self._fp.low, self._fp.high = self.bounds_of_leaf(self._tail)
+
+    def _after_bulk_splice(self) -> None:
+        # A splice can split the fast-path leaf outside the normal split
+        # hooks, so the cached pivot bounds must be recomputed.
+        self._refresh_fp_bounds()

@@ -1,0 +1,66 @@
+"""In-order Key estimatoR (IKR) — the paper's lightweight outlier
+predictor (§4.1, Eq. 2).
+
+Given the smallest keys ``p`` and ``q`` of ``pole_prev`` and ``pole`` and
+their sizes, IKR extrapolates the maximum key value that ``pole_size``
+further in-order entries could plausibly reach:
+
+    x = q + ((q - p) / pole_prev_size) * pole_size * scale
+
+Any key greater than ``x`` is classified as an outlier.  ``scale`` widens
+the acceptance band to absorb local density fluctuation; the paper follows
+the interquartile-range convention and uses 1.5.
+"""
+
+from __future__ import annotations
+
+from .config import PAPER_IKR_SCALE
+
+
+def ikr_threshold(
+    p: float,
+    q: float,
+    pole_prev_size: int,
+    pole_size: int,
+    scale: float = PAPER_IKR_SCALE,
+) -> float:
+    """Maximum acceptable (non-outlier) key per Eq. 2.
+
+    Args:
+        p: smallest key in ``pole_prev`` (a known non-outlier).
+        q: smallest key in ``pole`` (a known non-outlier, ``q >= p``).
+        pole_prev_size: entries in ``pole_prev``; must be positive.  The
+            paper bounds it at >= 50% of capacity before trusting the
+            estimate — callers enforce that policy, this function only
+            needs it non-zero.
+        pole_size: entries in ``pole`` (the node about to split).
+        scale: slack multiplier (1.5 by default).
+
+    Returns:
+        The threshold ``x``; keys ``> x`` are outliers.
+
+    Raises:
+        ValueError: on non-positive sizes or ``q < p``.
+    """
+    if pole_prev_size <= 0:
+        raise ValueError(
+            f"pole_prev_size must be positive, got {pole_prev_size}"
+        )
+    if pole_size < 0:
+        raise ValueError(f"pole_size must be non-negative, got {pole_size}")
+    if q < p:
+        raise ValueError(f"expected q >= p, got q={q!r} < p={p!r}")
+    density = (q - p) / pole_prev_size
+    return q + density * pole_size * scale
+
+
+def is_outlier(
+    key: float,
+    p: float,
+    q: float,
+    pole_prev_size: int,
+    pole_size: int,
+    scale: float = PAPER_IKR_SCALE,
+) -> bool:
+    """True when ``key`` exceeds the IKR acceptance threshold."""
+    return key > ikr_threshold(p, q, pole_prev_size, pole_size, scale)

@@ -1,0 +1,224 @@
+"""Node structures shared by every tree variant.
+
+The trees in this package follow the textbook B+-tree layout the paper
+builds on: internal nodes hold pivot keys and child pointers, leaf nodes
+hold the actual entries and are chained into a doubly-linked list for range
+scans.  Nodes carry parent pointers; DESIGN.md (system S7) documents that
+this realizes the paper's ``fp_path[]`` metadata — a split reaches every
+ancestor of the fast-path leaf through the parent chain instead of a cached
+root-to-leaf path.
+"""
+
+from __future__ import annotations
+
+import itertools
+from bisect import bisect_left, bisect_right
+from typing import Any, Iterator, Optional
+
+_node_ids = itertools.count(1)
+
+Key = Any
+
+
+class Node:
+    """Common base for leaf and internal nodes."""
+
+    __slots__ = ("keys", "parent", "node_id")
+
+    def __init__(self) -> None:
+        self.keys: list[Key] = []
+        self.parent: Optional["InternalNode"] = None
+        self.node_id: int = next(_node_ids)
+
+    @property
+    def is_leaf(self) -> bool:
+        """True for leaf nodes (overridden by subclasses)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "Leaf" if self.is_leaf else "Internal"
+        head = self.keys[:4]
+        ell = "..." if len(self.keys) > 4 else ""
+        return f"<{kind}#{self.node_id} n={len(self.keys)} keys={head}{ell}>"
+
+
+class LeafNode(Node):
+    """A leaf node: parallel sorted ``keys`` / ``values`` lists plus chain
+    links to the neighboring leaves."""
+
+    __slots__ = ("values", "next", "prev")
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.values: list[Any] = []
+        self.next: Optional["LeafNode"] = None
+        self.prev: Optional["LeafNode"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        """Always True."""
+        return True
+
+    @property
+    def size(self) -> int:
+        """Number of entries currently stored."""
+        return len(self.keys)
+
+    @property
+    def min_key(self) -> Key:
+        """Smallest key in the leaf (the leaf must be non-empty)."""
+        return self.keys[0]
+
+    @property
+    def max_key(self) -> Key:
+        """Largest key in the leaf (the leaf must be non-empty)."""
+        return self.keys[-1]
+
+    def find(self, key: Key) -> Optional[int]:
+        """Index of ``key`` in this leaf, or None if absent."""
+        idx = bisect_left(self.keys, key)
+        if idx < len(self.keys) and self.keys[idx] == key:
+            return idx
+        return None
+
+    def insert_entry(self, key: Key, value: Any) -> bool:
+        """Insert ``(key, value)`` preserving sort order.
+
+        Returns True when a new entry was added, False when an existing
+        key's value was overwritten (upsert semantics).
+        """
+        keys = self.keys
+        if not keys or key > keys[-1]:
+            # The in-order append case the fast paths live for.
+            keys.append(key)
+            self.values.append(value)
+            return True
+        idx = bisect_left(keys, key)
+        if keys[idx] == key:
+            self.values[idx] = value
+            return False
+        keys.insert(idx, key)
+        self.values.insert(idx, value)
+        return True
+
+    def append_entry(self, key: Key, value: Any) -> None:
+        """Append an entry known to be greater than every current key."""
+        self.keys.append(key)
+        self.values.append(value)
+
+    def remove_at(self, idx: int) -> tuple[Key, Any]:
+        """Remove and return the entry at ``idx``."""
+        return self.keys.pop(idx), self.values.pop(idx)
+
+    def position_first_greater(self, bound: Key) -> int:
+        """Index of the first key strictly greater than ``bound``.
+
+        This is the ``leaf.position(...)`` primitive of Alg. 2: everything
+        at or beyond the returned index is classified as an outlier by IKR.
+        """
+        return bisect_right(self.keys, bound)
+
+    def split_at(self, pos: int) -> tuple["LeafNode", Key]:
+        """Split this leaf, moving entries from ``pos`` onward into a new
+        right sibling.  Returns ``(new_right, split_key)``.
+
+        ``pos`` must leave both halves non-empty.  Chain links are fixed
+        here; the caller is responsible for registering the new node with
+        the parent.
+        """
+        if not 0 < pos < len(self.keys):
+            raise ValueError(
+                f"split position {pos} out of range for leaf of "
+                f"size {len(self.keys)}"
+            )
+        right = LeafNode()
+        right.keys = self.keys[pos:]
+        right.values = self.values[pos:]
+        del self.keys[pos:]
+        del self.values[pos:]
+        right.next = self.next
+        if right.next is not None:
+            right.next.prev = right
+        right.prev = self
+        self.next = right
+        right.parent = self.parent
+        return right, right.keys[0]
+
+    def items(self) -> Iterator[tuple[Key, Any]]:
+        """Iterate the leaf's entries in key order."""
+        return zip(self.keys, self.values)
+
+
+class InternalNode(Node):
+    """An internal node: ``len(children) == len(keys) + 1``.
+
+    ``children[i]`` roots the subtree of keys in ``[keys[i-1], keys[i])``
+    (with the open ends at the boundaries).
+    """
+
+    __slots__ = ("children",)
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.children: list[Node] = []
+
+    @property
+    def is_leaf(self) -> bool:
+        """Always False."""
+        return False
+
+    @property
+    def size(self) -> int:
+        """Number of children."""
+        return len(self.children)
+
+    def child_index_for(self, key: Key) -> int:
+        """Index of the child whose range contains ``key``."""
+        return bisect_right(self.keys, key)
+
+    def index_of_child(self, child: Node) -> int:
+        """Position of ``child`` in this node's child list.
+
+        Seeds the search by bisecting on the child's smallest key, so the
+        common case costs O(log fan-out) instead of a linear scan; empty
+        children (possible under QuIT's lazy delete) fall back to a scan.
+        """
+        children = self.children
+        if child.keys:
+            idx = bisect_right(self.keys, child.keys[0])
+            # The seed can be off by the pivot/duplicate boundary; probe
+            # outward before conceding to a scan.
+            for probe in (idx, idx - 1, idx + 1):
+                if 0 <= probe < len(children) and children[probe] is child:
+                    return probe
+        for idx, candidate in enumerate(children):
+            if candidate is child:
+                return idx
+        raise ValueError(f"{child!r} is not a child of {self!r}")
+
+    def insert_child(self, split_key: Key, right: Node) -> None:
+        """Register a split: add ``split_key`` and the new ``right`` child
+        immediately after ``right``'s left sibling."""
+        idx = bisect_right(self.keys, split_key)
+        self.keys.insert(idx, split_key)
+        self.children.insert(idx + 1, right)
+        right.parent = self
+
+    def split(self) -> tuple["InternalNode", Key]:
+        """Split this internal node in half.
+
+        Returns ``(new_right, push_up_key)`` where ``push_up_key`` moves to
+        the parent (it is *not* retained in either half, matching the
+        textbook internal split).
+        """
+        mid = len(self.keys) // 2
+        push_up = self.keys[mid]
+        right = InternalNode()
+        right.keys = self.keys[mid + 1:]
+        right.children = self.children[mid + 1:]
+        del self.keys[mid:]
+        del self.children[mid + 1:]
+        for child in right.children:
+            child.parent = right
+        right.parent = self.parent
+        return right, push_up

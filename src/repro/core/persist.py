@@ -1,0 +1,112 @@
+"""Persistence helpers: dump an index to a file and reload it.
+
+The on-disk format is deliberately simple and durable: a small header
+(format tag, entry count, configuration) followed by one
+tab-separated ``key<TAB>value`` line per entry in key order.  Loading
+rebuilds the index via packed bulk loading, so a reloaded tree starts at
+optimal occupancy regardless of the ingestion history that produced it.
+
+Values are stored via ``repr`` and restored with
+:func:`ast.literal_eval`, so any Python literal (numbers, strings,
+tuples, lists, dicts, None, booleans) round-trips; arbitrary objects are
+rejected at save time rather than corrupting the file.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Optional, Type, Union
+
+from .bptree import BPlusTree
+from .config import TreeConfig
+
+_FORMAT_TAG = "quit-tree-v1"
+
+
+class PersistenceError(ValueError):
+    """Raised for unserializable values or malformed files."""
+
+
+def save_tree(tree: BPlusTree, path: Union[str, Path]) -> int:
+    """Write ``tree`` to ``path``; returns the number of entries saved."""
+    path = Path(path)
+    count = 0
+    with path.open("w", encoding="utf-8") as fh:
+        fh.write(
+            f"{_FORMAT_TAG}\t{len(tree)}\t"
+            f"{tree.config.leaf_capacity}\t"
+            f"{tree.config.internal_capacity}\n"
+        )
+        for key, value in tree.items():
+            key_repr = repr(key)
+            value_repr = repr(value)
+            for label, text in (("key", key_repr), ("value", value_repr)):
+                if "\t" in text or "\n" in text:
+                    raise PersistenceError(
+                        f"{label} {text!r} contains a separator character"
+                    )
+                try:
+                    ast.literal_eval(text)
+                except (ValueError, SyntaxError):
+                    raise PersistenceError(
+                        f"{label} {text!r} is not a Python literal; "
+                        "only literal keys/values can be persisted"
+                    ) from None
+            fh.write(f"{key_repr}\t{value_repr}\n")
+            count += 1
+    return count
+
+
+def load_tree(
+    path: Union[str, Path],
+    tree_class: Type[BPlusTree] = BPlusTree,
+    config: Optional[TreeConfig] = None,
+    fill_factor: float = 1.0,
+) -> BPlusTree:
+    """Rebuild an index saved by :func:`save_tree`.
+
+    Args:
+        path: file written by :func:`save_tree`.
+        tree_class: index variant to instantiate (any tree class).
+        config: overrides the persisted node capacities when given.
+        fill_factor: leaf packing for the rebuild (1.0 = fully packed).
+    """
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as fh:
+        header = fh.readline().rstrip("\n").split("\t")
+        if len(header) != 4 or header[0] != _FORMAT_TAG:
+            raise PersistenceError(f"{path} is not a {_FORMAT_TAG} file")
+        try:
+            expected = int(header[1])
+            leaf_capacity = int(header[2])
+            internal_capacity = int(header[3])
+        except ValueError:
+            raise PersistenceError(f"malformed header in {path}") from None
+        if config is None:
+            config = TreeConfig(
+                leaf_capacity=leaf_capacity,
+                internal_capacity=internal_capacity,
+            )
+        pairs = []
+        for line_no, line in enumerate(fh, start=2):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            try:
+                key_repr, value_repr = line.split("\t")
+                pairs.append((
+                    ast.literal_eval(key_repr),
+                    ast.literal_eval(value_repr),
+                ))
+            except (ValueError, SyntaxError):
+                raise PersistenceError(
+                    f"malformed entry at {path}:{line_no}"
+                ) from None
+    if len(pairs) != expected:
+        raise PersistenceError(
+            f"{path} declares {expected} entries but holds {len(pairs)}"
+        )
+    tree = tree_class(config)
+    tree.bulk_load(pairs, fill_factor=fill_factor)
+    return tree

@@ -1,0 +1,257 @@
+"""B+-tree with the predicted-ordered-leaf (pole) fast path (§4.1-4.2).
+
+Unlike ``lil``, the ``pole`` pointer is *not* retargeted by top-inserts:
+it may advance only when the pole leaf splits, and only when the smallest
+key of the newly created node is judged a non-outlier by the In-order Key
+estimatoR (Eq. 2 / Alg. 1).  When the new node's minimum *is* an outlier,
+the pole stays put and the new node is remembered as ``pole_next``; a later
+top-insert landing there that IKR accepts lets the pole "catch up" (§4.2).
+
+This class is the paper's "pole-B+-tree" of §5.2.3 — QuIT *without* the
+variable split, redistribution, and stale-pole reset strategies (those live
+in :class:`~repro.core.quit_tree.QuITTree`).  It therefore reproduces the
+stress-test pathology of Fig. 12: once trapped by a scrambled segment, it
+never recovers the fast path.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional
+
+from .fastpath import FastPathTree
+from .ikr import ikr_threshold
+from .metadata import PoleState
+from .node import Key, LeafNode
+
+
+class PoleBPlusTree(FastPathTree):
+    """B+-tree whose fast path is the predicted ordered leaf."""
+
+    name = "pole-B+-tree"
+
+    _fp: PoleState
+
+    def _make_fp_state(self) -> PoleState:
+        return PoleState()
+
+    @property
+    def pole_prev(self) -> Optional[LeafNode]:
+        """The leaf preceding the pole (IKR's reference density window)."""
+        return self._fp.prev
+
+    @property
+    def pole_next(self) -> Optional[LeafNode]:
+        """The outlier node split off the pole, if any (catch-up target)."""
+        return self._fp.next_candidate
+
+    # ------------------------------------------------------------------
+    # Fast-path admission (Alg. 1 line 1)
+    # ------------------------------------------------------------------
+
+    def _fast_path_accepts(self, key: Key) -> bool:
+        # pole_min <= key < pole_max, where the bounds are "the smallest
+        # and largest keys that can be inserted into pole" (§4.2) — the
+        # pivot bounds.  The upper check is omitted while the pole is the
+        # tail leaf (fp.high is None by construction there).  Inlined
+        # bound checks: this runs on every single insert.
+        fp = self._fp
+        if fp.leaf is None:
+            return False
+        low = fp.low
+        if low is not None and key < low:
+            return False
+        high = fp.high
+        return high is None or key < high
+
+    def _count_consecutive_miss(self) -> int:
+        """Bump and return the consecutive-top-insert counter.
+
+        ``fails`` resets implicitly whenever a fast insert happened since
+        the previous miss (tracked through the fast-insert counter), so
+        the fast path itself carries no bookkeeping.
+        """
+        fp = self._fp
+        fast_now = self.stats.fast_inserts
+        if fast_now != fp.last_fast_mark:
+            fp.fails = 0
+            fp.last_fast_mark = fast_now
+        fp.fails += 1
+        return fp.fails
+
+    # ------------------------------------------------------------------
+    # Pole-update policy on split (Alg. 1 lines 2-8, Fig. 6)
+    # ------------------------------------------------------------------
+
+    def _after_leaf_split(
+        self,
+        left: LeafNode,
+        right: LeafNode,
+        split_key: Key,
+        key: Key,
+        low: Optional[Key],
+        high: Optional[Key],
+    ) -> None:
+        if left is not self._fp.leaf:
+            return
+        self._decide_pole_after_split(left, right, split_key, key, low, high)
+
+    def _decide_pole_after_split(
+        self,
+        left: LeafNode,
+        right: LeafNode,
+        split_key: Key,
+        key: Key,
+        low: Optional[Key],
+        high: Optional[Key],
+    ) -> None:
+        """Advance the pole to ``right`` iff ``split_key`` (= ``r``, the
+        smallest key of the new node) is not an outlier per IKR."""
+        fp = self._fp
+        threshold = self._ikr_for_pole(left, extra=right.size)
+        if threshold is None:
+            # No usable pole_prev yet (initialization, §4.2): follow the
+            # inserted entry, like the very first split of the root leaf.
+            if key >= split_key:
+                self._advance_pole(left, right, split_key, high)
+            else:
+                fp.low, fp.high = low, split_key
+                fp.next_candidate = right
+            return
+        if split_key <= threshold:
+            self._advance_pole(left, right, split_key, high)
+        else:
+            fp.low, fp.high = low, split_key
+            fp.next_candidate = right
+
+    def _ikr_for_pole(
+        self, pole: LeafNode, extra: int = 0
+    ) -> Optional[float]:
+        """IKR threshold ``x`` for the current pole, or None when
+        ``pole_prev`` cannot support an estimate.
+
+        ``extra`` accounts for entries that have already been moved out of
+        the pole (e.g. into the right half of a split): Eq. 2's
+        ``pole_size`` is the pole's population at decision time.
+        """
+        prev = self._fp.prev
+        if prev is None or prev.size == 0 or pole.size == 0:
+            return None
+        p, q = prev.min_key, pole.min_key
+        if q < p:
+            # Stale prev reference (structure moved underneath it).
+            return None
+        try:
+            return ikr_threshold(
+                p, q, prev.size, pole.size + extra, self.config.ikr_scale
+            )
+        except TypeError:
+            # Non-arithmetic keys (tuples, strings): IKR needs a key
+            # *domain* to extrapolate into, so the pole degrades
+            # gracefully to its 50%-split / follow-the-entry behaviour.
+            return None
+
+    def _advance_pole(
+        self,
+        left: LeafNode,
+        right: LeafNode,
+        split_key: Key,
+        high: Optional[Key],
+    ) -> None:
+        fp = self._fp
+        fp.prev = left
+        fp.leaf = right
+        fp.low = split_key
+        fp.high = high
+        # next_candidate is intentionally preserved: it is the outlier node
+        # bounding the pole from above, and remains the catch-up target
+        # after any number of advances underneath it.
+        self.stats.pole_updates += 1
+
+    # ------------------------------------------------------------------
+    # Catching up to predicted outliers (Alg. 1 lines 11-14)
+    # ------------------------------------------------------------------
+
+    def _after_top_insert(
+        self,
+        leaf: LeafNode,
+        key: Key,
+        low: Optional[Key],
+        high: Optional[Key],
+    ) -> None:
+        fp = self._fp
+        pole = fp.leaf
+        # Cheap structural checks first; the IKR float math only runs for
+        # the two catch-up candidates (§4.2).  "beyond" means the in-order
+        # stream crossed the pole's upper bound into the physically
+        # adjacent leaf — identity-checking the neighbor is O(1) and far
+        # more selective than comparing the key against fp.high.
+        is_candidate = leaf is fp.next_candidate
+        beyond = (
+            pole is not None
+            and leaf is pole.next
+            and fp.high is not None
+            and key >= fp.high
+        )
+        if (is_candidate or beyond) and pole is not None and pole.keys:
+            threshold = self._ikr_for_pole(pole)
+            if is_candidate and (threshold is None or key <= threshold):
+                self._catch_up_to(leaf, low, high)
+                return
+            # Generalized catch-up: the in-order stream crossed the pole's
+            # upper bound into the neighboring node and IKR judges the key
+            # non-outlier, so the fast path should follow it (§4.2,
+            # "catching up to previously marked outliers").
+            if beyond and threshold is not None and key <= threshold:
+                self._catch_up_to(leaf, low, high)
+                return
+        self._note_top_insert_miss(leaf, key, low, high)
+
+    def _catch_up_to(
+        self, leaf: LeafNode, low: Optional[Key], high: Optional[Key]
+    ) -> None:
+        fp = self._fp
+        fp.prev = fp.leaf
+        fp.leaf = leaf
+        fp.low = low
+        fp.high = high
+        fp.next_candidate = None
+        fp.fails = 0
+        self.stats.pole_catchups += 1
+
+    def _note_top_insert_miss(
+        self,
+        leaf: LeafNode,
+        key: Key,
+        low: Optional[Key],
+        high: Optional[Key],
+    ) -> None:
+        """Hook: a top-insert bypassed the fast path entirely.  The plain
+        pole tree only counts it; QuIT adds the reset strategy."""
+        self._count_consecutive_miss()
+
+    # ------------------------------------------------------------------
+    # Structural upkeep
+    # ------------------------------------------------------------------
+
+    def _on_leaf_removed(self, leaf: LeafNode, merged_into: LeafNode) -> None:
+        fp = self._fp
+        if fp.leaf is leaf:
+            fp.leaf = merged_into
+        if fp.prev is leaf:
+            fp.prev = merged_into
+        if fp.next_candidate is leaf:
+            fp.next_candidate = None
+
+    def bulk_load(
+        self,
+        items: Iterable[tuple[Key, Any]],
+        fill_factor: float = 1.0,
+    ) -> None:
+        """Bulk load, then re-pin pole (and pole_prev) to the tail."""
+        super().bulk_load(items, fill_factor)
+        fp = self._fp
+        fp.leaf = self._tail
+        fp.prev = self._tail.prev
+        fp.low, fp.high = self.bounds_of_leaf(self._tail)
+        fp.next_candidate = None
+        fp.fails = 0

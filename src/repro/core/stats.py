@@ -1,0 +1,129 @@
+"""Instrumentation counters shared by every index variant.
+
+All evaluation figures in the paper are driven by a small set of
+work-proportional counters: how many inserts used the fast path vs a full
+top-to-bottom traversal, how many nodes a lookup touched, and how many
+structural operations (splits, redistributions, resets) occurred.  Keeping
+them in one mutable dataclass lets the benchmark harness read a consistent
+snapshot from any tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+
+@dataclass
+class TreeStats:
+    """Mutable operation counters for a tree index.
+
+    Attributes:
+        fast_inserts: inserts that used the fast path (tail / lil / pole).
+        top_inserts: inserts that performed a root-to-leaf traversal.
+        leaf_splits: number of leaf-node splits.
+        internal_splits: number of internal-node splits.
+        variable_splits: leaf splits that used QuIT's IKR-guided split point
+            (Alg. 2) instead of the default 50% position.
+        redistributions: Alg. 2 redistributions into ``pole_prev``.
+        pole_updates: times the ``pole`` pointer advanced after a split.
+        pole_catchups: times a top-insert into ``pole_next`` moved ``pole``
+            forward ("catching up to predicted outliers", §4.2).
+        pole_resets: stale-pole resets (§4.3).
+        node_accesses: nodes touched by lookups (internal + leaf).
+        leaf_accesses: leaf nodes touched by lookups (Fig. 10c metric).
+        point_lookups / range_lookups / deletes: operation counts.
+        insert_traversal_nodes: nodes touched while descending for
+            top-inserts (proxy for insert cost in the analytical model).
+        bulk_splice_segments: descents performed by ``bulk_insert_run``
+            (one per pivot-bounded segment of the spliced run).
+    """
+
+    fast_inserts: int = 0
+    top_inserts: int = 0
+    leaf_splits: int = 0
+    internal_splits: int = 0
+    variable_splits: int = 0
+    redistributions: int = 0
+    pole_updates: int = 0
+    pole_catchups: int = 0
+    pole_resets: int = 0
+    node_accesses: int = 0
+    leaf_accesses: int = 0
+    point_lookups: int = 0
+    range_lookups: int = 0
+    deletes: int = 0
+    insert_traversal_nodes: int = 0
+    bulk_splice_segments: int = 0
+
+    @property
+    def inserts(self) -> int:
+        """Total number of inserts performed."""
+        return self.fast_inserts + self.top_inserts
+
+    @property
+    def fast_insert_fraction(self) -> float:
+        """Fraction of inserts served by the fast path (0.0 when empty)."""
+        total = self.inserts
+        return self.fast_inserts / total if total else 0.0
+
+    @property
+    def top_insert_fraction(self) -> float:
+        """Fraction of inserts that required a full traversal."""
+        total = self.inserts
+        return self.top_inserts / total if total else 0.0
+
+    def reset(self) -> None:
+        """Zero every counter in place."""
+        for f in fields(self):
+            setattr(self, f.name, 0)
+
+    def snapshot(self) -> "TreeStats":
+        """Return an independent copy of the current counters."""
+        return TreeStats(
+            **{f.name: getattr(self, f.name) for f in fields(self)}
+        )
+
+    def diff(self, earlier: "TreeStats") -> "TreeStats":
+        """Return counters accumulated since an ``earlier`` snapshot."""
+        return TreeStats(
+            **{
+                f.name: getattr(self, f.name) - getattr(earlier, f.name)
+                for f in fields(self)
+            }
+        )
+
+    def as_dict(self) -> dict[str, int]:
+        """Counters as a plain dict (for reporting)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+@dataclass
+class OccupancyStats:
+    """Leaf-occupancy summary used by Fig. 10a / 11 / Table 2.
+
+    Attributes:
+        leaf_count: number of leaf nodes.
+        internal_count: number of internal nodes.
+        entries: total entries stored in the leaves.
+        capacity: per-leaf capacity the occupancy is measured against.
+        min_occupancy / max_occupancy: extremes over all leaves (fractions).
+    """
+
+    leaf_count: int = 0
+    internal_count: int = 0
+    entries: int = 0
+    capacity: int = 0
+    min_occupancy: float = 0.0
+    max_occupancy: float = 0.0
+
+    @property
+    def avg_occupancy(self) -> float:
+        """Average leaf fill fraction in [0, 1]."""
+        if not self.leaf_count or not self.capacity:
+            return 0.0
+        return self.entries / (self.leaf_count * self.capacity)
+
+    @property
+    def node_count(self) -> int:
+        """Total number of nodes (leaves + internals)."""
+        return self.leaf_count + self.internal_count

@@ -1,0 +1,58 @@
+"""B+-tree with the production-style tail-leaf fast path (§2).
+
+The tail-leaf optimization (PostgreSQL's fast-path insertion) keeps a
+pointer to the rightmost leaf and the smallest key that leaf may accept
+(its lower pivot bound).  Any incoming key at or above that bound is placed
+directly into the tail leaf; everything else takes a regular top-insert.
+
+The optimization degrades exactly as the paper describes: one leaf's worth
+of forward outliers raises the tail's lower bound far beyond the in-order
+stream, after which every in-order insert reverts to a top-insert until the
+stream catches up (Fig. 3).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .fastpath import FastPathTree
+from .node import Key, LeafNode
+
+
+class TailBPlusTree(FastPathTree):
+    """B+-tree whose fast path is pinned to the tail (rightmost) leaf."""
+
+    name = "tail-B+-tree"
+
+    def _fast_path_accepts(self, key: Key) -> bool:
+        # The tail has no upper bound; only the lower pivot bound matters.
+        fp = self._fp
+        return fp.leaf is not None and (fp.low is None or key >= fp.low)
+
+    def _after_leaf_split(
+        self,
+        left: LeafNode,
+        right: LeafNode,
+        split_key: Key,
+        key: Key,
+        low: Optional[Key],
+        high: Optional[Key],
+    ) -> None:
+        # _do_leaf_split already advanced self._tail when the tail split;
+        # re-pin the fast path to the (possibly new) tail leaf.
+        if right is self._tail:
+            self._fp.leaf = right
+            self._fp.low = split_key
+            self._fp.high = None
+
+    def _after_delete(self) -> None:
+        # Merges may have replaced the tail; keep the pin on the tail.
+        self._fp.leaf = self._tail
+        self._refresh_fp_bounds()
+        self._fp.high = None
+
+    def _after_bulk_splice(self) -> None:
+        # A splice may have appended new leaves past the old tail.
+        self._fp.leaf = self._tail
+        self._refresh_fp_bounds()
+        self._fp.high = None

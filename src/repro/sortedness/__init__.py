@@ -1,0 +1,40 @@
+"""Sortedness quantification (K-L metric) and the BoDS workload generator."""
+
+from .bods import BodsSpec, generate, generate_keys, generate_pairs
+from .metrics import (
+    KLSortedness,
+    dis_measure,
+    exchanges_lower_bound,
+    find_outliers_iqr,
+    inversion_count,
+    is_sorted,
+    k_out_of_order,
+    kl_sortedness,
+    longest_nondecreasing_subsequence_length,
+    max_displacement,
+    out_of_order_count,
+    running_max_violations,
+    runs_count,
+    sorted_prefix_length,
+)
+
+__all__ = [
+    "BodsSpec",
+    "generate",
+    "generate_keys",
+    "generate_pairs",
+    "KLSortedness",
+    "kl_sortedness",
+    "k_out_of_order",
+    "max_displacement",
+    "inversion_count",
+    "is_sorted",
+    "out_of_order_count",
+    "running_max_violations",
+    "sorted_prefix_length",
+    "longest_nondecreasing_subsequence_length",
+    "find_outliers_iqr",
+    "runs_count",
+    "dis_measure",
+    "exchanges_lower_bound",
+]

@@ -1,0 +1,216 @@
+"""Data-sortedness metrics (§2 of the paper).
+
+The paper quantifies sortedness with the K-L metric of BoDS [37] (inspired
+by Ben-Moshe et al. [5]): ``K`` is the number of out-of-order entries and
+``L`` the maximum displacement of an out-of-order entry from its in-order
+position.  This module provides those plus the simpler measures the paper
+surveys: predecessor-order violations (Fig. 2a), running-max violations,
+and inversion counts (Knuth's measure of presortedness).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Sequence
+
+
+def is_sorted(seq: Sequence) -> bool:
+    """True when ``seq`` is non-decreasing."""
+    return all(a <= b for a, b in zip(seq, seq[1:]))
+
+
+def out_of_order_count(seq: Sequence) -> int:
+    """Entries smaller than their immediate predecessor (Fig. 2a).
+
+    The simplest notion of unorderedness for a monotonically increasing
+    stream: an entry is out of order when it breaks the local run.
+    """
+    return sum(1 for a, b in zip(seq, seq[1:]) if b < a)
+
+
+def running_max_violations(seq: Sequence) -> int:
+    """Entries smaller than the running maximum.
+
+    This is the quantity that determines whether a tail-leaf fast path can
+    possibly serve an entry: anything below the frontier must top-insert.
+    """
+    count = 0
+    best = None
+    for x in seq:
+        if best is not None and x < best:
+            count += 1
+        else:
+            best = x
+    return count
+
+
+def inversion_count(seq: Sequence) -> int:
+    """Number of inverted pairs ``i < j`` with ``seq[i] > seq[j]``
+    (merge-sort based, O(n log n))."""
+    arr = list(seq)
+    if len(arr) < 2:
+        return 0
+    _, inversions = _sort_count(arr)
+    return inversions
+
+
+def _sort_count(arr: list) -> tuple[list, int]:
+    n = len(arr)
+    if n <= 1:
+        return arr, 0
+    mid = n // 2
+    left, a = _sort_count(arr[:mid])
+    right, b = _sort_count(arr[mid:])
+    merged: list = []
+    inv = a + b
+    i = j = 0
+    while i < len(left) and j < len(right):
+        if left[i] <= right[j]:
+            merged.append(left[i])
+            i += 1
+        else:
+            inv += len(left) - i
+            merged.append(right[j])
+            j += 1
+    merged.extend(left[i:])
+    merged.extend(right[j:])
+    return merged, inv
+
+
+def longest_nondecreasing_subsequence_length(seq: Sequence) -> int:
+    """Length of the longest non-decreasing subsequence (O(n log n)).
+
+    ``n - LNDS`` is the minimum number of entries that must be removed to
+    leave the stream sorted — the canonical ``K`` of the K-L metric.
+    """
+    tails: list = []
+    for x in seq:
+        idx = bisect_right(tails, x)
+        if idx == len(tails):
+            tails.append(x)
+        else:
+            tails[idx] = x
+    return len(tails)
+
+
+def k_out_of_order(seq: Sequence) -> int:
+    """``K``: minimum removals to make the stream sorted."""
+    if not seq:
+        return 0
+    return len(seq) - longest_nondecreasing_subsequence_length(seq)
+
+
+def max_displacement(seq: Sequence) -> int:
+    """``L``: maximum distance between an entry's arrival position and its
+    position in the sorted order (0 for a sorted stream).
+
+    Ties are resolved stably, so duplicated keys in arrival order count as
+    in place.
+    """
+    order = sorted(range(len(seq)), key=lambda i: (seq[i], i))
+    best = 0
+    for rank, original in enumerate(order):
+        dist = abs(rank - original)
+        if dist > best:
+            best = dist
+    return best
+
+
+@dataclass(frozen=True)
+class KLSortedness:
+    """The K-L sortedness of a stream, in absolute and fractional form."""
+
+    n: int
+    k: int
+    l: int
+
+    @property
+    def k_fraction(self) -> float:
+        """K as a fraction of the stream length."""
+        return self.k / self.n if self.n else 0.0
+
+    @property
+    def l_fraction(self) -> float:
+        """L as a fraction of the stream length."""
+        return self.l / self.n if self.n else 0.0
+
+
+def kl_sortedness(seq: Sequence) -> KLSortedness:
+    """Measure the K-L sortedness of ``seq`` (Fig. 2c)."""
+    return KLSortedness(
+        n=len(seq), k=k_out_of_order(seq), l=max_displacement(seq)
+    )
+
+
+def sorted_prefix_length(seq: Sequence) -> int:
+    """Length of the maximal sorted (non-decreasing) prefix."""
+    for i in range(1, len(seq)):
+        if seq[i] < seq[i - 1]:
+            return i
+    return len(seq)
+
+
+def runs_count(seq: Sequence) -> int:
+    """Mannila's *Runs* measure: number of maximal ascending runs.
+
+    A sorted sequence is one run; each descent starts a new one.  The
+    paper cites Mannila [28] among the presortedness measures it surveys.
+    """
+    if not seq:
+        return 0
+    return 1 + out_of_order_count(seq)
+
+
+def dis_measure(seq: Sequence) -> int:
+    """Mannila's *Dis* measure: the largest distance an inversion spans,
+    i.e. ``max(j - i)`` over pairs ``i < j`` with ``seq[i] > seq[j]``.
+
+    O(n log n): the running-maximum array is non-decreasing, so for each
+    ``j`` the earliest ``i`` whose prefix maximum exceeds ``seq[j]`` is
+    found by binary search.
+    """
+    n = len(seq)
+    if n < 2:
+        return 0
+    prefix_max = list(seq)
+    for i in range(1, n):
+        if prefix_max[i - 1] > prefix_max[i]:
+            prefix_max[i] = prefix_max[i - 1]
+    best = 0
+    for j in range(1, n):
+        x = seq[j]
+        if prefix_max[j - 1] <= x:
+            continue
+        lo, hi = 0, j - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if prefix_max[mid] > x:
+                hi = mid
+            else:
+                lo = mid + 1
+        if j - lo > best:
+            best = j - lo
+    return best
+
+
+def exchanges_lower_bound(seq: Sequence) -> int:
+    """Lower bound on adjacent exchanges needed to sort = the inversion
+    count (bubble-sort distance)."""
+    return inversion_count(seq)
+
+
+def find_outliers_iqr(seq: Sequence, scale: float = 1.5) -> list[int]:
+    """Indices of IQR outliers in ``seq`` (the classical detector that
+    inspired IKR, §4.1): values outside
+    ``[Q1 - scale*IQR, Q3 + scale*IQR]``."""
+    if len(seq) < 4:
+        return []
+    ordered = sorted(seq)
+    n = len(ordered)
+    q1 = ordered[n // 4]
+    q3 = ordered[(3 * n) // 4]
+    iqr = q3 - q1
+    lo = q1 - scale * iqr
+    hi = q3 + scale * iqr
+    return [i for i, x in enumerate(seq) if x < lo or x > hi]

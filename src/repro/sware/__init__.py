@@ -1,0 +1,21 @@
+"""SWARE baseline: sortedness-aware buffering over a B+-tree (SA-B+-tree),
+with zonemaps and Bloom filters (Raman et al., ICDE 2023)."""
+
+from . import bloom, buffer, sa_btree, search, zonemap  # noqa: F401
+from .bloom import BloomFilter
+from .buffer import BufferStats, SortednessBuffer
+from .sa_btree import FlushStats, SABPlusTree
+from .search import interpolation_search, interpolation_search_leftmost
+from .zonemap import ZoneMap, ZoneMapIndex
+
+__all__ = [
+    "BloomFilter",
+    "SortednessBuffer",
+    "BufferStats",
+    "SABPlusTree",
+    "FlushStats",
+    "ZoneMap",
+    "ZoneMapIndex",
+    "interpolation_search",
+    "interpolation_search_leftmost",
+]

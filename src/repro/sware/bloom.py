@@ -1,0 +1,124 @@
+"""Bloom filter (Bloom, 1970) — the membership sketch SWARE layers over
+its buffer to dodge buffer scans on point lookups (§2).
+
+A standard partitioned-free Bloom filter over a Python ``bytearray`` with
+double hashing: two independent 64-bit hashes are combined as
+``h1 + i * h2`` to derive the ``k`` probe positions (Kirsch-Mitzenmacher).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable, Optional
+
+_MASK64 = (1 << 64) - 1
+
+
+def _hash_pair(item: Any) -> tuple[int, int]:
+    """Two independent 64-bit hashes of ``item``.
+
+    A multiplicative (Fibonacci) mix of the builtin hash keeps this a
+    handful of integer ops — cheap enough to sit on SWARE's per-insert
+    path — while decorrelating the dense integer keys the workloads use.
+    """
+    h = (hash(item) * 0x9E3779B97F4A7C15) & _MASK64
+    h ^= h >> 29
+    # The second hash must be odd so probe sequences cover the bit array.
+    return h, (h >> 17) | 1
+
+
+class BloomFilter:
+    """Fixed-size Bloom filter.
+
+    Args:
+        capacity: expected number of inserted items.
+        fp_rate: target false-positive probability at ``capacity`` items.
+
+    The filter never yields false negatives; `might_contain` returning
+    False is definitive.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        fp_rate: float = 0.01,
+        n_hashes: Optional[int] = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if not 0.0 < fp_rate < 1.0:
+            raise ValueError(f"fp_rate must be in (0, 1), got {fp_rate}")
+        self.capacity = capacity
+        self.fp_rate = fp_rate
+        n_bits = max(8, int(-capacity * math.log(fp_rate) / (math.log(2) ** 2)))
+        self._n_bits = n_bits
+        self._bits = bytearray((n_bits + 7) // 8)
+        if n_hashes is None:
+            n_hashes = max(1, round(n_bits / capacity * math.log(2)))
+        elif n_hashes < 1:
+            raise ValueError(f"n_hashes must be >= 1, got {n_hashes}")
+        self.n_hashes = n_hashes
+        self.count = 0
+
+    def add(self, item: Any) -> None:
+        """Insert ``item``."""
+        h1, h2 = _hash_pair(item)
+        self.add_hashed(h1, h2)
+
+    def add_hashed(self, h1: int, h2: int) -> None:
+        """Insert an item from its precomputed hash pair.
+
+        SWARE's buffer indexes every insert in two filter levels; hashing
+        once and feeding both filters halves the per-insert hash cost.
+        """
+        n_bits = self._n_bits
+        bits = self._bits
+        for i in range(self.n_hashes):
+            pos = (h1 + i * h2) % n_bits
+            bits[pos >> 3] |= 1 << (pos & 7)
+        self.count += 1
+
+    def might_contain(self, item: Any) -> bool:
+        """True when ``item`` may be present; False is definitive."""
+        h1, h2 = _hash_pair(item)
+        return self.might_contain_hashed(h1, h2)
+
+    def might_contain_hashed(self, h1: int, h2: int) -> bool:
+        """Membership probe from a precomputed hash pair."""
+        n_bits = self._n_bits
+        bits = self._bits
+        for i in range(self.n_hashes):
+            pos = (h1 + i * h2) % n_bits
+            if not bits[pos >> 3] & (1 << (pos & 7)):
+                return False
+        return True
+
+    def __contains__(self, item: Any) -> bool:
+        return self.might_contain(item)
+
+    def update(self, items: Iterable[Any]) -> None:
+        """Insert every item (used when re-calibrating after a flush)."""
+        for item in items:
+            self.add(item)
+
+    def clear(self) -> None:
+        """Reset to empty."""
+        self._bits = bytearray(len(self._bits))
+        self.count = 0
+
+    @property
+    def bit_size(self) -> int:
+        """Number of bits in the filter."""
+        return self._n_bits
+
+    @property
+    def memory_bytes(self) -> int:
+        """Approximate footprint in bytes."""
+        return len(self._bits)
+
+    def estimated_fp_rate(self) -> float:
+        """Expected false-positive rate at the current load."""
+        if self.count == 0:
+            return 0.0
+        fill = 1.0 - math.exp(-self.n_hashes * self.count / self._n_bits)
+        return fill ** self.n_hashes

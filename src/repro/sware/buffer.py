@@ -1,0 +1,348 @@
+"""SWARE's in-memory sortedness buffer (§2).
+
+Incoming entries are appended to fixed-size pages.  Each page carries a
+zonemap and a Bloom filter; a global Bloom filter covers the whole buffer.
+Inserts that arrive out of order relative to their predecessor trigger the
+zonemap scan the paper describes (that work is the heart of SWARE's insert
+overhead).  Pages that received only in-order appends stay sorted and are
+binary-searchable; pages polluted by out-of-order arrivals fall back to a
+per-page Bloom probe plus linear scan.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import Any, Iterator, Optional
+
+from ..core.node import Key
+from .bloom import _MASK64, BloomFilter, _hash_pair
+from .search import interpolation_search
+from .zonemap import ZoneMapIndex
+
+
+@dataclass
+class BufferStats:
+    """Counters for the buffer's internal work."""
+
+    appends: int = 0
+    out_of_order_appends: int = 0
+    zonemap_scans: int = 0
+    zonemap_pages_touched: int = 0
+    bloom_negative: int = 0
+    page_probes: int = 0
+    pages_cracked: int = 0
+    flushes: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """Counters as a plain dict (for reporting)."""
+        return {
+            k: getattr(self, k) for k in self.__dataclass_fields__
+        }
+
+
+#: Probe count for the buffer's Bloom filters.  Two probes keep the
+#: filters on SWARE's per-insert path affordable in Python while the
+#: zonemaps still gate page access (speed-fidelity tradeoff; the paper's
+#: C++ filters can afford the information-optimal probe count).
+_BUFFER_BLOOM_HASHES = 2
+
+
+class _Page:
+    """One buffer page: parallel key/value lists + sortedness flag.
+
+    The page Bloom filter is built lazily at the first probe after the
+    page has content: per-page filters are only consulted by lookups, so
+    deferring their construction keeps SWARE's per-insert path to a
+    single (global) filter update.
+    """
+
+    __slots__ = ("keys", "values", "sorted", "bloom", "bloom_built_at")
+
+    def __init__(self, page_capacity: int, fp_rate: float) -> None:
+        self.keys: list[Key] = []
+        self.values: list[Any] = []
+        self.sorted = True
+        self.bloom = BloomFilter(
+            page_capacity, fp_rate, n_hashes=_BUFFER_BLOOM_HASHES
+        )
+        self.bloom_built_at = 0
+
+    def probe_bloom(self, h1: int, h2: int) -> bool:
+        """Membership test against the lazily-maintained page filter."""
+        built = self.bloom_built_at
+        n = len(self.keys)
+        if built < n:
+            for key in self.keys[built:]:
+                self.bloom.add(key)
+            self.bloom_built_at = n
+        return self.bloom.might_contain_hashed(h1, h2)
+
+
+class SortednessBuffer:
+    """Paged append buffer with zonemaps and two Bloom filter levels.
+
+    Args:
+        capacity: total number of entries the buffer holds before callers
+            must flush (the paper defaults this to 1% of the data size).
+        page_capacity: entries per page (the paper's 4KB pages hold 510).
+        fp_rate: Bloom filter false-positive target.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        page_capacity: int = 128,
+        fp_rate: float = 0.01,
+        use_interpolation: bool = False,
+        crack_on_read: bool = False,
+    ) -> None:
+        """See class docstring.
+
+        Args:
+            capacity / page_capacity / fp_rate: sizing knobs.
+            use_interpolation: answer sorted-page probes with
+                interpolation search (the paper credits it for SWARE's
+                efficient buffer queries on sorted data, §5.4).  Requires
+                arithmetic keys.
+            crack_on_read: SWARE's query-driven partial sorting (§2,
+                "inspired by Cracking"): the first lookup that has to
+                linearly scan an unsorted page sorts it in passing, so
+                subsequent lookups binary-search it.
+        """
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if page_capacity < 2:
+            raise ValueError(
+                f"page_capacity must be >= 2, got {page_capacity}"
+            )
+        self.capacity = capacity
+        self.page_capacity = page_capacity
+        self.fp_rate = fp_rate
+        self.use_interpolation = use_interpolation
+        self.crack_on_read = crack_on_read
+        self.stats = BufferStats()
+        self._pages: list[_Page] = []
+        self._zones = ZoneMapIndex()
+        self._global_bloom = BloomFilter(
+            capacity, fp_rate, n_hashes=_BUFFER_BLOOM_HASHES
+        )
+        self._size = 0
+        self._last_key: Optional[Key] = None
+        self._tail_zone = None
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def is_full(self) -> bool:
+        """True when the next append requires a flush first."""
+        return self._size >= self.capacity
+
+    @property
+    def page_count(self) -> int:
+        """Number of pages currently in the buffer."""
+        return len(self._pages)
+
+    # ------------------------------------------------------------------
+    # Inserts
+    # ------------------------------------------------------------------
+
+    def append(self, key: Key, value: Any) -> None:
+        """Append an entry; the caller must flush a full buffer first."""
+        if self._size >= self.capacity:
+            raise RuntimeError("buffer full: flush before appending")
+        if not self._pages or len(self._pages[-1].keys) >= self.page_capacity:
+            self._pages.append(_Page(self.page_capacity, self.fp_rate))
+            self._tail_zone = self._zones.zone(len(self._pages) - 1)
+        page = self._pages[-1]
+        last = self._last_key
+        if last is not None and key < last:
+            # Out-of-order arrival: SWARE scans the zonemaps to find pages
+            # overlapping the key before indexing it (§2).
+            self.stats.out_of_order_appends += 1
+            self.stats.zonemap_scans += 1
+            self.stats.zonemap_pages_touched += sum(
+                1 for _ in self._zones.pages_containing(key)
+            )
+            if page.keys and key < page.keys[-1]:
+                page.sorted = False
+        page.keys.append(key)
+        page.values.append(value)
+        # Index the key in the global Bloom level.  The update is inlined
+        # (one hash, two probes) because it sits on SWARE's per-insert
+        # path — the equivalent of ``bloom.add_hashed(*_hash_pair(key))``.
+        # The per-page filter is built lazily at probe time.
+        h = (hash(key) * 0x9E3779B97F4A7C15) & _MASK64
+        h ^= h >> 29
+        h2 = (h >> 17) | 1
+        bloom = self._global_bloom
+        bits = bloom._bits
+        n_bits = bloom._n_bits
+        pos = h % n_bits
+        bits[pos >> 3] |= 1 << (pos & 7)
+        pos = (h + h2) % n_bits
+        bits[pos >> 3] |= 1 << (pos & 7)
+        bloom.count += 1
+        zone = self._tail_zone
+        if zone.min_key is None or key < zone.min_key:
+            zone.min_key = key
+        if zone.max_key is None or key > zone.max_key:
+            zone.max_key = key
+        zone.count += 1
+        self._last_key = key
+        self._size += 1
+        self.stats.appends += 1
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+
+    def get(self, key: Key) -> tuple[bool, Any]:
+        """Probe the buffer for ``key``.
+
+        Returns ``(found, value)``.  The probe order matches SWARE:
+        global Bloom filter, then zonemap-qualified pages, each gated by
+        its page Bloom filter, then binary search (sorted page) or linear
+        scan (unsorted page).  The *latest* occurrence of a duplicate key
+        wins, so probing walks pages from newest to oldest.
+        """
+        if not self._size:
+            self.stats.bloom_negative += 1
+            return False, None
+        h1, h2 = _hash_pair(key)
+        if not self._global_bloom.might_contain_hashed(h1, h2):
+            self.stats.bloom_negative += 1
+            return False, None
+        candidates = [
+            p for p in self._zones.pages_containing(key)
+        ]
+        for page_no in reversed(candidates):
+            page = self._pages[page_no]
+            if not page.probe_bloom(h1, h2):
+                continue
+            self.stats.page_probes += 1
+            found, value = self._find_in_page(page, key)
+            if found:
+                return True, value
+        return False, None
+
+    def _find_in_page(self, page: _Page, key: Key) -> tuple[bool, Any]:
+        """Probe one page for ``key``; returns ``(found, value)``.
+
+        Duplicate keys inside a page resolve to the latest write (the
+        page-cracking sort is arrival-stable, so the rightmost duplicate
+        stays the freshest).
+        """
+        if page.sorted:
+            if self.use_interpolation:
+                idx = interpolation_search(page.keys, key)
+                if idx is None:
+                    return False, None
+            else:
+                idx = bisect_left(page.keys, key)
+                if idx >= len(page.keys) or page.keys[idx] != key:
+                    return False, None
+            # Walk to the rightmost duplicate (latest write).
+            while (
+                idx + 1 < len(page.keys) and page.keys[idx + 1] == key
+            ):
+                idx += 1
+            return True, page.values[idx]
+        # Unsorted page: linear scan, latest write wins.
+        found = False
+        value = None
+        for idx in range(len(page.keys) - 1, -1, -1):
+            if page.keys[idx] == key:
+                found = True
+                value = page.values[idx]
+                break
+        if self.crack_on_read and page is not self._pages[-1]:
+            # Query-driven partial sorting (Cracking-inspired, §2): we
+            # already paid the linear scan, so leave the page sorted for
+            # subsequent lookups.  The open tail page keeps arrival order
+            # (it is still appending).
+            self._crack_page(page)
+            self.stats.pages_cracked += 1
+        return found, value
+
+    def _crack_page(self, page: _Page) -> None:
+        """Stably sort a page in place and invalidate its incremental
+        filter build (the filter contents are order-independent, but the
+        build cursor indexes into the key list)."""
+        order = sorted(range(len(page.keys)), key=page.keys.__getitem__)
+        page.keys = [page.keys[i] for i in order]
+        page.values = [page.values[i] for i in order]
+        page.sorted = True
+        page.bloom.clear()
+        page.bloom_built_at = 0
+
+    def range_items(self, start: Key, end: Key) -> list[tuple[Key, Any]]:
+        """All buffered entries with ``start <= key < end`` (unsorted)."""
+        out: list[tuple[Key, Any]] = []
+        for page_no in self._zones.pages_overlapping(start, end):
+            page = self._pages[page_no]
+            for k, v in zip(page.keys, page.values):
+                if start <= k < end:
+                    out.append((k, v))
+        return out
+
+    def remove(self, key: Key) -> bool:
+        """Remove every buffered occurrence of ``key``.
+
+        Bloom filters cannot forget, so the global filter keeps a stale
+        positive until the next flush — exactly the recalibration cost the
+        paper attributes to SWARE.
+        """
+        removed = False
+        for page_no in list(self._zones.pages_containing(key)):
+            page = self._pages[page_no]
+            keep = [
+                (k, v) for k, v in zip(page.keys, page.values) if k != key
+            ]
+            if len(keep) != len(page.keys):
+                removed = True
+                page.keys = [k for k, _ in keep]
+                page.values = [v for _, v in keep]
+                # Rebuild the page filter from scratch on the next probe:
+                # the incremental build index is void after a removal.
+                page.bloom.clear()
+                page.bloom_built_at = 0
+        if removed:
+            self._size = sum(len(p.keys) for p in self._pages)
+        return removed
+
+    # ------------------------------------------------------------------
+    # Flush
+    # ------------------------------------------------------------------
+
+    def drain(self) -> list[tuple[Key, Any]]:
+        """Remove and return every buffered entry, sorted by key, with the
+        latest value winning for duplicate keys.  Resets all metadata
+        (zonemaps, both Bloom filter levels)."""
+        merged: dict[Key, Any] = {}
+        for page in self._pages:
+            for k, v in zip(page.keys, page.values):
+                merged[k] = v
+        out = sorted(merged.items())
+        self._pages.clear()
+        self._zones.clear()
+        self._global_bloom.clear()
+        self._size = 0
+        self._last_key = None
+        self.stats.flushes += 1
+        return out
+
+    def items(self) -> Iterator[tuple[Key, Any]]:
+        """Iterate buffered entries in arrival order."""
+        for page in self._pages:
+            yield from zip(page.keys, page.values)
+
+    @property
+    def memory_bytes(self) -> int:
+        """Approximate footprint: entries + zonemaps + Bloom filters."""
+        entry_bytes = self.capacity * 8
+        blooms = self._global_bloom.memory_bytes + sum(
+            p.bloom.memory_bytes for p in self._pages
+        )
+        return entry_bytes + blooms + self._zones.memory_bytes

@@ -1,0 +1,192 @@
+"""The SA-B+-tree: SWARE's sortedness-aware buffering applied to a
+B+-tree (§2, §5.4).
+
+Inserts land in an in-memory :class:`~repro.sware.buffer.SortednessBuffer`
+(sized at 1% of the expected data by the paper's default).  When the
+buffer fills, its content is drained sorted and *opportunistically bulk
+loaded*: the maximal sorted run above the tree's current maximum key is
+appended as packed leaves, while the remainder is top-inserted.  Queries
+probe the buffer (global Bloom → zonemaps → page Bloom → page search)
+before the underlying tree — the read penalty the paper measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, Optional
+
+from ..core.bptree import BPlusTree
+from ..core.config import TreeConfig
+from ..core.node import Key
+from .buffer import BufferStats, SortednessBuffer
+
+
+@dataclass
+class FlushStats:
+    """Counters for flush-time work.
+
+    ``segments`` is the number of descents the opportunistic bulk load
+    performed; ``bulk_loaded / segments`` is the average run length — high
+    for near-sorted streams, approaching 1 for scrambled ones (where SWARE
+    degenerates to per-entry tree inserts, §2).
+    """
+
+    flushes: int = 0
+    bulk_loaded: int = 0
+    segments: int = 0
+
+    @property
+    def avg_segment_length(self) -> float:
+        """Mean entries placed per descent (1.0 ≈ B+-tree behaviour)."""
+        return self.bulk_loaded / self.segments if self.segments else 0.0
+
+
+class SABPlusTree:
+    """SWARE-paradigm sortedness-aware B+-tree.
+
+    Args:
+        config: configuration for the underlying B+-tree.
+        buffer_capacity: entries buffered before a flush; the paper's
+            default is 1% of the total data size.
+        page_capacity: buffer page size in entries.
+        flush_fill_factor: leaf fill used when bulk loading sorted runs.
+    """
+
+    name = "SWARE"
+
+    def __init__(
+        self,
+        config: Optional[TreeConfig] = None,
+        buffer_capacity: int = 1024,
+        page_capacity: int = 128,
+        flush_fill_factor: float = 1.0,
+        use_interpolation: bool = False,
+        crack_on_read: bool = False,
+    ) -> None:
+        self.tree = BPlusTree(config)
+        self.buffer = SortednessBuffer(
+            buffer_capacity,
+            page_capacity=page_capacity,
+            use_interpolation=use_interpolation,
+            crack_on_read=crack_on_read,
+        )
+        self.flush_fill_factor = flush_fill_factor
+        self.flush_stats = FlushStats()
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+
+    def insert(self, key: Key, value: Any = None) -> None:
+        """Buffered insert; flushes first when the buffer is full."""
+        if self.buffer.is_full:
+            self.flush()
+        self.buffer.append(key, value)
+
+    def flush(self) -> None:
+        """Drain the buffer into the tree.
+
+        The sorted suffix of drained entries that exceeds the tree's
+        current maximum key is appended via the tree's bulk path (SWARE's
+        opportunistic on-the-fly bulk loading); everything else reverts to
+        top-inserts.
+        """
+        drained = self.buffer.drain()
+        if not drained:
+            return
+        self.flush_stats.flushes += 1
+        segments_before = self.tree.stats.bulk_splice_segments
+        self.tree.bulk_insert_run(
+            drained, fill_factor=self.flush_fill_factor
+        )
+        self.flush_stats.bulk_loaded += len(drained)
+        self.flush_stats.segments += (
+            self.tree.stats.bulk_splice_segments - segments_before
+        )
+
+    def delete(self, key: Key) -> bool:
+        """Delete ``key`` from the buffer and/or the tree."""
+        in_buffer = self.buffer.remove(key)
+        in_tree = self.tree.delete(key)
+        return in_buffer or in_tree
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+
+    def get(self, key: Key, default: Any = None) -> Any:
+        """Point lookup: buffer first (it holds the freshest write for a
+        key), then the underlying tree."""
+        found, value = self.buffer.get(key)
+        if found:
+            return value
+        return self.tree.get(key, default)
+
+    def __contains__(self, key: Key) -> bool:
+        found, _ = self.buffer.get(key)
+        if found:
+            return True
+        return key in self.tree
+
+    def range_query(self, start: Key, end: Key) -> list[tuple[Key, Any]]:
+        """Entries in ``[start, end)`` merged across buffer and tree.
+
+        Buffered values shadow tree values for duplicate keys.
+        """
+        merged = dict(self.tree.range_query(start, end))
+        merged.update(self.buffer.range_items(start, end))
+        return sorted(merged.items())
+
+    def items(self) -> Iterator[tuple[Key, Any]]:
+        """All entries in key order, without flushing."""
+        buffered = dict(self.buffer.items())
+        order = sorted(buffered)
+        i = 0
+        for key, value in self.tree.items():
+            while i < len(order) and order[i] < key:
+                yield order[i], buffered[order[i]]
+                i += 1
+            if i < len(order) and order[i] == key:
+                yield key, buffered[key]
+                i += 1
+            else:
+                yield key, value
+        while i < len(order):
+            yield order[i], buffered[order[i]]
+            i += 1
+
+    def __len__(self) -> int:
+        """Exact number of distinct keys across buffer and tree."""
+        overlap = 0
+        seen: set[Key] = set()
+        for key, _ in self.buffer.items():
+            if key in seen:
+                continue
+            seen.add(key)
+            leaf = self.tree._find_leaf(key, count=False)
+            if leaf.find(key) is not None:
+                overlap += 1
+        return len(self.tree) + len(seen) - overlap
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def stats(self):
+        """Underlying tree stats (traversal counters)."""
+        return self.tree.stats
+
+    @property
+    def buffer_stats(self) -> BufferStats:
+        """Buffer-side work counters."""
+        return self.buffer.stats
+
+    def memory_bytes(self) -> int:
+        """Tree pages + buffer + auxiliary structures (Fig. 1b point:
+        SWARE's footprint includes the buffer and its metadata)."""
+        return self.tree.memory_bytes() + self.buffer.memory_bytes
+
+    def validate(self) -> None:
+        """Validate the underlying tree's structural invariants."""
+        self.tree.validate(check_min_fill=False)

@@ -1,0 +1,84 @@
+"""Zonemaps (small materialized aggregates, Moerkotte 1998).
+
+SWARE keeps one zonemap per buffer page — the page's min and max key —
+so that an out-of-order insert or a point lookup only scans pages whose
+key range overlaps the probe (§2).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from ..core.node import Key
+
+
+class ZoneMap:
+    """Min/max summary of one buffer page."""
+
+    __slots__ = ("min_key", "max_key", "count")
+
+    def __init__(self) -> None:
+        self.min_key: Optional[Key] = None
+        self.max_key: Optional[Key] = None
+        self.count = 0
+
+    def observe(self, key: Key) -> None:
+        """Extend the zone to cover ``key``."""
+        if self.min_key is None or key < self.min_key:
+            self.min_key = key
+        if self.max_key is None or key > self.max_key:
+            self.max_key = key
+        self.count += 1
+
+    def contains(self, key: Key) -> bool:
+        """True when ``key`` falls inside the zone's [min, max] range."""
+        if self.min_key is None:
+            return False
+        return self.min_key <= key <= self.max_key
+
+    def overlaps(self, start: Key, end: Key) -> bool:
+        """True when the zone intersects the half-open range [start, end)."""
+        if self.min_key is None:
+            return False
+        return self.min_key < end and self.max_key >= start
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Zone [{self.min_key}, {self.max_key}] n={self.count}>"
+
+
+class ZoneMapIndex:
+    """The ordered collection of per-page zonemaps for a buffer."""
+
+    def __init__(self) -> None:
+        self._zones: list[ZoneMap] = []
+
+    def __len__(self) -> int:
+        return len(self._zones)
+
+    def zone(self, page_no: int) -> ZoneMap:
+        """Zonemap of ``page_no``, growing the index as pages appear."""
+        while page_no >= len(self._zones):
+            self._zones.append(ZoneMap())
+        return self._zones[page_no]
+
+    def pages_containing(self, key: Key) -> Iterator[int]:
+        """Page numbers whose zone may contain ``key`` (linear scan, as in
+        SWARE — this scan is part of the design's insert/query cost)."""
+        for page_no, zone in enumerate(self._zones):
+            if zone.contains(key):
+                yield page_no
+
+    def pages_overlapping(self, start: Key, end: Key) -> Iterator[int]:
+        """Page numbers whose zone intersects [start, end)."""
+        for page_no, zone in enumerate(self._zones):
+            if zone.overlaps(start, end):
+                yield page_no
+
+    def clear(self) -> None:
+        """Drop all zones (buffer flush)."""
+        self._zones.clear()
+
+    @property
+    def memory_bytes(self) -> int:
+        """Approximate footprint: two keys + a count per zone."""
+        return len(self._zones) * 12

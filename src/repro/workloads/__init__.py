@@ -1,0 +1,44 @@
+"""Workload builders: ingestion streams, query sets, and the synthetic
+stock-price substitutes for the paper's real-world datasets."""
+
+from .generators import (
+    SegmentSpec,
+    alternating_stress_stream,
+    scrambled_stream,
+    segmented_stream,
+    sorted_stream,
+)
+from .queries import (
+    PAPER_SELECTIVITIES,
+    mixed_selectivity_ranges,
+    negative_lookups,
+    point_lookups,
+    range_queries,
+)
+from .stocks import (
+    NIFTY_SPEC,
+    SPXUSD_SPEC,
+    InstrumentSpec,
+    closing_prices,
+    instrument_keys,
+    to_index_keys,
+)
+
+__all__ = [
+    "SegmentSpec",
+    "segmented_stream",
+    "alternating_stress_stream",
+    "sorted_stream",
+    "scrambled_stream",
+    "PAPER_SELECTIVITIES",
+    "point_lookups",
+    "negative_lookups",
+    "range_queries",
+    "mixed_selectivity_ranges",
+    "InstrumentSpec",
+    "NIFTY_SPEC",
+    "SPXUSD_SPEC",
+    "closing_prices",
+    "instrument_keys",
+    "to_index_keys",
+]

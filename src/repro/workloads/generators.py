@@ -1,0 +1,91 @@
+"""Ingestion workload builders beyond plain BoDS streams.
+
+Includes the alternating-sortedness stress workload of §5.2.3 (Fig. 12a):
+consecutive key segments that flip between near-sorted and fully scrambled,
+designed to trap fast-path predictors in stale states.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..sortedness.bods import BodsSpec, generate
+
+
+@dataclass(frozen=True)
+class SegmentSpec:
+    """One segment of a segmented workload: ``n`` keys with the given
+    K-L characteristics."""
+
+    n: int
+    k_fraction: float
+    l_fraction: float = 1.0
+
+
+def segmented_stream(
+    segments: list[SegmentSpec],
+    seed: int = 42,
+    key_start: int = 0,
+) -> np.ndarray:
+    """Concatenate BoDS streams over consecutive key ranges.
+
+    Segment ``i`` permutes its own contiguous slice of the key domain, so
+    the overall stream trends upward (as in Fig. 12a) while local
+    sortedness alternates per segment.
+    """
+    parts: list[np.ndarray] = []
+    start = key_start
+    for i, seg in enumerate(segments):
+        spec = BodsSpec(
+            n=seg.n,
+            k_fraction=seg.k_fraction,
+            l_fraction=seg.l_fraction,
+            seed=seed + i,
+            key_start=start,
+        )
+        parts.append(generate(spec))
+        start += seg.n
+    if not parts:
+        return np.empty(0, dtype=np.int64)
+    return np.concatenate(parts)
+
+
+def alternating_stress_stream(
+    n_total: int = 25_000,
+    n_segments: int = 5,
+    near_k: float = 0.10,
+    scrambled_k: float = 1.0,
+    l_fraction: float = 1.0,
+    seed: int = 42,
+) -> np.ndarray:
+    """The Fig. 12a stress workload: ``n_segments`` equal segments
+    alternating near-sorted (K=``near_k``) and scrambled
+    (K=``scrambled_k``), starting near-sorted."""
+    if n_segments < 1:
+        raise ValueError(f"n_segments must be >= 1, got {n_segments}")
+    per = n_total // n_segments
+    segs = [
+        SegmentSpec(
+            n=per if i < n_segments - 1 else n_total - per * (n_segments - 1),
+            k_fraction=near_k if i % 2 == 0 else scrambled_k,
+            l_fraction=l_fraction,
+        )
+        for i in range(n_segments)
+    ]
+    return segmented_stream(segs, seed=seed)
+
+
+def sorted_stream(n: int, key_start: int = 0, key_step: int = 1) -> np.ndarray:
+    """Fully sorted keys."""
+    return np.arange(key_start, key_start + n * key_step, key_step,
+                     dtype=np.int64)
+
+
+def scrambled_stream(n: int, seed: int = 42) -> np.ndarray:
+    """Uniformly shuffled keys 0..n-1."""
+    rng = np.random.default_rng(seed)
+    out = np.arange(n, dtype=np.int64)
+    rng.shuffle(out)
+    return out

@@ -1,0 +1,92 @@
+"""Query workload builders (§5, "Default Workload").
+
+The paper's query phase runs 5M uniform random point lookups on existing
+keys (1% of the data) and 1000 range lookups at selectivities 0.1%, 1%,
+and 10% of the key domain.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+#: The paper's range-query selectivities (fractions of the key domain).
+PAPER_SELECTIVITIES = (0.001, 0.01, 0.10)
+
+
+def point_lookups(
+    existing_keys: Sequence[int] | np.ndarray,
+    count: int,
+    seed: int = 42,
+) -> np.ndarray:
+    """Uniform random point-lookup targets drawn from existing keys."""
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    keys = np.asarray(existing_keys)
+    if keys.size == 0:
+        raise ValueError("cannot sample lookups from an empty key set")
+    rng = np.random.default_rng(seed)
+    return keys[rng.integers(0, keys.size, size=count)]
+
+
+def negative_lookups(
+    key_min: int,
+    key_max: int,
+    count: int,
+    existing: set[int] | None = None,
+    seed: int = 42,
+) -> np.ndarray:
+    """Lookup targets guaranteed absent (useful for Bloom-filter tests)."""
+    rng = np.random.default_rng(seed)
+    out: list[int] = []
+    span = key_max - key_min + 1
+    while len(out) < count:
+        cand = int(rng.integers(key_min, key_min + 2 * span))
+        if existing is None or cand not in existing:
+            if existing is None and key_min <= cand <= key_max:
+                continue
+            out.append(cand)
+    return np.asarray(out, dtype=np.int64)
+
+
+def range_queries(
+    key_min: int,
+    key_max: int,
+    selectivity: float,
+    count: int,
+    seed: int = 42,
+) -> list[tuple[int, int]]:
+    """Random ``[start, end)`` ranges covering ``selectivity`` of the key
+    domain each."""
+    if not 0.0 < selectivity <= 1.0:
+        raise ValueError(
+            f"selectivity must be in (0, 1], got {selectivity}"
+        )
+    if key_max <= key_min:
+        raise ValueError("key_max must exceed key_min")
+    span = key_max - key_min
+    width = max(1, int(span * selectivity))
+    rng = np.random.default_rng(seed)
+    out: list[tuple[int, int]] = []
+    hi = key_max - width
+    for _ in range(count):
+        start = int(rng.integers(key_min, max(key_min + 1, hi)))
+        out.append((start, start + width))
+    return out
+
+
+def mixed_selectivity_ranges(
+    key_min: int,
+    key_max: int,
+    count_per_selectivity: int,
+    selectivities: Sequence[float] = PAPER_SELECTIVITIES,
+    seed: int = 42,
+) -> dict[float, list[tuple[int, int]]]:
+    """Range workloads at each paper selectivity, keyed by selectivity."""
+    return {
+        sel: range_queries(
+            key_min, key_max, sel, count_per_selectivity, seed=seed + i
+        )
+        for i, sel in enumerate(selectivities)
+    }

@@ -1,0 +1,123 @@
+"""Synthetic stock-price workloads (substitute for §5.5's NIFTY/SPXUSD
+intra-day datasets — see DESIGN.md, substitution 3).
+
+The paper indexes the ``closing_price`` column of one-minute bars for two
+instruments whose long upward trend makes the stream near-sorted with
+unknown K-L.  Without network access to the original CSVs, we synthesize
+minute-bar series with the same macro structure: geometric drift,
+mean-reverting (Ornstein-Uhlenbeck) noise, and occasional jumps, then
+quantize to integer keys.
+
+Prices repeat, but the reproduction's trees store unique keys, so
+:func:`to_index_keys` composes ``(price_tick, arrival_seq)`` into a single
+integer that preserves the price ordering while disambiguating duplicates
+— the standard composite-key trick for secondary indexes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Shift used when composing (price, sequence) into one integer key.
+SEQ_BITS = 24
+
+
+@dataclass(frozen=True)
+class InstrumentSpec:
+    """Parameters of a synthetic intra-day instrument.
+
+    Attributes:
+        name: instrument label.
+        n: number of one-minute bars.
+        start_price: opening price of the series.
+        total_drift: multiplicative growth over the whole series (e.g.
+            3.0 = the price roughly triples).
+        volatility: per-step OU noise scale, as a fraction of price.
+        reversion: OU mean-reversion strength in (0, 1].
+        jump_prob: per-step probability of a jump.
+        jump_scale: jump magnitude as a fraction of price.
+        tick: price quantum (e.g. 0.05 for NIFTY).
+        seed: RNG seed.
+    """
+
+    name: str
+    n: int = 200_000
+    start_price: float = 6000.0
+    total_drift: float = 3.0
+    volatility: float = 0.0008
+    reversion: float = 0.02
+    jump_prob: float = 0.0005
+    jump_scale: float = 0.01
+    tick: float = 0.05
+    seed: int = 42
+
+
+#: Calibrated stand-ins for the paper's two instruments: NIFTY (India's
+#: equity benchmark, ~1.4M minute bars, strong multi-year growth) and
+#: SPXUSD (S&P 500, ~2.2M bars, steadier climb).  ``n`` is scaled down
+#: with the rest of the reproduction; ratios match the originals.
+#: The per-step noise is calibrated so that the ratio of local price
+#: oscillation to the (scaled-down) leaf key span matches what the
+#: paper's 510-entry leaves see on real minute bars — see DESIGN.md
+#: substitution 3 and EXPERIMENTS.md (fig15).
+NIFTY_SPEC = InstrumentSpec(
+    name="NIFTY", n=140_000, start_price=6000.0, total_drift=3.3,
+    volatility=5e-6, reversion=0.02, jump_prob=0.0015, jump_scale=0.02,
+    tick=0.05, seed=1401,
+)
+SPXUSD_SPEC = InstrumentSpec(
+    name="SPXUSD", n=220_000, start_price=900.0, total_drift=3.0,
+    volatility=3e-6, reversion=0.01, jump_prob=0.002, jump_scale=0.02,
+    tick=0.25, seed=2205,
+)
+
+
+def closing_prices(spec: InstrumentSpec) -> np.ndarray:
+    """Generate the instrument's minute-bar closing prices.
+
+    The series is ``trend * exp(ou_noise) * jump_factor`` quantized to
+    ``spec.tick``; the result is float64.
+    """
+    if spec.n < 1:
+        raise ValueError(f"n must be >= 1, got {spec.n}")
+    rng = np.random.default_rng(spec.seed)
+    steps = np.arange(spec.n)
+    trend = spec.start_price * spec.total_drift ** (steps / max(1, spec.n - 1))
+    # Ornstein-Uhlenbeck log-noise: mean-reverting local wiggle.
+    noise = np.empty(spec.n)
+    x = 0.0
+    shocks = rng.normal(0.0, spec.volatility, size=spec.n)
+    for i in range(spec.n):
+        x += -spec.reversion * x + shocks[i]
+        noise[i] = x
+    # Occasional jumps that persist (regime shifts).
+    jumps = rng.random(spec.n) < spec.jump_prob
+    jump_sizes = np.where(
+        jumps, rng.normal(0.0, spec.jump_scale, size=spec.n), 0.0
+    )
+    jump_level = np.cumsum(jump_sizes)
+    prices = trend * np.exp(noise + jump_level)
+    return np.round(prices / spec.tick) * spec.tick
+
+
+def to_index_keys(prices: np.ndarray, tick: float) -> np.ndarray:
+    """Compose quantized prices with their arrival sequence into unique,
+    price-ordered integer keys.
+
+    ``key = price_in_ticks << SEQ_BITS | arrival_index`` — near-sortedness
+    of the price series carries over to the keys.
+    """
+    if len(prices) >= (1 << SEQ_BITS):
+        raise ValueError(
+            f"series too long for {SEQ_BITS} sequence bits: {len(prices)}"
+        )
+    ticks = np.round(prices / tick).astype(np.int64)
+    seq = np.arange(len(prices), dtype=np.int64)
+    return (ticks << SEQ_BITS) | seq
+
+
+def instrument_keys(spec: InstrumentSpec) -> np.ndarray:
+    """Closing prices of ``spec`` as unique index keys."""
+    return to_index_keys(closing_prices(spec), spec.tick)

@@ -1,0 +1,69 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import (
+    BPlusTree,
+    LilBPlusTree,
+    PoleBPlusTree,
+    QuITNoResetTree,
+    QuITNoVariableSplitTree,
+    QuITTree,
+    TailBPlusTree,
+    TreeConfig,
+)
+
+#: Every tree variant, including ablations (ids used in parametrize).
+ALL_TREE_CLASSES = [
+    BPlusTree,
+    TailBPlusTree,
+    LilBPlusTree,
+    PoleBPlusTree,
+    QuITTree,
+    QuITNoResetTree,
+    QuITNoVariableSplitTree,
+]
+
+#: The variants with a fast path.
+FASTPATH_TREE_CLASSES = ALL_TREE_CLASSES[1:]
+
+
+@pytest.fixture
+def small_config() -> TreeConfig:
+    """Tiny nodes: forces deep trees and frequent splits."""
+    return TreeConfig(leaf_capacity=8, internal_capacity=8)
+
+
+@pytest.fixture
+def medium_config() -> TreeConfig:
+    """The benchmark default."""
+    return TreeConfig(leaf_capacity=64, internal_capacity=64)
+
+
+@pytest.fixture(params=ALL_TREE_CLASSES, ids=lambda c: c.name)
+def any_tree_class(request):
+    """Parametrizes a test over every tree variant."""
+    return request.param
+
+
+@pytest.fixture(params=FASTPATH_TREE_CLASSES, ids=lambda c: c.name)
+def fastpath_tree_class(request):
+    """Parametrizes a test over every fast-path variant."""
+    return request.param
+
+
+def shuffled_keys(n: int, seed: int = 0) -> list[int]:
+    """Keys 0..n-1 uniformly shuffled."""
+    keys = list(range(n))
+    random.Random(seed).shuffle(keys)
+    return keys
+
+
+def validate_tree(tree) -> None:
+    """Validate with min-fill relaxed (QuIT variants create small
+    leaves by design)."""
+    tree.validate(check_min_fill=False)

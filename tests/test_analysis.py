@@ -1,0 +1,147 @@
+"""Tests for the analytical models (Eq. 1) and memory analysis."""
+
+import pytest
+
+from repro.analysis import (
+    crossover_k,
+    expected_ingest_speedup,
+    ideal_fast_fraction,
+    lil_expected_fast_fraction,
+    memory_breakdown,
+    occupancy_histogram,
+    simulate_lil_fast_fraction,
+    space_reduction,
+    tail_expected_fast_fraction,
+)
+from repro.core import BPlusTree, QuITTree, TreeConfig
+
+CFG = TreeConfig(leaf_capacity=16, internal_capacity=16)
+
+
+class TestEq1:
+    def test_endpoints(self):
+        assert lil_expected_fast_fraction(0.0) == 1.0
+        assert lil_expected_fast_fraction(1.0) == 0.0
+
+    def test_known_values(self):
+        # §3: 98% fast-inserts at k=1%, ~90% at k=5%.
+        assert lil_expected_fast_fraction(0.01) == pytest.approx(0.9801)
+        assert lil_expected_fast_fraction(0.05) == pytest.approx(0.9025)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            lil_expected_fast_fraction(-0.1)
+        with pytest.raises(ValueError):
+            lil_expected_fast_fraction(1.1)
+
+    def test_simulation_matches_closed_form(self):
+        for k in (0.0, 0.05, 0.3, 0.7):
+            sim = simulate_lil_fast_fraction(k, n=200_000, seed=1)
+            assert sim == pytest.approx(
+                lil_expected_fast_fraction(k), abs=0.01
+            )
+
+
+class TestIdealAndTail:
+    def test_ideal_linear(self):
+        assert ideal_fast_fraction(0.25) == 0.75
+
+    def test_ideal_dominates_lil(self):
+        for k10 in range(1, 10):
+            k = k10 / 10
+            assert ideal_fast_fraction(k) > lil_expected_fast_fraction(k)
+
+    def test_tail_collapses_quickly(self):
+        sorted_case = tail_expected_fast_fraction(0.0, 100_000, 64)
+        slightly = tail_expected_fast_fraction(0.01, 100_000, 64)
+        assert sorted_case == 1.0
+        assert slightly < 0.7
+
+    def test_tail_below_ideal(self):
+        for k10 in range(1, 11):
+            k = k10 / 10
+            assert (
+                tail_expected_fast_fraction(k, 100_000, 64)
+                <= ideal_fast_fraction(k) + 1e-12
+            )
+
+
+class TestSpeedupModel:
+    def test_all_fast_gives_full_ratio(self):
+        assert expected_ingest_speedup(1.0, 3.5) == pytest.approx(3.5)
+
+    def test_no_fast_gives_parity(self):
+        assert expected_ingest_speedup(0.0, 3.5) == pytest.approx(1.0)
+
+    def test_monotone_in_fast_fraction(self):
+        values = [expected_ingest_speedup(f / 10) for f in range(11)]
+        assert values == sorted(values)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            expected_ingest_speedup(1.5)
+        with pytest.raises(ValueError):
+            expected_ingest_speedup(0.5, 0.0)
+
+
+class TestCrossover:
+    def test_finds_crossing(self):
+        grid = [0.0, 0.1, 0.2, 0.3]
+        a = [(k, 1.0 - k) for k in grid]
+        b = [(k, 0.85) for k in grid]
+        assert crossover_k(a, b) == 0.2
+
+    def test_none_when_dominant(self):
+        grid = [0.0, 0.1]
+        a = [(k, 2.0) for k in grid]
+        b = [(k, 1.0) for k in grid]
+        assert crossover_k(a, b) is None
+
+    def test_rejects_mismatched_grid(self):
+        with pytest.raises(ValueError):
+            crossover_k([(0.0, 1)], [(0.5, 1)])
+
+
+class TestMemoryAnalysis:
+    def _grown(self, cls, n=2000):
+        tree = cls(CFG)
+        for k in range(n):
+            tree.insert(k, k)
+        return tree
+
+    def test_histogram_totals(self):
+        tree = self._grown(BPlusTree)
+        hist = occupancy_histogram(tree, n_buckets=10)
+        assert hist.total == tree.occupancy().leaf_count
+        assert len(hist.edges) == 10
+
+    def test_histogram_classical_concentrated_at_half(self):
+        tree = self._grown(BPlusTree)
+        hist = occupancy_histogram(tree, n_buckets=10)
+        # Sorted ingestion: nearly every leaf sits in the 50% bucket.
+        half_bucket = hist.counts[4] + hist.counts[5]
+        assert half_bucket > 0.9 * hist.total
+
+    def test_histogram_quit_concentrated_high(self):
+        tree = self._grown(QuITTree)
+        hist = occupancy_histogram(tree, n_buckets=10)
+        assert hist.counts[-1] + hist.counts[-2] > 0.8 * hist.total
+
+    def test_histogram_rejects_bad_buckets(self):
+        with pytest.raises(ValueError):
+            occupancy_histogram(self._grown(BPlusTree), n_buckets=0)
+
+    def test_space_reduction_sorted(self):
+        classical = self._grown(BPlusTree)
+        quit_tree = self._grown(QuITTree)
+        assert space_reduction(classical, quit_tree) > 1.5
+
+    def test_space_reduction_rejects_empty(self):
+        with pytest.raises(ValueError):
+            space_reduction(self._grown(BPlusTree), BPlusTree(CFG))
+
+    def test_breakdown_sums_to_memory_bytes(self):
+        tree = self._grown(BPlusTree)
+        breakdown = memory_breakdown(tree)
+        assert breakdown.total == tree.memory_bytes()
+        assert breakdown.leaf_bytes > breakdown.internal_bytes

@@ -1,0 +1,102 @@
+"""Tests for the Bloom filter."""
+
+import pytest
+
+from repro.sware.bloom import BloomFilter, _hash_pair
+
+
+class TestConstruction:
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            BloomFilter(0)
+
+    @pytest.mark.parametrize("fp", [0.0, 1.0, -0.5, 2.0])
+    def test_rejects_bad_fp_rate(self, fp):
+        with pytest.raises(ValueError):
+            BloomFilter(10, fp_rate=fp)
+
+    def test_rejects_bad_n_hashes(self):
+        with pytest.raises(ValueError):
+            BloomFilter(10, n_hashes=0)
+
+    def test_sizing_scales_with_capacity(self):
+        small = BloomFilter(100)
+        big = BloomFilter(10_000)
+        assert big.bit_size > small.bit_size
+        assert big.memory_bytes > small.memory_bytes
+
+
+class TestMembership:
+    def test_no_false_negatives(self):
+        bf = BloomFilter(1000, fp_rate=0.01)
+        for k in range(1000):
+            bf.add(k)
+        assert all(bf.might_contain(k) for k in range(1000))
+
+    def test_no_false_negatives_hashed_api(self):
+        bf = BloomFilter(500)
+        for k in range(500):
+            bf.add_hashed(*_hash_pair(k))
+        for k in range(500):
+            assert bf.might_contain_hashed(*_hash_pair(k))
+            assert bf.might_contain(k)
+
+    def test_empty_filter_rejects_everything(self):
+        bf = BloomFilter(100)
+        assert not any(bf.might_contain(k) for k in range(1000))
+
+    def test_false_positive_rate_reasonable(self):
+        bf = BloomFilter(2000, fp_rate=0.01)
+        for k in range(2000):
+            bf.add(k)
+        false_positives = sum(
+            1 for k in range(100_000, 110_000) if bf.might_contain(k)
+        )
+        # Information-optimal would be ~1%; allow generous slack.
+        assert false_positives / 10_000 < 0.08
+
+    def test_contains_dunder(self):
+        bf = BloomFilter(10)
+        bf.add("hello")
+        assert "hello" in bf
+
+    def test_strings_and_tuples(self):
+        bf = BloomFilter(100)
+        items = ["a", "bb", ("x", 1), 3.5]
+        bf.update(items)
+        assert all(bf.might_contain(i) for i in items)
+
+    def test_clear(self):
+        bf = BloomFilter(100)
+        bf.update(range(50))
+        bf.clear()
+        assert bf.count == 0
+        assert not any(bf.might_contain(k) for k in range(50))
+
+    def test_count_tracks_adds(self):
+        bf = BloomFilter(100)
+        bf.update(range(30))
+        assert bf.count == 30
+
+    def test_estimated_fp_rate_grows_with_load(self):
+        bf = BloomFilter(100, fp_rate=0.01)
+        assert bf.estimated_fp_rate() == 0.0
+        bf.update(range(50))
+        mid = bf.estimated_fp_rate()
+        bf.update(range(50, 200))
+        assert bf.estimated_fp_rate() > mid > 0.0
+
+
+class TestHashPair:
+    def test_second_hash_is_odd(self):
+        for item in (0, 1, 12345, "abc", (1, 2)):
+            _, h2 = _hash_pair(item)
+            assert h2 % 2 == 1
+
+    def test_deterministic(self):
+        assert _hash_pair(42) == _hash_pair(42)
+
+    def test_dense_integers_spread(self):
+        # Consecutive integers must not collide into the same position.
+        positions = {_hash_pair(k)[0] % 1024 for k in range(512)}
+        assert len(positions) > 300

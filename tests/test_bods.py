@@ -1,0 +1,113 @@
+"""Tests for the BoDS workload generator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sortedness import generate_keys, kl_sortedness
+from repro.sortedness.bods import BodsSpec, generate, generate_pairs
+
+
+class TestSpecValidation:
+    @pytest.mark.parametrize("kwargs", [
+        dict(n=-1),
+        dict(n=10, k_fraction=-0.1),
+        dict(n=10, k_fraction=1.1),
+        dict(n=10, l_fraction=-0.1),
+        dict(n=10, l_fraction=2.0),
+        dict(n=10, alpha=0.0),
+        dict(n=10, beta=-1.0),
+        dict(n=10, key_step=0),
+    ])
+    def test_rejects(self, kwargs):
+        with pytest.raises(ValueError):
+            BodsSpec(**kwargs)
+
+
+class TestGenerate:
+    def test_empty(self):
+        assert len(generate(BodsSpec(n=0))) == 0
+
+    def test_keys_are_a_permutation(self):
+        keys = generate_keys(5000, 0.10, 0.5, seed=1)
+        assert sorted(keys.tolist()) == list(range(5000))
+
+    def test_k_zero_is_sorted(self):
+        keys = generate_keys(1000, 0.0, 1.0)
+        assert np.array_equal(keys, np.arange(1000))
+
+    def test_deterministic_per_seed(self):
+        a = generate_keys(2000, 0.2, 0.5, seed=9)
+        b = generate_keys(2000, 0.2, 0.5, seed=9)
+        c = generate_keys(2000, 0.2, 0.5, seed=10)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    @pytest.mark.parametrize("k", [0.01, 0.05, 0.25, 0.5])
+    def test_measured_k_close_to_requested(self, k):
+        keys = generate_keys(20_000, k, 1.0, seed=3)
+        measured = kl_sortedness(keys.tolist())
+        assert abs(measured.k_fraction - k) < 0.02 + 0.1 * k
+
+    @pytest.mark.parametrize("l", [0.01, 0.1, 0.5])
+    def test_measured_l_bounded_by_requested(self, l):
+        keys = generate_keys(20_000, 0.10, l, seed=4)
+        measured = kl_sortedness(keys.tolist())
+        # Collision slippage may exceed L slightly (documented).
+        assert measured.l_fraction <= l * 1.3 + 0.01
+
+    def test_fully_scrambled(self):
+        keys = generate_keys(20_000, 1.0, 1.0, seed=5)
+        measured = kl_sortedness(keys.tolist())
+        assert measured.k_fraction > 0.95
+
+    def test_scrambled_with_small_l_stays_local(self):
+        keys = generate_keys(10_000, 1.0, 0.01, seed=6)
+        measured = kl_sortedness(keys.tolist())
+        assert measured.l_fraction <= 0.012
+        assert measured.k_fraction > 0.8
+
+    def test_key_start_and_step(self):
+        spec = BodsSpec(n=100, k_fraction=0.0, key_start=1000, key_step=3)
+        keys = generate(spec)
+        assert keys[0] == 1000
+        assert keys[-1] == 1000 + 99 * 3
+
+    def test_beta_skew_displaces_early_positions(self):
+        # alpha<beta skews displaced positions toward the stream start.
+        early = BodsSpec(n=20_000, k_fraction=0.2, l_fraction=0.05,
+                         alpha=1.0, beta=8.0, seed=7)
+        late = BodsSpec(n=20_000, k_fraction=0.2, l_fraction=0.05,
+                        alpha=8.0, beta=1.0, seed=7)
+        def disorder_front(keys):
+            head = keys[:10_000].tolist()
+            return kl_sortedness(head).k
+        assert disorder_front(generate(early)) > disorder_front(
+            generate(late)
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n=st.integers(1, 2000),
+        k=st.floats(0.0, 1.0),
+        l=st.floats(0.0, 1.0),
+        seed=st.integers(0, 2**31),
+    )
+    def test_always_a_permutation(self, n, k, l, seed):
+        keys = generate(BodsSpec(n=n, k_fraction=k, l_fraction=l, seed=seed))
+        assert len(keys) == n
+        assert sorted(keys.tolist()) == list(range(n))
+
+
+class TestGeneratePairs:
+    def test_default_values_are_keys(self):
+        pairs = list(generate_pairs(BodsSpec(n=50, k_fraction=0.1)))
+        assert all(k == v for k, v in pairs)
+        assert all(isinstance(k, int) for k, _ in pairs)
+
+    def test_custom_value_function(self):
+        pairs = list(
+            generate_pairs(BodsSpec(n=20), value_of=lambda k: k * 10)
+        )
+        assert all(v == k * 10 for k, v in pairs)

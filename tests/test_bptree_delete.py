@@ -1,0 +1,198 @@
+"""Delete and rebalancing behaviour (§4.4) across every variant."""
+
+import random
+
+import pytest
+
+from repro.core import BPlusTree, QuITTree, TreeConfig
+
+from conftest import shuffled_keys, validate_tree
+
+
+class TestDeleteBasics:
+    def test_delete_missing_returns_false(self, small_config, any_tree_class):
+        tree = any_tree_class(small_config)
+        tree.insert(1, 1)
+        assert tree.delete(2) is False
+        assert len(tree) == 1
+
+    def test_delete_existing(self, small_config, any_tree_class):
+        tree = any_tree_class(small_config)
+        tree.insert(1, "x")
+        assert tree.delete(1) is True
+        assert len(tree) == 0
+        assert 1 not in tree
+
+    def test_delete_from_empty(self, small_config, any_tree_class):
+        tree = any_tree_class(small_config)
+        assert tree.delete(5) is False
+
+    def test_delete_counts(self, small_config):
+        tree = BPlusTree(small_config)
+        tree.insert(1, 1)
+        tree.delete(1)
+        tree.delete(1)
+        assert tree.stats.deletes == 2
+
+
+class TestDeleteRebalancing:
+    def test_delete_everything(self, small_config, any_tree_class):
+        tree = any_tree_class(small_config)
+        keys = shuffled_keys(400, seed=5)
+        for k in keys:
+            tree.insert(k, k)
+        for k in keys:
+            assert tree.delete(k)
+        assert len(tree) == 0
+        assert list(tree.keys()) == []
+        tree.validate()
+
+    def test_delete_half_then_lookup(self, small_config, any_tree_class):
+        tree = any_tree_class(small_config)
+        keys = shuffled_keys(600, seed=6)
+        for k in keys:
+            tree.insert(k, k * 3)
+        removed = set(keys[:300])
+        for k in keys[:300]:
+            assert tree.delete(k)
+        validate_tree(tree)
+        for k in keys:
+            if k in removed:
+                assert k not in tree
+            else:
+                assert tree.get(k) == k * 3
+
+    def test_root_shrinks(self, small_config):
+        tree = BPlusTree(small_config)
+        for k in range(200):
+            tree.insert(k, k)
+        assert tree.height >= 3
+        for k in range(195):
+            tree.delete(k)
+        tree.validate()
+        assert tree.height < 3
+        assert list(tree.keys()) == list(range(195, 200))
+
+    def test_delete_ascending_order(self, small_config, any_tree_class):
+        tree = any_tree_class(small_config)
+        for k in range(300):
+            tree.insert(k, k)
+        for k in range(300):
+            assert tree.delete(k)
+        assert len(tree) == 0
+        tree.validate()
+
+    def test_delete_descending_order(self, small_config, any_tree_class):
+        tree = any_tree_class(small_config)
+        for k in range(300):
+            tree.insert(k, k)
+        for k in reversed(range(300)):
+            assert tree.delete(k)
+        assert len(tree) == 0
+        tree.validate()
+
+    def test_classical_min_fill_preserved(self, small_config):
+        tree = BPlusTree(small_config)
+        keys = shuffled_keys(500, seed=7)
+        for k in keys:
+            tree.insert(k, k)
+        rng = random.Random(8)
+        for k in rng.sample(keys, 250):
+            tree.delete(k)
+        # The classical tree rebalances eagerly, so strict min-fill holds.
+        tree.validate(check_min_fill=True)
+
+    def test_interleaved_insert_delete(self, small_config, any_tree_class):
+        tree = any_tree_class(small_config)
+        oracle: dict[int, int] = {}
+        rng = random.Random(11)
+        for step in range(3000):
+            k = rng.randrange(500)
+            if rng.random() < 0.6:
+                tree.insert(k, step)
+                oracle[k] = step
+            else:
+                assert tree.delete(k) == (k in oracle)
+                oracle.pop(k, None)
+        assert sorted(oracle.items()) == list(tree.items())
+        validate_tree(tree)
+
+
+class TestQuITDeleteSpecifics:
+    def test_pole_delete_skips_eager_rebalance(self):
+        cfg = TreeConfig(leaf_capacity=8, internal_capacity=8)
+        tree = QuITTree(cfg)
+        for k in range(100):
+            tree.insert(k, k)
+        pole = tree.fast_path_leaf
+        assert pole is not None and pole.size > 0
+        # Delete everything but one entry from the pole: no rebalance is
+        # triggered even though the pole goes under min-fill.
+        for k in list(pole.keys)[:-1]:
+            tree.delete(k)
+        assert tree.fast_path_leaf is pole
+        assert pole.size == 1
+        validate_tree(tree)
+
+    def test_pole_emptied_resets_to_prev(self):
+        cfg = TreeConfig(leaf_capacity=8, internal_capacity=8)
+        tree = QuITTree(cfg)
+        for k in range(100):
+            tree.insert(k, k)
+        pole = tree.fast_path_leaf
+        prev = tree.pole_prev
+        assert prev is not None
+        for k in list(pole.keys):
+            tree.delete(k)
+        assert tree.fast_path_leaf is prev
+        validate_tree(tree)
+
+    def test_insert_after_pole_emptied(self):
+        cfg = TreeConfig(leaf_capacity=8, internal_capacity=8)
+        tree = QuITTree(cfg)
+        for k in range(100):
+            tree.insert(k, k)
+        for k in list(tree.fast_path_leaf.keys):
+            tree.delete(k)
+        # The tree remains fully usable afterwards.
+        for k in range(100, 160):
+            tree.insert(k, k)
+        validate_tree(tree)
+        for k in range(100, 160):
+            assert tree.get(k) == k
+
+
+class TestFastPathSurvivesDeletes:
+    def test_fastpath_bounds_refresh_after_borrow(
+        self, small_config, fastpath_tree_class
+    ):
+        tree = fastpath_tree_class(small_config)
+        keys = shuffled_keys(300, seed=13)
+        for k in keys:
+            tree.insert(k, k)
+        rng = random.Random(14)
+        for k in rng.sample(keys, 150):
+            tree.delete(k)
+        # After structural deletes, fast-path inserts must still place
+        # keys correctly.
+        for k in range(1000, 1300):
+            tree.insert(k, k)
+        validate_tree(tree)
+        remaining = sorted(set(keys) - set(
+            k for k in keys if k not in tree
+        ))
+        for k in remaining[:50]:
+            assert tree.get(k) == k
+
+    def test_fastpath_leaf_merged_away(self, small_config, fastpath_tree_class):
+        tree = fastpath_tree_class(small_config)
+        for k in range(200):
+            tree.insert(k, k)
+        # Delete the upper region so the fast-path leaf merges away.
+        for k in range(150, 200):
+            tree.delete(k)
+        validate_tree(tree)
+        for k in range(200, 260):
+            tree.insert(k, k)
+        validate_tree(tree)
+        assert list(tree.keys()) == list(range(150)) + list(range(200, 260))

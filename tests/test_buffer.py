@@ -1,0 +1,157 @@
+"""Tests for SWARE's sortedness buffer."""
+
+import pytest
+
+from repro.sware.buffer import SortednessBuffer
+
+
+def make_buffer(capacity=100, page_capacity=10):
+    return SortednessBuffer(capacity, page_capacity=page_capacity)
+
+
+class TestConstruction:
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            SortednessBuffer(0)
+
+    def test_rejects_bad_page_capacity(self):
+        with pytest.raises(ValueError):
+            SortednessBuffer(10, page_capacity=1)
+
+
+class TestAppendAndGet:
+    def test_basic(self):
+        buf = make_buffer()
+        buf.append(5, "five")
+        assert len(buf) == 1
+        assert buf.get(5) == (True, "five")
+        assert buf.get(6) == (False, None)
+
+    def test_pages_fill_and_roll(self):
+        buf = make_buffer(capacity=100, page_capacity=10)
+        for k in range(25):
+            buf.append(k, k)
+        assert buf.page_count == 3
+
+    def test_full_buffer_rejects_append(self):
+        buf = make_buffer(capacity=5)
+        for k in range(5):
+            buf.append(k, k)
+        assert buf.is_full
+        with pytest.raises(RuntimeError):
+            buf.append(99, 99)
+
+    def test_out_of_order_tracked(self):
+        buf = make_buffer()
+        buf.append(10, 1)
+        buf.append(5, 2)   # out of order
+        buf.append(20, 3)  # in order again
+        assert buf.stats.out_of_order_appends == 1
+        assert buf.stats.zonemap_scans == 1
+
+    def test_unsorted_page_still_searchable(self):
+        buf = make_buffer(page_capacity=20)
+        for k in (10, 5, 30, 1, 22):
+            buf.append(k, k * 2)
+        for k in (10, 5, 30, 1, 22):
+            assert buf.get(k) == (True, k * 2)
+
+    def test_duplicate_latest_wins(self):
+        buf = make_buffer(page_capacity=4)
+        buf.append(7, "first")
+        for k in range(8, 13):
+            buf.append(k, k)
+        buf.append(7, "second")
+        assert buf.get(7) == (True, "second")
+
+    def test_no_false_negatives_across_pages(self):
+        buf = make_buffer(capacity=500, page_capacity=16)
+        keys = [((k * 37) % 500) for k in range(400)]
+        seen = {}
+        for k in keys:
+            buf.append(k, k)
+            seen[k] = k
+        for k in seen:
+            found, value = buf.get(k)
+            assert found and value == k
+
+
+class TestRangeItems:
+    def test_range_collects_matching(self):
+        buf = make_buffer()
+        for k in (5, 15, 25, 35):
+            buf.append(k, k)
+        got = sorted(buf.range_items(10, 30))
+        assert got == [(15, 15), (25, 25)]
+
+    def test_empty_range(self):
+        buf = make_buffer()
+        buf.append(5, 5)
+        assert buf.range_items(100, 200) == []
+
+
+class TestRemove:
+    def test_remove_existing(self):
+        buf = make_buffer()
+        buf.append(5, 5)
+        buf.append(6, 6)
+        assert buf.remove(5)
+        assert buf.get(5) == (False, None)
+        assert len(buf) == 1
+
+    def test_remove_missing(self):
+        buf = make_buffer()
+        buf.append(5, 5)
+        assert not buf.remove(99)
+
+    def test_append_after_remove_is_findable(self):
+        # Exercises the page-filter rebuild after removal.
+        buf = make_buffer(capacity=50, page_capacity=50)
+        for k in range(10):
+            buf.append(k, k)
+        buf.remove(3)
+        buf.append(100, 100)
+        assert buf.get(100) == (True, 100)
+        assert buf.get(3) == (False, None)
+
+
+class TestDrain:
+    def test_drain_returns_sorted_unique(self):
+        buf = make_buffer()
+        for k in (5, 3, 9, 3, 1):
+            buf.append(k, f"v{k}")
+        buf.append(3, "latest")
+        out = buf.drain()
+        assert [k for k, _ in out] == [1, 3, 5, 9]
+        assert dict(out)[3] == "latest"
+
+    def test_drain_resets_everything(self):
+        buf = make_buffer()
+        for k in range(20):
+            buf.append(k, k)
+        buf.drain()
+        assert len(buf) == 0
+        assert buf.page_count == 0
+        assert buf.get(5) == (False, None)
+        assert buf.stats.flushes == 1
+        # Fresh appends work fine afterwards.
+        buf.append(1, 1)
+        assert buf.get(1) == (True, 1)
+
+    def test_drain_empty(self):
+        buf = make_buffer()
+        assert buf.drain() == []
+
+
+class TestAccounting:
+    def test_items_arrival_order(self):
+        buf = make_buffer()
+        seq = [(5, "a"), (2, "b"), (9, "c")]
+        for k, v in seq:
+            buf.append(k, v)
+        assert list(buf.items()) == seq
+
+    def test_memory_bytes_positive(self):
+        buf = make_buffer()
+        buf.append(1, 1)
+        assert buf.memory_bytes > 0

@@ -1,0 +1,50 @@
+"""Tests for the quit-bench CLI."""
+
+import pytest
+
+from repro.bench.cli import build_parser, main, scale_from_args
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        scale = scale_from_args(args)
+        assert scale.n == 100_000
+
+    def test_smoke_flag(self):
+        args = build_parser().parse_args(["--smoke"])
+        scale = scale_from_args(args)
+        assert scale.n == 20_000
+
+    def test_overrides(self):
+        args = build_parser().parse_args(
+            ["--n", "500", "--leaf-capacity", "16", "--seed", "3"]
+        )
+        scale = scale_from_args(args)
+        assert (scale.n, scale.leaf_capacity, scale.seed) == (500, 16, 3)
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig8" in out and "tab2" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["not-an-experiment"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_runs_cheap_experiments(self, capsys):
+        code = main(["fig5b", "tab1", "--n", "2000", "--smoke"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fig5b" in out
+        assert "tab1" in out
+        assert "scale:" in out
+
+    def test_runs_measured_experiment(self, capsys):
+        code = main(["fig3", "--n", "3000", "--leaf-capacity", "16",
+                     "--smoke"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fast_pct" in out

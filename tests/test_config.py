@@ -1,0 +1,70 @@
+"""Tests for repro.core.config."""
+
+import pytest
+
+from repro.core.config import (
+    PAPER_IKR_SCALE,
+    PAPER_LEAF_CAPACITY,
+    TreeConfig,
+    reset_threshold,
+)
+
+
+class TestResetThreshold:
+    def test_paper_default_is_22(self):
+        # floor(sqrt(510)) = 22 (§5).
+        assert reset_threshold(PAPER_LEAF_CAPACITY) == 22
+
+    def test_small_capacities(self):
+        assert reset_threshold(1) == 1
+        assert reset_threshold(4) == 2
+        assert reset_threshold(64) == 8
+        assert reset_threshold(100) == 10
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            reset_threshold(0)
+        with pytest.raises(ValueError):
+            reset_threshold(-5)
+
+
+class TestTreeConfig:
+    def test_defaults(self):
+        cfg = TreeConfig()
+        assert cfg.leaf_capacity == 64
+        assert cfg.internal_capacity == 64
+        assert cfg.ikr_scale == PAPER_IKR_SCALE
+        assert cfg.reset_after == reset_threshold(64)
+
+    def test_reset_after_derived_from_capacity(self):
+        cfg = TreeConfig(leaf_capacity=100, internal_capacity=16)
+        assert cfg.reset_after == 10
+
+    def test_reset_after_explicit(self):
+        cfg = TreeConfig(reset_after=5)
+        assert cfg.reset_after == 5
+
+    def test_leaf_half(self):
+        assert TreeConfig(leaf_capacity=64).leaf_half == 32
+        assert TreeConfig(leaf_capacity=9).leaf_half == 4
+
+    def test_paper_defaults(self):
+        cfg = TreeConfig.paper_defaults()
+        assert cfg.leaf_capacity == PAPER_LEAF_CAPACITY
+        assert cfg.reset_after == 22
+
+    def test_frozen(self):
+        cfg = TreeConfig()
+        with pytest.raises(AttributeError):
+            cfg.leaf_capacity = 10
+
+    @pytest.mark.parametrize("kwargs", [
+        {"leaf_capacity": 3},
+        {"internal_capacity": 2},
+        {"ikr_scale": 0.0},
+        {"ikr_scale": -1.5},
+        {"reset_after": 0},
+    ])
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            TreeConfig(**kwargs)

@@ -1,0 +1,177 @@
+"""Tests for the duplicate-key adapter, describe(), and iter_from."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    BPlusTree,
+    DuplicateKeyIndex,
+    QuITTree,
+    TreeConfig,
+    describe,
+    format_description,
+)
+
+CFG = TreeConfig(leaf_capacity=8, internal_capacity=8)
+
+
+class TestIterFrom:
+    @pytest.fixture
+    def tree(self, small_config, any_tree_class):
+        t = any_tree_class(small_config)
+        t.update((k, k * 2) for k in range(0, 200, 2))
+        return t
+
+    def test_from_existing_key(self, tree):
+        out = list(tree.iter_from(100))
+        assert out[0] == (100, 200)
+        assert len(out) == 50
+
+    def test_from_between_keys(self, tree):
+        out = next(iter(tree.iter_from(99)))
+        assert out == (100, 200)
+
+    def test_from_before_min(self, tree):
+        assert sum(1 for _ in tree.iter_from(-10)) == 100
+
+    def test_from_past_max(self, tree):
+        assert list(tree.iter_from(10_000)) == []
+
+    def test_early_stop_is_lazy(self, tree):
+        it = tree.iter_from(0)
+        first_three = [next(it) for _ in range(3)]
+        assert [k for k, _ in first_three] == [0, 2, 4]
+
+
+class TestDuplicateKeyIndex:
+    @pytest.fixture
+    def index(self):
+        idx = DuplicateKeyIndex(config=CFG)
+        for i, price in enumerate(
+            [100, 101, 101, 102, 101, 103, 103, 103, 104]
+        ):
+            idx.insert(price, f"trade{i}")
+        return idx
+
+    def test_len_counts_duplicates(self, index):
+        assert len(index) == 9
+
+    def test_get_all_in_arrival_order(self, index):
+        assert index.get_all(101) == ["trade1", "trade2", "trade4"]
+        assert index.get_all(103) == ["trade5", "trade6", "trade7"]
+        assert index.get_all(999) == []
+
+    def test_get_returns_oldest(self, index):
+        assert index.get(101) == "trade1"
+        assert index.get(999, "none") == "none"
+
+    def test_count(self, index):
+        assert index.count(101) == 3
+        assert index.count(100) == 1
+        assert index.count(999) == 0
+
+    def test_contains(self, index):
+        assert 102 in index
+        assert 99 not in index
+
+    def test_keys_distinct_sorted(self, index):
+        assert list(index.keys()) == [100, 101, 102, 103, 104]
+
+    def test_range_query(self, index):
+        got = index.range_query(101, 103)
+        assert [k for k, _ in got] == [101, 101, 101, 102]
+
+    def test_items_ordered(self, index):
+        keys = [k for k, _ in index.items()]
+        assert keys == sorted(keys)
+
+    def test_delete_one_removes_oldest(self, index):
+        assert index.delete_one(101)
+        assert index.get_all(101) == ["trade2", "trade4"]
+        assert len(index) == 8
+
+    def test_delete_one_missing(self, index):
+        assert not index.delete_one(999)
+
+    def test_delete_all(self, index):
+        assert index.delete_all(103) == 3
+        assert 103 not in index
+        assert index.delete_all(103) == 0
+        index.validate()
+
+    def test_near_sorted_duplicates_ride_fast_path(self):
+        # A gently rising price stream with heavy duplication: the
+        # composite keys stay near-sorted, so QuIT's fast path engages.
+        idx = DuplicateKeyIndex(
+            config=TreeConfig(leaf_capacity=64, internal_capacity=64)
+        )
+        rng = random.Random(5)
+        price = 1000
+        for i in range(20_000):
+            price += rng.choice((0, 0, 0, 1))
+            idx.insert(price, i)
+        assert idx.stats.fast_insert_fraction > 0.9
+        idx.validate()
+
+    def test_works_with_classical_tree(self):
+        idx = DuplicateKeyIndex(tree_class=BPlusTree, config=CFG)
+        for v in ("a", "b"):
+            idx.insert(7, v)
+        assert idx.get_all(7) == ["a", "b"]
+
+    def test_matches_multimap_oracle(self):
+        idx = DuplicateKeyIndex(config=CFG)
+        oracle: dict[int, list[str]] = {}
+        rng = random.Random(8)
+        for step in range(3000):
+            key = rng.randrange(100)
+            if rng.random() < 0.7:
+                idx.insert(key, f"v{step}")
+                oracle.setdefault(key, []).append(f"v{step}")
+            elif rng.random() < 0.5:
+                got = idx.delete_one(key)
+                assert got == bool(oracle.get(key))
+                if oracle.get(key):
+                    oracle[key].pop(0)
+            else:
+                removed = idx.delete_all(key)
+                assert removed == len(oracle.get(key, []))
+                oracle.pop(key, None)
+        for key in range(100):
+            assert idx.get_all(key) == oracle.get(key, [])
+        idx.validate()
+
+
+class TestDescribe:
+    def test_fields(self):
+        tree = QuITTree(CFG)
+        tree.update((k, k) for k in range(500))
+        desc = describe(tree)
+        assert desc.name == "QuIT"
+        assert desc.entries == 500
+        assert desc.height == tree.height
+        assert desc.leaf_count == tree.occupancy().leaf_count
+        assert 0 < desc.avg_occupancy <= 1
+        assert desc.fast_insert_fraction == 1.0
+        assert desc.bytes_per_entry > 0
+
+    def test_classical_tree_has_no_fastpath_fields(self):
+        tree = BPlusTree(CFG)
+        tree.insert(1, 1)
+        desc = describe(tree)
+        assert desc.fast_insert_fraction is None
+
+    def test_empty_tree(self):
+        desc = describe(BPlusTree(CFG))
+        assert desc.entries == 0
+        assert desc.bytes_per_entry == float("inf")
+
+    def test_format_contains_key_numbers(self):
+        tree = QuITTree(CFG)
+        tree.update((k, k) for k in range(300))
+        text = format_description(describe(tree))
+        assert "QuIT" in text
+        assert "300 entries" in text
+        assert "fast path" in text
+        assert "#" in text  # histogram bars

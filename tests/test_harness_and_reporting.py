@@ -1,0 +1,113 @@
+"""Tests for the benchmark harness and reporting."""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import (
+    BenchScale,
+    VARIANTS,
+    ingest,
+    make_tree,
+    time_point_lookups,
+    time_range_queries,
+    timed_ingest,
+)
+from repro.bench.reporting import ExperimentResult, render, render_all
+from repro.sware import SABPlusTree
+
+
+class TestBenchScale:
+    def test_presets(self):
+        assert BenchScale.smoke().n < BenchScale.default().n
+        assert BenchScale.paper().leaf_capacity == 510
+
+    def test_with_n(self):
+        scale = BenchScale.default().with_n(500)
+        assert scale.n == 500
+        assert scale.leaf_capacity == BenchScale.default().leaf_capacity
+
+    def test_tree_config(self):
+        cfg = BenchScale(leaf_capacity=32).tree_config
+        assert cfg.leaf_capacity == 32
+
+    def test_sware_buffer_capacity(self):
+        assert BenchScale(n=100_000).sware_buffer_capacity == 1000
+        assert BenchScale(n=100).sware_buffer_capacity == 64
+
+
+class TestMakeTree:
+    @pytest.mark.parametrize("name", list(VARIANTS))
+    def test_known_variants(self, name):
+        tree = make_tree(name, BenchScale.smoke())
+        assert tree.name == name
+
+    def test_sware(self):
+        tree = make_tree("SWARE", BenchScale.smoke())
+        assert isinstance(tree, SABPlusTree)
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError):
+            make_tree("nonsense", BenchScale.smoke())
+
+
+class TestTiming:
+    def test_ingest_returns_positive_seconds(self):
+        tree = make_tree("B+-tree", BenchScale.smoke())
+        seconds = ingest(tree, range(500))
+        assert seconds > 0
+        assert len(tree) == 500
+
+    def test_timed_ingest(self):
+        scale = BenchScale.smoke()
+        run = timed_ingest("QuIT", scale, np.arange(1000))
+        assert run.n == 1000
+        assert run.per_op_us > 0
+        assert run.ops_per_sec > 0
+        assert len(run.tree) == 1000
+
+    def test_timed_ingest_flushes_sware(self):
+        run = timed_ingest("SWARE", BenchScale.smoke(), np.arange(500))
+        assert len(run.tree.buffer) == 0
+
+    def test_lookup_and_range_timers(self):
+        scale = BenchScale.smoke()
+        run = timed_ingest("B+-tree", scale, np.arange(2000))
+        assert time_point_lookups(run.tree, list(range(100))) > 0
+        assert time_range_queries(run.tree, [(0, 50), (100, 200)]) > 0
+
+
+class TestReporting:
+    def _result(self):
+        return ExperimentResult(
+            exp_id="figX",
+            title="demo",
+            columns=["k", "value"],
+            rows=[{"k": 1, "value": 3.14159}, {"k": 2, "value": 10_000.0}],
+            notes=["a note"],
+        )
+
+    def test_render_contains_everything(self):
+        text = render(self._result())
+        assert "figX" in text
+        assert "demo" in text
+        assert "3.14" in text
+        assert "10,000" in text
+        assert "note: a note" in text
+
+    def test_render_empty(self):
+        empty = ExperimentResult("e", "t", ["a"])
+        assert "(no rows)" in render(empty)
+
+    def test_column_accessor(self):
+        res = self._result()
+        assert res.column("k") == [1, 2]
+
+    def test_row_for(self):
+        res = self._result()
+        assert res.row_for("k", 2)["value"] == 10_000.0
+        with pytest.raises(KeyError):
+            res.row_for("k", 99)
+
+    def test_render_all(self):
+        text = render_all([self._result(), self._result()])
+        assert text.count("figX") == 2

@@ -1,0 +1,58 @@
+"""Tests for the In-order Key estimatoR (Eq. 2)."""
+
+import pytest
+
+from repro.core.ikr import ikr_threshold, is_outlier
+
+
+class TestIkrThreshold:
+    def test_dense_integers(self):
+        # p=0, q=32, prev holds 32 entries: density 1.0.
+        # x = 32 + 1.0 * 64 * 1.5 = 128.
+        assert ikr_threshold(0, 32, 32, 64) == 128.0
+
+    def test_scale_widens_acceptance(self):
+        tight = ikr_threshold(0, 32, 32, 64, scale=1.0)
+        wide = ikr_threshold(0, 32, 32, 64, scale=2.0)
+        assert wide > tight
+
+    def test_sparse_keys_widen_window(self):
+        dense = ikr_threshold(0, 32, 32, 64)
+        sparse = ikr_threshold(0, 3200, 32, 64)
+        assert sparse > dense
+
+    def test_zero_density_degenerate(self):
+        # q == p (duplicate-ish boundary): acceptance collapses to q.
+        assert ikr_threshold(10, 10, 32, 64) == 10.0
+
+    def test_pole_size_scales_window(self):
+        small = ikr_threshold(0, 32, 32, 8)
+        large = ikr_threshold(0, 32, 32, 512)
+        assert large > small
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(p=0, q=10, pole_prev_size=0, pole_size=4),
+        dict(p=0, q=10, pole_prev_size=-1, pole_size=4),
+        dict(p=0, q=10, pole_prev_size=4, pole_size=-1),
+        dict(p=10, q=0, pole_prev_size=4, pole_size=4),
+    ])
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            ikr_threshold(**kwargs)
+
+    def test_float_keys(self):
+        x = ikr_threshold(0.5, 1.5, 10, 20, scale=1.5)
+        assert x == pytest.approx(1.5 + 0.1 * 20 * 1.5)
+
+
+class TestIsOutlier:
+    def test_in_order_key_is_not_outlier(self):
+        assert not is_outlier(100, 0, 32, 32, 64)
+
+    def test_far_key_is_outlier(self):
+        assert is_outlier(10_000, 0, 32, 32, 64)
+
+    def test_boundary_is_inclusive(self):
+        x = ikr_threshold(0, 32, 32, 64)
+        assert not is_outlier(x, 0, 32, 32, 64)
+        assert is_outlier(x + 1, 0, 32, 32, 64)

@@ -1,0 +1,69 @@
+"""Tests for fast-path metadata structures and the Table 1 digest."""
+
+from repro.core.metadata import (
+    METADATA_FIELDS,
+    FastPathState,
+    PoleState,
+    extra_metadata_bytes,
+    metadata_bytes,
+)
+from repro.core.node import LeafNode
+
+
+class TestFastPathState:
+    def test_empty_rejects(self):
+        assert not FastPathState().accepts(5)
+
+    def test_unbounded(self):
+        state = FastPathState(leaf=LeafNode())
+        assert state.accepts(-1_000_000)
+        assert state.accepts(1_000_000)
+
+    def test_lower_bound(self):
+        state = FastPathState(leaf=LeafNode(), low=10)
+        assert not state.accepts(9)
+        assert state.accepts(10)
+
+    def test_upper_bound_exclusive(self):
+        state = FastPathState(leaf=LeafNode(), low=0, high=20)
+        assert state.accepts(19)
+        assert not state.accepts(20)
+
+
+class TestPoleState:
+    def test_defaults(self):
+        state = PoleState()
+        assert state.prev is None
+        assert state.next_candidate is None
+        assert state.fails == 0
+
+
+class TestTable1:
+    def test_all_four_indexes_present(self):
+        assert set(METADATA_FIELDS) == {
+            "B+-tree", "tail-B+-tree", "lil-B+-tree", "QuIT",
+        }
+
+    def test_field_counts_match_paper(self):
+        # Table 1 row counts: 3, 6, 8, 12 checkmarks respectively.
+        assert len(METADATA_FIELDS["B+-tree"]) == 3
+        assert len(METADATA_FIELDS["tail-B+-tree"]) == 6
+        assert len(METADATA_FIELDS["lil-B+-tree"]) == 8
+        assert len(METADATA_FIELDS["QuIT"]) == 12
+
+    def test_supersets(self):
+        base = set(METADATA_FIELDS["B+-tree"])
+        tail = set(METADATA_FIELDS["tail-B+-tree"])
+        lil = set(METADATA_FIELDS["lil-B+-tree"])
+        quit_ = set(METADATA_FIELDS["QuIT"])
+        assert base < tail < lil < quit_
+
+    def test_quit_under_20_extra_bytes(self):
+        # The paper: "QuIT needs less than 20 bytes of additional
+        # metadata" (over the lil fast path).
+        assert 0 < extra_metadata_bytes("QuIT") < 20
+
+    def test_bytes_monotone(self):
+        order = ["B+-tree", "tail-B+-tree", "lil-B+-tree", "QuIT"]
+        sizes = [metadata_bytes(n) for n in order]
+        assert sizes == sorted(sizes)

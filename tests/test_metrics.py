@@ -1,0 +1,185 @@
+"""Tests for sortedness metrics (§2, Fig. 2)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sortedness.metrics import (
+    find_outliers_iqr,
+    inversion_count,
+    is_sorted,
+    k_out_of_order,
+    kl_sortedness,
+    longest_nondecreasing_subsequence_length,
+    max_displacement,
+    out_of_order_count,
+    running_max_violations,
+    sorted_prefix_length,
+)
+
+
+class TestIsSorted:
+    def test_cases(self):
+        assert is_sorted([])
+        assert is_sorted([1])
+        assert is_sorted([1, 1, 2, 3])
+        assert not is_sorted([2, 1])
+
+
+class TestOutOfOrderCount:
+    def test_figure_2a(self):
+        # Fig. 2a: 1 2 4 3 5 7 6 8 9 10 — entries 3 and 6 break order.
+        assert out_of_order_count([1, 2, 4, 3, 5, 7, 6, 8, 9, 10]) == 2
+
+    def test_sorted_is_zero(self):
+        assert out_of_order_count(list(range(50))) == 0
+
+    def test_reverse_all_break(self):
+        assert out_of_order_count([5, 4, 3, 2, 1]) == 4
+
+
+class TestRunningMaxViolations:
+    def test_outlier_shadows_followers(self):
+        # After the outlier 100 arrives, everything below it violates.
+        assert running_max_violations([1, 2, 100, 3, 4, 5]) == 3
+
+    def test_sorted_is_zero(self):
+        assert running_max_violations(list(range(20))) == 0
+
+
+class TestInversions:
+    def test_known_counts(self):
+        assert inversion_count([]) == 0
+        assert inversion_count([1, 2, 3]) == 0
+        assert inversion_count([2, 1]) == 1
+        assert inversion_count([3, 2, 1]) == 3
+        assert inversion_count([1, 3, 2, 4]) == 1
+
+    def test_reverse_is_n_choose_2(self):
+        n = 30
+        assert inversion_count(list(reversed(range(n)))) == n * (n - 1) // 2
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(0, 100), max_size=60))
+    def test_matches_quadratic_reference(self, seq):
+        reference = sum(
+            1
+            for i in range(len(seq))
+            for j in range(i + 1, len(seq))
+            if seq[i] > seq[j]
+        )
+        assert inversion_count(seq) == reference
+
+
+class TestLndsAndK:
+    def test_lnds_known(self):
+        assert longest_nondecreasing_subsequence_length([]) == 0
+        assert longest_nondecreasing_subsequence_length([1, 2, 2, 3]) == 4
+        assert longest_nondecreasing_subsequence_length([3, 1, 2]) == 2
+
+    def test_k_fig_2c(self):
+        # Fig. 2c: 1 8 3 6 5 4 7 2 10 9 with K=5.
+        assert k_out_of_order([1, 8, 3, 6, 5, 4, 7, 2, 10, 9]) == 5
+
+    def test_k_sorted_zero(self):
+        assert k_out_of_order(list(range(100))) == 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(0, 50), max_size=80))
+    def test_removing_k_entries_leaves_sorted(self, seq):
+        # K is the *minimum* number of removals; verify achievability by
+        # keeping an LNDS.
+        k = k_out_of_order(seq)
+        assert 0 <= k <= len(seq)
+        if seq:
+            assert k < len(seq) or len(set(seq)) > 1
+
+
+class TestMaxDisplacement:
+    def test_sorted_zero(self):
+        assert max_displacement(list(range(20))) == 0
+
+    def test_fig_2c_value(self):
+        # Fig. 2c: maximum displacement L=6 (entry 8 at position 1 vs
+        # sorted position 7, or entry 2 at position 7 vs position 1).
+        assert max_displacement([1, 8, 3, 6, 5, 4, 7, 2, 10, 9]) == 6
+
+    def test_single_swap(self):
+        assert max_displacement([0, 5, 2, 3, 4, 1, 6]) == 4
+
+    def test_duplicates_stable(self):
+        assert max_displacement([1, 1, 1, 1]) == 0
+
+
+class TestKlSortedness:
+    def test_combined(self):
+        m = kl_sortedness([1, 8, 3, 6, 5, 4, 7, 2, 10, 9])
+        assert (m.k, m.l) == (5, 6)
+        assert m.k_fraction == 0.5
+        assert m.l_fraction == 0.6
+
+    def test_empty(self):
+        m = kl_sortedness([])
+        assert m.k == 0 and m.l == 0
+        assert m.k_fraction == 0.0
+
+
+class TestSortedPrefix:
+    def test_cases(self):
+        assert sorted_prefix_length([]) == 0
+        assert sorted_prefix_length([1, 2, 3]) == 3
+        assert sorted_prefix_length([1, 3, 2]) == 2
+        assert sorted_prefix_length([5, 1]) == 1
+
+
+class TestIqrOutliers:
+    def test_obvious_outlier_found(self):
+        seq = list(range(20)) + [10_000]
+        assert 20 in find_outliers_iqr(seq)
+
+    def test_uniform_has_none(self):
+        assert find_outliers_iqr(list(range(100))) == []
+
+    def test_short_sequences(self):
+        assert find_outliers_iqr([1, 2, 3]) == []
+
+
+class TestMannilaMeasures:
+    def test_runs_count(self):
+        from repro.sortedness import runs_count
+
+        assert runs_count([]) == 0
+        assert runs_count([1, 2, 3]) == 1
+        assert runs_count([3, 2, 1]) == 3
+        assert runs_count([1, 3, 2, 4]) == 2
+
+    def test_dis_known_values(self):
+        from repro.sortedness import dis_measure
+
+        assert dis_measure([]) == 0
+        assert dis_measure([1, 2, 3]) == 0
+        assert dis_measure([2, 1]) == 1
+        # 9 at position 0 inverts with 0 at position 4: span 4.
+        assert dis_measure([9, 2, 3, 4, 0]) == 4
+
+    def test_dis_matches_quadratic_reference(self):
+        import random
+
+        from repro.sortedness import dis_measure
+
+        rng = random.Random(13)
+        for _ in range(30):
+            seq = [rng.randrange(50) for _ in range(rng.randrange(2, 60))]
+            reference = max(
+                (j - i
+                 for i in range(len(seq))
+                 for j in range(i + 1, len(seq))
+                 if seq[i] > seq[j]),
+                default=0,
+            )
+            assert dis_measure(seq) == reference, seq
+
+    def test_exchanges_equals_inversions(self):
+        from repro.sortedness import exchanges_lower_bound, inversion_count
+
+        seq = [4, 1, 3, 2]
+        assert exchanges_lower_bound(seq) == inversion_count(seq)

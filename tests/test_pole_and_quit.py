@@ -1,0 +1,231 @@
+"""Behavioural tests for the pole fast path and QuIT (§4)."""
+
+import pytest
+
+from repro.core import (
+    BPlusTree,
+    PoleBPlusTree,
+    QuITNoResetTree,
+    QuITNoVariableSplitTree,
+    QuITTree,
+    TreeConfig,
+)
+from repro.sortedness import generate_keys
+from repro.workloads import alternating_stress_stream
+
+from conftest import validate_tree
+
+CFG = TreeConfig(leaf_capacity=16, internal_capacity=16)
+CFG64 = TreeConfig(leaf_capacity=64, internal_capacity=64)
+
+
+def ingest(cls, keys, cfg=CFG):
+    tree = cls(cfg)
+    for k in keys:
+        tree.insert(int(k), int(k))
+    return tree
+
+
+class TestPoleTree:
+    def test_sorted_all_fast(self):
+        tree = ingest(PoleBPlusTree, range(1000))
+        assert tree.stats.fast_insert_fraction == 1.0
+        validate_tree(tree)
+
+    def test_pole_not_moved_by_top_inserts(self):
+        tree = ingest(PoleBPlusTree, range(500))
+        pole = tree.fast_path_leaf
+        tree.insert(7, 7)  # duplicate upsert far below: top-insert
+        assert tree.fast_path_leaf is pole
+
+    def test_only_one_miss_per_backward_outlier(self):
+        # Unlike lil, the pole survives an out-of-order entry: the next
+        # in-order entry is fast again (§4.1).
+        tree = ingest(PoleBPlusTree, range(500))
+        stats0 = tree.stats.snapshot()
+        tree.insert(100, -1)  # backward outlier (upsert): top-insert
+        tree.insert(500, 500)  # in-order: FAST (pole unchanged)
+        delta = tree.stats.diff(stats0)
+        assert delta.top_inserts == 1
+        assert delta.fast_inserts == 1
+
+    def test_outlier_split_marks_pole_next(self):
+        # Ride enough far-ahead keys into the pole that a split's new
+        # node is judged all-outliers: the pole stays and the new node is
+        # remembered as pole_next (Fig. 6c).
+        tree = ingest(PoleBPlusTree, range(100), CFG64)
+        for k in range(100_000, 100_068):
+            tree.insert(k, k)
+        assert tree.pole_next is not None
+        # The fast path still serves the in-order frontier.
+        stats0 = tree.stats.snapshot()
+        tree.insert(100, 100)
+        assert tree.stats.diff(stats0).fast_inserts == 1
+        validate_tree(tree)
+
+    def test_catch_up_when_stream_reaches_outliers(self):
+        # Outliers displaced ~400 ahead: once a split classifies them as
+        # pole_next, the advancing dense stream eventually crosses into
+        # that node and the pole catches up (§4.2).
+        tree = ingest(PoleBPlusTree, range(100), CFG64)
+        for k in range(500, 568):
+            tree.insert(k, k)
+        k = 100
+        while tree.stats.pole_catchups == 0 and k < 700:
+            tree.insert(k, k)
+            k += 1
+        assert tree.stats.pole_catchups >= 1
+        validate_tree(tree)
+
+    def test_beats_lil_under_bods(self):
+        from repro.core import LilBPlusTree
+
+        keys = generate_keys(30_000, 0.25, 1.0, seed=8)
+        pole = ingest(PoleBPlusTree, keys, CFG64)
+        lil = ingest(LilBPlusTree, keys, CFG64)
+        assert (
+            pole.stats.fast_insert_fraction
+            > lil.stats.fast_insert_fraction
+        )
+
+    def test_extensional_equality_with_classical(self):
+        keys = generate_keys(5_000, 0.10, 1.0, seed=9)
+        pole = ingest(PoleBPlusTree, keys)
+        classical = ingest(BPlusTree, keys)
+        assert list(pole.items()) == list(classical.items())
+
+
+class TestQuITVariableSplit:
+    def test_sorted_data_packs_leaves(self):
+        tree = ingest(QuITTree, range(2000), CFG64)
+        occ = tree.occupancy()
+        # Variable split leaves (capacity-1)/capacity occupancy for
+        # fully sorted ingestion vs 50% for the classical tree.
+        assert occ.avg_occupancy > 0.9
+        classical = ingest(BPlusTree, range(2000), CFG64)
+        assert classical.occupancy().avg_occupancy < 0.6
+
+    def test_variable_split_counted(self):
+        tree = ingest(QuITTree, range(2000), CFG64)
+        assert tree.stats.variable_splits > 0
+
+    def test_near_sorted_occupancy_beats_classical(self):
+        keys = generate_keys(30_000, 0.05, 1.0, seed=10)
+        quit_tree = ingest(QuITTree, keys, CFG64)
+        classical = ingest(BPlusTree, keys, CFG64)
+        assert (
+            quit_tree.occupancy().avg_occupancy
+            > classical.occupancy().avg_occupancy + 0.10
+        )
+
+    def test_scrambled_occupancy_comparable(self):
+        keys = generate_keys(20_000, 1.0, 1.0, seed=11)
+        quit_tree = ingest(QuITTree, keys, CFG64)
+        classical = ingest(BPlusTree, keys, CFG64)
+        assert abs(
+            quit_tree.occupancy().avg_occupancy
+            - classical.occupancy().avg_occupancy
+        ) < 0.1
+
+    def test_memory_smaller_for_sorted(self):
+        quit_tree = ingest(QuITTree, range(5000), CFG64)
+        classical = ingest(BPlusTree, range(5000), CFG64)
+        # Table 2 headline: ~1.96x reduction for fully sorted data.
+        ratio = classical.memory_bytes() / quit_tree.memory_bytes()
+        assert ratio > 1.7
+
+
+class TestQuITRedistribution:
+    def test_redistribution_occurs_on_near_sorted(self):
+        keys = generate_keys(30_000, 0.05, 1.0, seed=12)
+        tree = ingest(QuITTree, keys, CFG64)
+        assert tree.stats.redistributions > 0
+        validate_tree(tree)
+
+    def test_contents_survive_redistribution(self):
+        keys = generate_keys(10_000, 0.03, 1.0, seed=13)
+        tree = ingest(QuITTree, keys)
+        classical = ingest(BPlusTree, keys)
+        assert list(tree.items()) == list(classical.items())
+
+
+class TestQuITReset:
+    def test_reset_fires_on_scrambled(self):
+        keys = generate_keys(10_000, 1.0, 1.0, seed=14)
+        tree = ingest(QuITTree, keys, CFG64)
+        assert tree.stats.pole_resets > 0
+
+    def test_no_reset_variant_traps_on_stress(self):
+        stream = alternating_stress_stream(10_000, seed=15)
+        trapped = ingest(QuITNoResetTree, stream, CFG64)
+        full = ingest(QuITTree, stream, CFG64)
+        # The reset strategy is what recovers the fast path (Fig. 12).
+        assert (
+            full.stats.fast_insert_fraction
+            > trapped.stats.fast_insert_fraction + 0.2
+        )
+
+    def test_reset_threshold_respected(self):
+        cfg = TreeConfig(
+            leaf_capacity=64, internal_capacity=64, reset_after=3
+        )
+        tree = ingest(QuITTree, range(200), cfg)
+        stats0 = tree.stats.snapshot()
+        # Three consecutive far-below top-inserts trigger a reset.
+        tree.insert(10, -1)
+        tree.insert(20, -1)
+        tree.insert(30, -1)
+        assert tree.stats.diff(stats0).pole_resets == 1
+
+    def test_fast_inserts_resume_after_reset(self):
+        cfg = TreeConfig(
+            leaf_capacity=64, internal_capacity=64, reset_after=3
+        )
+        tree = ingest(QuITTree, range(200), cfg)
+        for k in (10, 20, 30):  # trigger reset onto a low leaf
+            tree.insert(k, -1)
+        stats0 = tree.stats.snapshot()
+        tree.insert(31, 0)  # adjacent to the reset leaf's range
+        assert tree.stats.diff(stats0).fast_inserts == 1
+
+
+class TestQuITNoVariableSplit:
+    def test_occupancy_matches_classical(self):
+        tree = ingest(QuITNoVariableSplitTree, range(2000), CFG64)
+        occ = tree.occupancy()
+        assert 0.45 <= occ.avg_occupancy <= 0.6
+
+    def test_fast_path_still_works(self):
+        keys = generate_keys(20_000, 0.05, 1.0, seed=16)
+        tree = ingest(QuITNoVariableSplitTree, keys, CFG64)
+        assert tree.stats.fast_insert_fraction > 0.85
+
+
+class TestPaperFigure11Shape:
+    """The core fidelity check: fast-insert fractions and occupancy match
+    the paper's Fig. 11 values (+-6 points) at L=100%."""
+
+    # (K, paper_lil_fast, paper_quit_fast, paper_lil_occ, paper_quit_occ)
+    PAPER_ROWS = [
+        (0.00, 100, 100, 50, 100),
+        (0.01, 99, 100, 50, 74),
+        (0.03, 94, 96, 51, 72),
+        (0.05, 91, 92, 52, 69),
+        (0.25, 57, 70, 60, 65),
+        (0.50, 26, 46, 62, 61),
+    ]
+
+    @pytest.mark.parametrize(
+        "k,lil_fast,quit_fast,lil_occ,quit_occ", PAPER_ROWS
+    )
+    def test_fig11_row(self, k, lil_fast, quit_fast, lil_occ, quit_occ):
+        from repro.core import LilBPlusTree
+
+        keys = generate_keys(30_000, k, 1.0, seed=11)
+        lil = ingest(LilBPlusTree, keys, CFG64)
+        qt = ingest(QuITTree, keys, CFG64)
+        tol = 8
+        assert abs(lil.stats.fast_insert_fraction * 100 - lil_fast) <= tol
+        assert abs(qt.stats.fast_insert_fraction * 100 - quit_fast) <= tol
+        assert abs(lil.occupancy().avg_occupancy * 100 - lil_occ) <= tol
+        assert abs(qt.occupancy().avg_occupancy * 100 - quit_occ) <= tol

@@ -1,0 +1,124 @@
+"""Property-based tests for the SWARE stack: the SA-B+-tree must behave
+as a dict under arbitrary operation interleavings, in every buffer
+configuration."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.core import TreeConfig
+from repro.sware import SABPlusTree, SortednessBuffer
+
+CFG = TreeConfig(leaf_capacity=8, internal_capacity=8)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    keys=st.lists(st.integers(-5000, 5000), max_size=300),
+    buffer_capacity=st.integers(4, 64),
+    page_capacity=st.integers(2, 32),
+)
+def test_sa_tree_matches_dict(keys, buffer_capacity, page_capacity):
+    sa = SABPlusTree(
+        CFG, buffer_capacity=buffer_capacity, page_capacity=page_capacity
+    )
+    oracle = {}
+    for i, k in enumerate(keys):
+        sa.insert(k, i)
+        oracle[k] = i
+    assert list(sa.items()) == sorted(oracle.items())
+    for k in list(oracle)[:40]:
+        assert sa.get(k) == oracle[k]
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    keys=st.lists(st.integers(0, 1000), max_size=200),
+    crack=st.booleans(),
+    interp=st.booleans(),
+)
+def test_buffer_options_are_equivalent(keys, crack, interp):
+    buf = SortednessBuffer(
+        512, page_capacity=16, crack_on_read=crack,
+        use_interpolation=interp,
+    )
+    latest = {}
+    for i, k in enumerate(keys):
+        buf.append(k, i)
+        latest[k] = i
+    for k in set(keys):
+        assert buf.get(k) == (True, latest[k])
+    assert buf.get(99_999) == (False, None)
+    drained = buf.drain()
+    assert drained == sorted(latest.items())
+
+
+class SwareMachine(RuleBasedStateMachine):
+    """Arbitrary insert/delete/get/range/flush interleavings vs a dict."""
+
+    def __init__(self):
+        super().__init__()
+        self.sa = None
+        self.oracle = {}
+        self.step = 0
+
+    @initialize(
+        buffer_capacity=st.integers(4, 48),
+        crack=st.booleans(),
+    )
+    def setup(self, buffer_capacity, crack):
+        self.sa = SABPlusTree(
+            CFG, buffer_capacity=buffer_capacity, page_capacity=8,
+            crack_on_read=crack,
+        )
+        self.oracle = {}
+        self.step = 0
+
+    @rule(key=st.integers(-200, 200))
+    def insert(self, key):
+        self.step += 1
+        self.sa.insert(key, self.step)
+        self.oracle[key] = self.step
+
+    @rule(key=st.integers(-200, 200))
+    def delete(self, key):
+        assert self.sa.delete(key) == (key in self.oracle)
+        self.oracle.pop(key, None)
+
+    @rule(key=st.integers(-200, 200))
+    def lookup(self, key):
+        assert self.sa.get(key, "absent") == self.oracle.get(
+            key, "absent"
+        )
+
+    @rule(lo=st.integers(-200, 200), width=st.integers(0, 60))
+    def range_scan(self, lo, width):
+        got = self.sa.range_query(lo, lo + width)
+        expected = sorted(
+            (k, v) for k, v in self.oracle.items()
+            if lo <= k < lo + width
+        )
+        assert got == expected
+
+    @rule()
+    def flush(self):
+        self.sa.flush()
+
+    @invariant()
+    def contents_match(self):
+        if self.sa is not None:
+            assert list(self.sa.items()) == sorted(self.oracle.items())
+
+
+TestSwareMachine = SwareMachine.TestCase
+TestSwareMachine.settings = settings(
+    max_examples=20,
+    stateful_step_count=50,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)

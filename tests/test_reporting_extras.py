@@ -1,0 +1,90 @@
+"""Tests for ASCII charts, JSON serialization, and the CLI extras."""
+
+import json
+
+import pytest
+
+from repro.bench.cli import main
+from repro.bench.reporting import (
+    ExperimentResult,
+    from_json_dict,
+    render_chart,
+    to_json_dict,
+)
+
+
+def sample_result():
+    return ExperimentResult(
+        exp_id="demo",
+        title="demo",
+        columns=["k", "a", "b"],
+        rows=[
+            {"k": 0, "a": 1.0, "b": 3.0},
+            {"k": 50, "a": 2.0, "b": 2.0},
+            {"k": 100, "a": 3.0, "b": 1.0},
+        ],
+        notes=["n"],
+    )
+
+
+class TestRenderChart:
+    def test_contains_series_and_axes(self):
+        text = render_chart(sample_result(), "k", ["a", "b"])
+        assert "*" in text and "o" in text
+        assert "[k]" in text
+        assert "*=a" in text and "o=b" in text
+
+    def test_extremes_on_borders(self):
+        text = render_chart(sample_result(), "k", ["a"])
+        lines = text.splitlines()
+        assert lines[1].lstrip().startswith("3")   # max label
+        assert lines[-3].lstrip().startswith("1")  # min label
+
+    def test_flat_series(self):
+        result = ExperimentResult(
+            "f", "flat", ["k", "v"],
+            rows=[{"k": 0, "v": 5.0}, {"k": 1, "v": 5.0}],
+        )
+        assert "f:" in render_chart(result, "k", ["v"])
+
+    def test_empty(self):
+        empty = ExperimentResult("e", "t", ["k", "v"])
+        assert render_chart(empty, "k", ["v"]) == "(no rows)"
+
+    def test_single_row(self):
+        one = ExperimentResult(
+            "o", "t", ["k", "v"], rows=[{"k": 0, "v": 2.0}]
+        )
+        assert "o:" in render_chart(one, "k", ["v"])
+
+
+class TestJsonRoundTrip:
+    def test_round_trip(self):
+        result = sample_result()
+        data = json.loads(json.dumps(to_json_dict(result)))
+        back = from_json_dict(data)
+        assert back == result
+
+    def test_notes_optional(self):
+        back = from_json_dict(
+            {"exp_id": "x", "title": "t", "columns": ["a"], "rows": []}
+        )
+        assert back.notes == []
+
+
+class TestCliExtras:
+    def test_json_dir(self, tmp_path, capsys):
+        code = main([
+            "fig5b", "--smoke", "--json-dir", str(tmp_path / "out"),
+        ])
+        assert code == 0
+        data = json.loads((tmp_path / "out" / "fig5b.json").read_text())
+        assert data["exp_id"] == "fig5b"
+        assert len(data["rows"]) == 11
+
+    def test_plot_flag(self, capsys):
+        code = main(["fig5b", "--smoke", "--plot"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[k_pct]" in out
+        assert "*=tail_model_pct" in out

@@ -1,0 +1,173 @@
+"""Tests for the SWARE SA-B+-tree facade."""
+
+import random
+
+import pytest
+
+from repro.core import TreeConfig
+from repro.sortedness import generate_keys
+from repro.sware import SABPlusTree
+
+CFG = TreeConfig(leaf_capacity=16, internal_capacity=16)
+
+
+def make_sa(buffer_capacity=64, page_capacity=16):
+    return SABPlusTree(
+        CFG, buffer_capacity=buffer_capacity, page_capacity=page_capacity
+    )
+
+
+class TestBasicOperations:
+    def test_insert_and_get_from_buffer(self):
+        sa = make_sa()
+        sa.insert(5, "five")
+        assert sa.get(5) == "five"
+        assert 5 in sa
+        assert len(sa) == 1
+
+    def test_get_after_flush(self):
+        sa = make_sa()
+        for k in range(200):
+            sa.insert(k, k * 2)
+        sa.flush()
+        assert sa.get(123) == 246
+
+    def test_get_default(self):
+        sa = make_sa()
+        sa.insert(1, 1)
+        assert sa.get(999, "nope") == "nope"
+
+    def test_upsert_across_flush_boundary(self):
+        sa = make_sa(buffer_capacity=8)
+        sa.insert(5, "old")
+        for k in range(100, 120):
+            sa.insert(k, k)  # force flushes
+        sa.insert(5, "new")
+        assert sa.get(5) == "new"
+        sa.flush()
+        assert sa.get(5) == "new"
+
+    def test_len_counts_distinct_keys(self):
+        sa = make_sa(buffer_capacity=16)
+        for k in range(10):
+            sa.insert(k, k)
+        sa.flush()
+        for k in range(5, 15):
+            sa.insert(k, -k)  # 5 overlap with tree
+        assert len(sa) == 15
+
+
+class TestFlush:
+    def test_flush_empties_buffer(self):
+        sa = make_sa()
+        for k in range(30):
+            sa.insert(k, k)
+        sa.flush()
+        assert len(sa.buffer) == 0
+        assert len(sa.tree) == 30
+
+    def test_auto_flush_when_full(self):
+        sa = make_sa(buffer_capacity=16)
+        for k in range(100):
+            sa.insert(k, k)
+        assert sa.flush_stats.flushes >= 5
+
+    def test_sorted_stream_bulk_loads_in_long_segments(self):
+        sa = make_sa(buffer_capacity=64)
+        for k in range(1000):
+            sa.insert(k, k)
+        sa.flush()
+        assert sa.flush_stats.avg_segment_length > 10
+
+    def test_scrambled_stream_degrades_to_short_segments(self):
+        sa = make_sa(buffer_capacity=64)
+        keys = [int(k) for k in generate_keys(1000, 1.0, 1.0, seed=2)]
+        for k in keys:
+            sa.insert(k, k)
+        sa.flush()
+        assert sa.flush_stats.avg_segment_length < 6
+
+    def test_flush_idempotent_when_empty(self):
+        sa = make_sa()
+        sa.flush()
+        sa.flush()
+        assert sa.flush_stats.flushes == 0
+
+
+class TestRangeQuery:
+    def test_merges_buffer_and_tree(self):
+        sa = make_sa(buffer_capacity=128)
+        for k in range(0, 100, 2):
+            sa.insert(k, "tree")
+        sa.flush()
+        for k in range(1, 100, 2):
+            sa.insert(k, "buffer")
+        got = sa.range_query(10, 20)
+        assert [k for k, _ in got] == list(range(10, 20))
+        assert dict(got)[11] == "buffer"
+        assert dict(got)[12] == "tree"
+
+    def test_buffer_shadows_tree(self):
+        sa = make_sa()
+        sa.insert(5, "v1")
+        sa.flush()
+        sa.insert(5, "v2")
+        assert sa.range_query(0, 10) == [(5, "v2")]
+
+
+class TestDelete:
+    def test_delete_from_buffer(self):
+        sa = make_sa()
+        sa.insert(5, 5)
+        assert sa.delete(5)
+        assert sa.get(5) is None
+
+    def test_delete_from_tree(self):
+        sa = make_sa()
+        sa.insert(5, 5)
+        sa.flush()
+        assert sa.delete(5)
+        assert sa.get(5) is None
+
+    def test_delete_missing(self):
+        sa = make_sa()
+        assert not sa.delete(42)
+
+
+class TestOracleEquivalence:
+    @pytest.mark.parametrize("k_fraction", [0.0, 0.05, 0.5, 1.0])
+    def test_matches_oracle_across_sortedness(self, k_fraction):
+        sa = make_sa(buffer_capacity=32)
+        keys = generate_keys(2000, k_fraction, 1.0, seed=7)
+        oracle = {}
+        for k in keys:
+            k = int(k)
+            sa.insert(k, k * 3)
+            oracle[k] = k * 3
+        assert list(sa.items()) == sorted(oracle.items())
+        sa.flush()
+        sa.validate()
+        assert list(sa.items()) == sorted(oracle.items())
+
+    def test_mixed_workload_with_deletes(self):
+        sa = make_sa(buffer_capacity=32)
+        oracle = {}
+        rng = random.Random(17)
+        for step in range(2000):
+            k = rng.randrange(400)
+            if rng.random() < 0.7:
+                sa.insert(k, step)
+                oracle[k] = step
+            else:
+                assert sa.delete(k) == (k in oracle)
+                oracle.pop(k, None)
+        assert list(sa.items()) == sorted(oracle.items())
+
+
+class TestMemory:
+    def test_memory_includes_buffer(self):
+        sa = make_sa(buffer_capacity=1024)
+        for k in range(100):
+            sa.insert(k, k)
+        total = sa.memory_bytes()
+        assert total > sa.tree.memory_bytes()

@@ -1,0 +1,155 @@
+"""Tests for interpolation search and query-driven page cracking."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sware.buffer import SortednessBuffer
+from repro.sware.search import (
+    interpolation_search,
+    interpolation_search_leftmost,
+)
+from repro.sware import SABPlusTree
+from repro.core import TreeConfig
+
+
+class TestInterpolationSearch:
+    def test_empty(self):
+        assert interpolation_search([], 5) is None
+
+    def test_uniform_keys(self):
+        keys = list(range(0, 2000, 2))
+        for probe in (0, 500, 1998):
+            assert keys[interpolation_search(keys, probe)] == probe
+        for probe in (1, 999, -5, 2001):
+            assert interpolation_search(keys, probe) is None
+
+    def test_single_element(self):
+        assert interpolation_search([7], 7) == 0
+        assert interpolation_search([7], 8) is None
+
+    def test_all_equal_keys(self):
+        keys = [5] * 100
+        assert interpolation_search(keys, 5) is not None
+        assert interpolation_search(keys, 6) is None
+
+    def test_skewed_distribution_falls_back(self):
+        # Exponentially spaced keys defeat interpolation; the binary
+        # fallback must still find everything.
+        keys = sorted({2 ** i for i in range(40)})
+        for k in keys:
+            assert keys[interpolation_search(keys, k)] == k
+        assert interpolation_search(keys, 3) is None
+
+    def test_floats(self):
+        keys = [i * 0.5 for i in range(100)]
+        assert interpolation_search(keys, 24.5) == 49
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        keys=st.lists(
+            st.integers(-10**6, 10**6), min_size=1, max_size=300,
+            unique=True,
+        ),
+        probe=st.integers(-10**6, 10**6),
+    )
+    def test_matches_linear_scan(self, keys, probe):
+        keys = sorted(keys)
+        idx = interpolation_search(keys, probe)
+        if probe in keys:
+            assert idx is not None and keys[idx] == probe
+        else:
+            assert idx is None
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        keys=st.lists(st.integers(0, 10**6), min_size=0, max_size=200),
+        probe=st.integers(0, 10**6),
+    )
+    def test_leftmost_matches_bisect(self, keys, probe):
+        from bisect import bisect_left
+
+        keys = sorted(keys)
+        assert interpolation_search_leftmost(keys, probe) == bisect_left(
+            keys, probe
+        )
+
+
+class TestBufferInterpolation:
+    def test_sorted_page_lookups(self):
+        buf = SortednessBuffer(200, page_capacity=50, use_interpolation=True)
+        for k in range(0, 300, 2):
+            buf.append(k, k * 10)
+        for k in range(0, 300, 2):
+            assert buf.get(k) == (True, k * 10)
+        assert buf.get(1) == (False, None)
+
+
+class TestCracking:
+    def _unsorted_buffer(self, **kwargs):
+        buf = SortednessBuffer(400, page_capacity=20, **kwargs)
+        rng = random.Random(3)
+        keys = list(range(100))
+        rng.shuffle(keys)
+        for k in keys:
+            buf.append(k, k * 7)
+        return buf, keys
+
+    def test_crack_on_read_sorts_probed_pages(self):
+        buf, keys = self._unsorted_buffer(crack_on_read=True)
+        assert buf.stats.pages_cracked == 0
+        for k in keys:
+            assert buf.get(k) == (True, k * 7)
+        assert buf.stats.pages_cracked > 0
+        # Cracked pages are now sorted.
+        sorted_pages = sum(1 for p in buf._pages if p.sorted)
+        assert sorted_pages >= buf.stats.pages_cracked
+
+    def test_cracking_preserves_results(self):
+        plain, keys = self._unsorted_buffer()
+        cracked, _ = self._unsorted_buffer(crack_on_read=True)
+        for k in keys + [-1, 500]:
+            assert plain.get(k) == cracked.get(k)
+        # Repeat probes after cracking still agree.
+        for k in keys[:30]:
+            assert cracked.get(k) == (True, k * 7)
+
+    def test_cracking_latest_duplicate_wins(self):
+        buf = SortednessBuffer(100, page_capacity=50, crack_on_read=True)
+        buf.append(5, "first")
+        buf.append(9, "x")
+        buf.append(3, "y")       # makes the page unsorted
+        buf.append(5, "second")  # duplicate, latest
+        # Seal the page and open a new one so cracking applies.
+        for k in range(100, 100 + 50):
+            buf.append(k, k)
+        assert buf.get(5) == (True, "second")
+        assert buf.get(5) == (True, "second")  # post-crack probe
+
+    def test_open_tail_page_not_cracked(self):
+        buf = SortednessBuffer(100, page_capacity=50, crack_on_read=True)
+        buf.append(9, 9)
+        buf.append(3, 3)
+        buf.get(3)
+        assert buf.stats.pages_cracked == 0
+        assert list(buf.items()) == [(9, 9), (3, 3)]
+
+    def test_sa_tree_with_cracking_matches_oracle(self):
+        cfg = TreeConfig(leaf_capacity=16, internal_capacity=16)
+        sa = SABPlusTree(
+            cfg, buffer_capacity=64, page_capacity=16,
+            crack_on_read=True, use_interpolation=True,
+        )
+        rng = random.Random(5)
+        oracle = {}
+        keys = list(range(3000))
+        rng.shuffle(keys)
+        for k in keys:
+            sa.insert(k, -k)
+            oracle[k] = -k
+            if rng.random() < 0.05:
+                probe = rng.randrange(3000)
+                assert sa.get(probe, None) == oracle.get(probe)
+        assert list(sa.items()) == sorted(oracle.items())

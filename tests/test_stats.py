@@ -1,0 +1,57 @@
+"""Tests for repro.core.stats."""
+
+from repro.core.stats import OccupancyStats, TreeStats
+
+
+class TestTreeStats:
+    def test_initial_zero(self):
+        stats = TreeStats()
+        assert stats.inserts == 0
+        assert stats.fast_insert_fraction == 0.0
+        assert stats.top_insert_fraction == 0.0
+
+    def test_fractions(self):
+        stats = TreeStats(fast_inserts=75, top_inserts=25)
+        assert stats.inserts == 100
+        assert stats.fast_insert_fraction == 0.75
+        assert stats.top_insert_fraction == 0.25
+
+    def test_reset(self):
+        stats = TreeStats(fast_inserts=5, leaf_splits=3)
+        stats.reset()
+        assert stats.fast_inserts == 0
+        assert stats.leaf_splits == 0
+
+    def test_snapshot_is_independent(self):
+        stats = TreeStats(top_inserts=10)
+        snap = stats.snapshot()
+        stats.top_inserts = 20
+        assert snap.top_inserts == 10
+
+    def test_diff(self):
+        stats = TreeStats(fast_inserts=10, node_accesses=100)
+        earlier = TreeStats(fast_inserts=4, node_accesses=60)
+        delta = stats.diff(earlier)
+        assert delta.fast_inserts == 6
+        assert delta.node_accesses == 40
+
+    def test_as_dict_round_trip(self):
+        stats = TreeStats(deletes=7)
+        d = stats.as_dict()
+        assert d["deletes"] == 7
+        assert TreeStats(**d) == stats
+
+
+class TestOccupancyStats:
+    def test_avg_occupancy(self):
+        occ = OccupancyStats(leaf_count=4, entries=128, capacity=64)
+        assert occ.avg_occupancy == 0.5
+
+    def test_empty_tree(self):
+        occ = OccupancyStats()
+        assert occ.avg_occupancy == 0.0
+        assert occ.node_count == 0
+
+    def test_node_count(self):
+        occ = OccupancyStats(leaf_count=10, internal_count=3)
+        assert occ.node_count == 13

@@ -1,0 +1,117 @@
+"""Failure injection: validate() must catch every class of structural
+corruption it claims to check."""
+
+import pytest
+
+from repro.core import BPlusTree, QuITTree, TreeConfig
+from repro.core.node import InternalNode
+
+
+@pytest.fixture
+def tree(small_config):
+    t = BPlusTree(small_config)
+    for k in range(500):
+        t.insert(k, k)
+    t.validate()
+    return t
+
+
+def first_internal(tree) -> InternalNode:
+    node = tree.root
+    assert not node.is_leaf
+    return node
+
+
+class TestValidateCatchesCorruption:
+    def test_unsorted_leaf_keys(self, tree):
+        leaf = tree.head_leaf
+        leaf.keys[0], leaf.keys[1] = leaf.keys[1], leaf.keys[0]
+        with pytest.raises(AssertionError):
+            tree.validate()
+
+    def test_key_outside_pivot_range(self, tree):
+        leaf = tree.head_leaf.next
+        leaf.keys[-1] = 10_000_000
+        with pytest.raises(AssertionError):
+            tree.validate()
+
+    def test_broken_parent_pointer(self, tree):
+        leaf = tree.head_leaf.next
+        leaf.parent = None
+        with pytest.raises(AssertionError):
+            tree.validate()
+
+    def test_broken_next_link(self, tree):
+        leaf = tree.head_leaf
+        leaf.next = leaf.next.next  # skip one leaf
+        with pytest.raises(AssertionError):
+            tree.validate()
+
+    def test_broken_prev_link(self, tree):
+        leaf = tree.head_leaf.next
+        leaf.prev = None
+        with pytest.raises(AssertionError):
+            tree.validate()
+
+    def test_size_drift(self, tree):
+        tree._size += 1
+        with pytest.raises(AssertionError):
+            tree.validate()
+
+    def test_height_drift(self, tree):
+        tree._height += 1
+        with pytest.raises(AssertionError):
+            tree.validate()
+
+    def test_values_keys_length_mismatch(self, tree):
+        leaf = tree.head_leaf
+        leaf.values.pop()
+        with pytest.raises(AssertionError):
+            tree.validate()
+
+    def test_overfull_leaf(self, tree):
+        leaf = tree.tail_leaf
+        for extra in range(20):
+            leaf.keys.append(10_000 + extra)
+            leaf.values.append(extra)
+        tree._size += 20
+        with pytest.raises(AssertionError):
+            tree.validate()
+
+    def test_underfull_leaf_with_strict_min_fill(self, tree):
+        leaf = tree.head_leaf
+        removed = 0
+        while leaf.size > 1:
+            leaf.remove_at(0)
+            removed += 1
+        tree._size -= removed
+        with pytest.raises(AssertionError):
+            tree.validate(check_min_fill=True)
+        # Relaxed mode tolerates it (QuIT's variable split relies on
+        # this allowance).
+        tree.validate(check_min_fill=False)
+
+    def test_internal_child_count_mismatch(self, tree):
+        node = first_internal(tree)
+        node.keys.append(node.keys[-1] + 1)
+        with pytest.raises(AssertionError):
+            tree.validate()
+
+    def test_duplicate_key_across_leaves(self, tree):
+        second = tree.head_leaf.next
+        dup = tree.head_leaf.keys[0]
+        second.keys[0] = dup
+        with pytest.raises(AssertionError):
+            tree.validate()
+
+
+class TestValidateAcceptsHealthyQuIT:
+    def test_quit_after_mixed_workload(self, small_config):
+        tree = QuITTree(small_config)
+        for k in range(0, 1000, 2):
+            tree.insert(k, k)
+        for k in range(1, 1000, 2):
+            tree.insert(k, k)
+        for k in range(0, 500, 3):
+            tree.delete(k)
+        tree.validate(check_min_fill=False)

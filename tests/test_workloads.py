@@ -1,0 +1,168 @@
+"""Tests for workload builders (generators, queries, stocks)."""
+
+import numpy as np
+import pytest
+
+from repro.sortedness import kl_sortedness, running_max_violations
+from repro.workloads import (
+    NIFTY_SPEC,
+    SPXUSD_SPEC,
+    InstrumentSpec,
+    PAPER_SELECTIVITIES,
+    SegmentSpec,
+    alternating_stress_stream,
+    closing_prices,
+    instrument_keys,
+    mixed_selectivity_ranges,
+    negative_lookups,
+    point_lookups,
+    range_queries,
+    scrambled_stream,
+    segmented_stream,
+    sorted_stream,
+    to_index_keys,
+)
+
+
+class TestSegmentedStream:
+    def test_empty(self):
+        assert len(segmented_stream([])) == 0
+
+    def test_covers_domain(self):
+        stream = segmented_stream(
+            [SegmentSpec(1000, 0.0), SegmentSpec(1000, 1.0)], seed=1
+        )
+        assert sorted(stream.tolist()) == list(range(2000))
+
+    def test_segments_have_requested_sortedness(self):
+        stream = segmented_stream(
+            [SegmentSpec(2000, 0.0), SegmentSpec(2000, 1.0)], seed=2
+        )
+        first = kl_sortedness(stream[:2000].tolist())
+        second = kl_sortedness(stream[2000:].tolist())
+        assert first.k == 0
+        assert second.k_fraction > 0.9
+
+    def test_overall_upward_trend(self):
+        stream = segmented_stream(
+            [SegmentSpec(500, 0.1), SegmentSpec(500, 0.1)], seed=3
+        )
+        # Every key of segment 2 exceeds every key of segment 1.
+        assert stream[:500].max() < stream[500:].min()
+
+
+class TestAlternatingStress:
+    def test_permutation_and_length(self):
+        stream = alternating_stress_stream(10_000, 5, seed=4)
+        assert sorted(stream.tolist()) == list(range(10_000))
+
+    def test_rejects_zero_segments(self):
+        with pytest.raises(ValueError):
+            alternating_stress_stream(100, 0)
+
+    def test_alternation(self):
+        stream = alternating_stress_stream(
+            10_000, 5, near_k=0.10, scrambled_k=1.0, seed=5
+        )
+        per = 2000
+        ks = [
+            kl_sortedness(stream[i * per:(i + 1) * per].tolist()).k_fraction
+            for i in range(5)
+        ]
+        assert ks[0] < 0.2 and ks[2] < 0.2 and ks[4] < 0.2
+        assert ks[1] > 0.8 and ks[3] > 0.8
+
+
+class TestSimpleStreams:
+    def test_sorted_stream(self):
+        s = sorted_stream(100, key_start=10, key_step=2)
+        assert s[0] == 10 and s[-1] == 208
+        assert len(s) == 100
+
+    def test_scrambled_stream(self):
+        s = scrambled_stream(1000, seed=6)
+        assert sorted(s.tolist()) == list(range(1000))
+        assert kl_sortedness(s.tolist()).k_fraction > 0.9
+
+
+class TestQueries:
+    def test_point_lookups_only_existing(self):
+        existing = np.array([5, 10, 15])
+        targets = point_lookups(existing, 100, seed=1)
+        assert set(targets.tolist()) <= {5, 10, 15}
+        assert len(targets) == 100
+
+    def test_point_lookups_rejects_empty(self):
+        with pytest.raises(ValueError):
+            point_lookups(np.array([]), 5)
+
+    def test_negative_lookups_avoid_existing(self):
+        existing = set(range(100))
+        targets = negative_lookups(0, 99, 50, existing=existing, seed=2)
+        assert not (set(targets.tolist()) & existing)
+
+    def test_range_queries_width(self):
+        ranges = range_queries(0, 100_000, 0.01, 20, seed=3)
+        assert len(ranges) == 20
+        assert all(hi - lo == 1000 for lo, hi in ranges)
+        assert all(0 <= lo and hi <= 100_001 for lo, hi in ranges)
+
+    def test_range_queries_validation(self):
+        with pytest.raises(ValueError):
+            range_queries(0, 100, 0.0, 5)
+        with pytest.raises(ValueError):
+            range_queries(100, 100, 0.1, 5)
+
+    def test_mixed_selectivities(self):
+        by_sel = mixed_selectivity_ranges(0, 10_000, 5)
+        assert set(by_sel) == set(PAPER_SELECTIVITIES)
+        assert all(len(v) == 5 for v in by_sel.values())
+
+
+class TestStocks:
+    def _small(self, spec, n=5000):
+        from dataclasses import replace
+
+        return replace(spec, n=n)
+
+    @pytest.mark.parametrize("spec", [NIFTY_SPEC, SPXUSD_SPEC])
+    def test_prices_positive_and_trending(self, spec):
+        prices = closing_prices(self._small(spec))
+        assert (prices > 0).all()
+        # Overall upward drift: the last decile averages above the first.
+        assert prices[-500:].mean() > prices[:500].mean() * 1.2
+
+    def test_prices_quantized_to_tick(self):
+        spec = self._small(NIFTY_SPEC)
+        prices = closing_prices(spec)
+        ticks = prices / spec.tick
+        assert np.allclose(ticks, np.round(ticks))
+
+    def test_index_keys_unique_and_price_ordered(self):
+        spec = self._small(NIFTY_SPEC)
+        prices = closing_prices(spec)
+        keys = to_index_keys(prices, spec.tick)
+        assert len(set(keys.tolist())) == len(keys)
+        # Key order must agree with price order for distinct prices.
+        i, j = 10, 4000
+        if prices[i] < prices[j]:
+            assert keys[i] < keys[j]
+
+    def test_near_sortedness(self):
+        keys = instrument_keys(self._small(NIFTY_SPEC, n=20_000))
+        frac = running_max_violations(keys.tolist()) / len(keys)
+        # Near-sorted: mostly ascending with local disorder.
+        assert frac < 0.6
+
+    def test_rejects_too_long_series(self):
+        with pytest.raises(ValueError):
+            to_index_keys(np.ones(1 << 25), 0.05)
+
+    def test_rejects_empty_spec(self):
+        with pytest.raises(ValueError):
+            closing_prices(InstrumentSpec(name="X", n=0))
+
+    def test_deterministic(self):
+        a = closing_prices(self._small(SPXUSD_SPEC))
+        b = closing_prices(self._small(SPXUSD_SPEC))
+        assert np.array_equal(a, b)

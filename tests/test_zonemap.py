@@ -1,0 +1,79 @@
+"""Tests for zonemaps."""
+
+from repro.sware.zonemap import ZoneMap, ZoneMapIndex
+
+
+class TestZoneMap:
+    def test_empty_contains_nothing(self):
+        zone = ZoneMap()
+        assert not zone.contains(5)
+        assert not zone.overlaps(0, 100)
+
+    def test_observe_extends(self):
+        zone = ZoneMap()
+        for k in (10, 5, 20):
+            zone.observe(k)
+        assert zone.min_key == 5
+        assert zone.max_key == 20
+        assert zone.count == 3
+
+    def test_contains_inclusive(self):
+        zone = ZoneMap()
+        zone.observe(10)
+        zone.observe(20)
+        assert zone.contains(10)
+        assert zone.contains(20)
+        assert zone.contains(15)
+        assert not zone.contains(9)
+        assert not zone.contains(21)
+
+    def test_overlaps_half_open(self):
+        zone = ZoneMap()
+        zone.observe(10)
+        zone.observe(20)
+        assert zone.overlaps(0, 11)
+        assert zone.overlaps(20, 30)
+        assert not zone.overlaps(21, 30)
+        assert not zone.overlaps(0, 10)  # end exclusive
+
+    def test_single_key_zone(self):
+        zone = ZoneMap()
+        zone.observe(7)
+        assert zone.contains(7)
+        assert zone.overlaps(7, 8)
+
+
+class TestZoneMapIndex:
+    def test_grows_on_demand(self):
+        index = ZoneMapIndex()
+        index.zone(3).observe(1)
+        assert len(index) == 4
+
+    def test_pages_containing(self):
+        index = ZoneMapIndex()
+        for page_no, (lo, hi) in enumerate([(0, 10), (20, 30), (5, 25)]):
+            index.zone(page_no).observe(lo)
+            index.zone(page_no).observe(hi)
+        assert list(index.pages_containing(7)) == [0, 2]
+        assert list(index.pages_containing(22)) == [1, 2]
+        assert list(index.pages_containing(50)) == []
+
+    def test_pages_overlapping(self):
+        index = ZoneMapIndex()
+        for page_no, (lo, hi) in enumerate([(0, 10), (20, 30)]):
+            index.zone(page_no).observe(lo)
+            index.zone(page_no).observe(hi)
+        assert list(index.pages_overlapping(8, 22)) == [0, 1]
+        assert list(index.pages_overlapping(11, 20)) == []
+
+    def test_clear(self):
+        index = ZoneMapIndex()
+        index.zone(0).observe(1)
+        index.clear()
+        assert len(index) == 0
+
+    def test_memory_accounting(self):
+        index = ZoneMapIndex()
+        assert index.memory_bytes == 0
+        index.zone(9)
+        assert index.memory_bytes == 10 * 12
