@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Batched ingest: hand the tree chunks instead of single keys.
+
+``insert_many`` detects the sorted runs inside each batch, descends once
+per run segment, and splices whole segments into the leaves — on
+near-sorted streams this is several times faster than a per-key insert
+loop, with identical results.
+
+Run:  python examples/batch_ingest.py
+"""
+
+import time
+
+from repro import BPlusTree, QuITTree, TreeConfig
+from repro.sortedness import generate_keys
+
+N = 50_000
+BATCH_SIZE = 4096
+
+
+def main() -> None:
+    # The paper's default near-sorted shape: 5% of keys displaced by up
+    # to 5% of the stream length.
+    keys = [int(k) for k in generate_keys(N, 0.05, 0.05, seed=42)]
+    config = TreeConfig(leaf_capacity=64, internal_capacity=64)
+
+    # Per-key baseline.
+    per_key = BPlusTree(config)
+    start = time.perf_counter()
+    for k in keys:
+        per_key.insert(k, k)
+    per_key_s = time.perf_counter() - start
+
+    # Same stream, batched: chunk the feed and call insert_many.
+    batched = BPlusTree(config)
+    items = [(k, k) for k in keys]
+    start = time.perf_counter()
+    for lo in range(0, len(items), BATCH_SIZE):
+        batched.insert_many(items[lo : lo + BATCH_SIZE])
+    batched_s = time.perf_counter() - start
+
+    assert list(batched.items()) == list(per_key.items())
+    print(f"{N:,} keys, K=5% L=5%, batches of {BATCH_SIZE}")
+    print(f"per-key insert : {per_key_s:.3f}s")
+    print(
+        f"insert_many    : {batched_s:.3f}s "
+        f"({per_key_s / batched_s:.1f}x faster, identical contents)"
+    )
+
+    # The batch counters show how the work collapsed: ~N keys arrived in
+    # a few hundred runs, applied with roughly one descent per segment.
+    stats = batched.stats
+    print(
+        f"\n{stats.batch_inserts:,} keys arrived as {stats.batch_runs:,} "
+        f"sorted runs -> {stats.batch_segments:,} leaf segments "
+        f"({stats.batch_chained_segments:,} reached without a descent)"
+    )
+
+    # Fast-path variants keep their pointer across batches: QuIT serves
+    # whole segments straight from the pole.
+    quit_tree = QuITTree(config)
+    for lo in range(0, len(items), BATCH_SIZE):
+        quit_tree.insert_many(items[lo : lo + BATCH_SIZE])
+    qstats = quit_tree.stats
+    print(
+        f"QuIT: {qstats.batch_fast_segments:,} of "
+        f"{qstats.batch_segments:,} segments served by the pole pointer"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -63,6 +63,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=None, help="base RNG seed",
     )
     parser.add_argument(
+        "--batch-size", type=int, default=None,
+        help=(
+            "ingest through insert_many in chunks of this size instead "
+            "of per-key insert (default: per-key). Note: fast-path "
+            "fraction figures (fig3/fig5/fig9) count per-key hits and "
+            "read 0 under batched ingest; see TreeStats.batch_* instead"
+        ),
+    )
+    parser.add_argument(
         "--smoke", action="store_true",
         help="use the seconds-scale smoke sizing",
     )
@@ -90,6 +99,8 @@ def scale_from_args(args: argparse.Namespace) -> BenchScale:
         overrides["leaf_capacity"] = args.leaf_capacity
     if args.seed is not None:
         overrides["seed"] = args.seed
+    if args.batch_size is not None:
+        overrides["batch_size"] = args.batch_size
     if overrides:
         from dataclasses import replace
 
@@ -99,7 +110,10 @@ def scale_from_args(args: argparse.Namespace) -> BenchScale:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns a process exit code."""
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.batch_size is not None and args.batch_size <= 0:
+        parser.error(f"--batch-size must be positive, got {args.batch_size}")
     if args.list:
         for exp_id, fn in EXPERIMENTS.items():
             doc = (fn.__doc__ or "").strip().splitlines()[0]
@@ -115,9 +129,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
         return 2
     scale = scale_from_args(args)
+    batch_note = (
+        f" batch_size={scale.batch_size}" if scale.batch_size else ""
+    )
     print(
         f"scale: n={scale.n} leaf_capacity={scale.leaf_capacity} "
-        f"seed={scale.seed}",
+        f"seed={scale.seed}{batch_note}",
         flush=True,
     )
     if args.json_dir is not None:

@@ -1,0 +1,233 @@
+"""Machine-readable batched-ingest regression baseline.
+
+Measures per-key ``insert`` vs batched ``insert_many`` throughput for
+every index entry point (the four fast-path variants, the classical
+B+-tree, SWARE, and the concurrent wrapper) on a BoDS near-sorted stream,
+and writes one JSON document suitable for regression tracking::
+
+    python -m repro.bench.regress --out BENCH_PR1.json
+
+The committed ``BENCH_PR1.json`` at the repository root was produced by
+exactly that command (default scale: n=100000, K=5%, L=5%, batch 4096).
+Use ``--smoke`` for a seconds-scale run in CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Any, Optional, Sequence
+
+from ..concurrency import ConcurrentTree
+from ..core import QuITTree
+from ..sortedness.bods import generate_keys
+from .harness import (
+    VARIANTS,
+    BenchScale,
+    _gc_paused,
+    ingest,
+    ingest_batched,
+    make_tree,
+)
+
+#: Indexes measured, in reporting order.  Every name maps to a builder
+#: taking a BenchScale.
+MATRIX: dict[str, Any] = {
+    **{name: None for name in VARIANTS},
+    "SWARE": None,
+    "concurrent-QuIT": None,
+}
+
+
+def _build(name: str, scale: BenchScale) -> Any:
+    if name == "concurrent-QuIT":
+        return ConcurrentTree(QuITTree(scale.tree_config))
+    return make_tree(name, scale)
+
+
+def _flush_if_buffered(tree: Any) -> None:
+    flush = getattr(tree, "flush", None)
+    if flush is not None:
+        flush()
+
+
+def _time_per_key(name: str, scale: BenchScale, keys: list[int]) -> float:
+    """Best-of-repeats seconds for a per-key insert loop (+ final flush
+    for buffered indexes, inside the timed section)."""
+    best = float("inf")
+    for _ in range(max(1, scale.repeats)):
+        tree = _build(name, scale)
+        insert = tree.insert
+        with _gc_paused():
+            start = time.perf_counter()
+            for k in keys:
+                insert(k, k)
+            _flush_if_buffered(tree)
+            best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _time_batched(
+    name: str, scale: BenchScale, keys: list[int], batch_size: int
+) -> tuple[float, Any]:
+    """Best-of-repeats seconds for chunked ``insert_many`` (+ final flush
+    inside the timed section).  Returns ``(seconds, last_tree)``."""
+    items = [(k, k) for k in keys]
+    best = float("inf")
+    tree = None
+    for _ in range(max(1, scale.repeats)):
+        tree = _build(name, scale)
+        insert_many = tree.insert_many
+        with _gc_paused():
+            start = time.perf_counter()
+            for lo in range(0, len(items), batch_size):
+                insert_many(items[lo : lo + batch_size])
+            _flush_if_buffered(tree)
+            best = min(best, time.perf_counter() - start)
+    return best, tree
+
+
+def _batch_stats(tree: Any) -> dict[str, int]:
+    """Batch-path counters from whichever stats object the index exposes."""
+    stats = getattr(tree, "stats", None)
+    if stats is None and hasattr(tree, "tree"):
+        stats = tree.tree.stats
+    if stats is None:
+        return {}
+    return {
+        key: getattr(stats, key)
+        for key in (
+            "batch_inserts",
+            "batch_runs",
+            "batch_coalesced",
+            "batch_segments",
+            "batch_fast_segments",
+            "batch_chained_segments",
+            "index_fallback_scans",
+        )
+        if hasattr(stats, key)
+    }
+
+
+def run_regression(
+    scale: BenchScale,
+    k_fraction: float,
+    l_fraction: float,
+    batch_size: int,
+) -> dict[str, Any]:
+    """Measure the full matrix and return the JSON-ready document."""
+    keys = [
+        int(k)
+        for k in generate_keys(
+            scale.n, k_fraction, l_fraction, seed=scale.seed
+        )
+    ]
+    results = []
+    for name in MATRIX:
+        per_key_s = _time_per_key(name, scale, keys)
+        batched_s, tree = _time_batched(name, scale, keys, batch_size)
+        results.append(
+            {
+                "index": name,
+                "per_key_seconds": round(per_key_s, 6),
+                "batched_seconds": round(batched_s, 6),
+                "per_key_ops": round(scale.n / per_key_s, 1),
+                "batched_ops": round(scale.n / batched_s, 1),
+                "speedup": round(per_key_s / batched_s, 3),
+                "batch_stats": _batch_stats(tree),
+            }
+        )
+    return {
+        "meta": {
+            "benchmark": "batched sorted-run ingest vs per-key insert",
+            "workload": "BoDS near-sorted stream",
+            "n": scale.n,
+            "k_fraction": k_fraction,
+            "l_fraction": l_fraction,
+            "batch_size": batch_size,
+            "leaf_capacity": scale.leaf_capacity,
+            "seed": scale.seed,
+            "repeats": scale.repeats,
+            "python": platform.python_version(),
+            "command": (
+                "python -m repro.bench.regress"
+                f" --n {scale.n} --k {k_fraction} --l {l_fraction}"
+                f" --batch-size {batch_size}"
+                f" --leaf-capacity {scale.leaf_capacity}"
+                f" --seed {scale.seed} --repeats {scale.repeats}"
+            ),
+        },
+        "results": results,
+    }
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Argument parser for quit-regress."""
+    parser = argparse.ArgumentParser(
+        prog="quit-regress",
+        description=(
+            "Batched-ingest regression baseline: per-key insert vs "
+            "insert_many across all index entry points."
+        ),
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None,
+        help="write the JSON document here (default: stdout only)",
+    )
+    parser.add_argument("--n", type=int, default=100_000)
+    parser.add_argument(
+        "--k", type=float, default=0.05,
+        help="BoDS K: fraction of displaced keys (default 0.05)",
+    )
+    parser.add_argument(
+        "--l", type=float, default=0.05,
+        help="BoDS L: max displacement as a fraction of n (default 0.05)",
+    )
+    parser.add_argument("--batch-size", type=int, default=4096)
+    parser.add_argument("--leaf-capacity", type=int, default=64)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--repeats", type=int, default=5,
+        help="timed runs per cell; the minimum is reported (default 5)",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="seconds-scale sizing for CI (n=20000, 2 repeats)",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.batch_size <= 0:
+        parser.error(f"--batch-size must be positive, got {args.batch_size}")
+    n = 20_000 if args.smoke else args.n
+    repeats = 2 if args.smoke else args.repeats
+    scale = BenchScale(
+        n=n,
+        leaf_capacity=args.leaf_capacity,
+        seed=args.seed,
+        repeats=repeats,
+        batch_size=args.batch_size,
+    )
+    doc = run_regression(scale, args.k, args.l, args.batch_size)
+    text = json.dumps(doc, indent=2) + "\n"
+    if args.out is not None:
+        args.out.write_text(text)
+        print(f"wrote {args.out}")
+    for row in doc["results"]:
+        print(
+            f"{row['index']:16s} per-key {row['per_key_ops']:>10.0f} ops/s"
+            f"  batched {row['batched_ops']:>10.0f} ops/s"
+            f"  speedup {row['speedup']:.2f}x"
+        )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -2,6 +2,7 @@
 sortedness-aware fast-path variants (tail, lil, pole, QuIT)."""
 
 from .ablation import QuITNoResetTree, QuITNoVariableSplitTree
+from .batch import carve_runs, merge_run, probe_runs
 from .bptree import BPlusTree
 from .describe import TreeDescription, describe, format_description
 from .duplicates import DuplicateKeyIndex
@@ -34,6 +35,9 @@ TREE_VARIANTS = (
 
 __all__ = [
     "BPlusTree",
+    "carve_runs",
+    "merge_run",
+    "probe_runs",
     "QuITNoResetTree",
     "QuITNoVariableSplitTree",
     "FastPathTree",

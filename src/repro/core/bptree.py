@@ -13,8 +13,11 @@ implementation" methodology (§5).
 
 from __future__ import annotations
 
+from bisect import bisect_left
+from operator import itemgetter
 from typing import Any, Iterable, Iterator, Optional
 
+from .batch import carve_runs, merge_run, probe_runs
 from .config import (
     ENTRY_BYTES,
     NODE_HEADER_BYTES,
@@ -23,6 +26,23 @@ from .config import (
 )
 from .node import InternalNode, Key, LeafNode, Node
 from .stats import OccupancyStats, TreeStats
+
+#: Default leaf fill for run-driven overflow rebuilds in
+#: :meth:`BPlusTree.insert_many`.  Packing rebuilt leaves completely full
+#: (1.0) makes the very next run landing in them overflow again; ~85%
+#: leaves one typical segment of headroom and matches the leaf occupancy a
+#: per-key-built tree converges to.
+BATCH_FILL_FACTOR = 0.85
+
+#: Minimum segment length for a segment to retarget the batch-local
+#: frontier hint in :meth:`BPlusTree._insert_run`.  Shorter segments are
+#: almost always displaced outliers; letting them steal the hint would
+#: make the next run descend again to find its way back to the in-order
+#: frontier.
+_HINT_MIN_SEGMENT = 4
+
+#: Key extractor for the coalescing sort in :meth:`BPlusTree.insert_many`.
+_key_of = itemgetter(0)
 
 
 class BPlusTree:
@@ -273,7 +293,7 @@ class BPlusTree:
         child: Node = leaf
         parent = child.parent
         while parent is not None and (low is None or high is None):
-            idx = parent.index_of_child(child)
+            idx = parent.index_of_child(child, self.stats)
             if low is None and idx > 0:
                 low = parent.keys[idx - 1]
             if high is None and idx < len(parent.keys):
@@ -382,7 +402,7 @@ class BPlusTree:
         parent = leaf.parent
         if parent is None:
             return
-        idx = parent.index_of_child(leaf)
+        idx = parent.index_of_child(leaf, self.stats)
         min_fill = self._min_leaf_fill()
         left = parent.children[idx - 1] if idx > 0 else None
         right = (
@@ -450,7 +470,7 @@ class BPlusTree:
     def _rebalance_internal(self, node: InternalNode) -> None:
         parent = node.parent
         assert parent is not None
-        idx = parent.index_of_child(node)
+        idx = parent.index_of_child(node, self.stats)
         min_fill = self._min_internal_fill()
         left = parent.children[idx - 1] if idx > 0 else None
         right = (
@@ -669,35 +689,57 @@ class BPlusTree:
         """Merge ``segment`` (sorted, within ``leaf``'s pivot range) into
         ``leaf``, rebuilding it into packed leaves.  Returns new-key count.
         """
-        merged_keys: list[Key] = []
-        merged_vals: list[Any] = []
-        li, si = 0, 0
-        lk, lv = leaf.keys, leaf.values
-        while li < len(lk) and si < len(segment):
-            if lk[li] < segment[si][0]:
-                merged_keys.append(lk[li])
-                merged_vals.append(lv[li])
-                li += 1
-            elif lk[li] > segment[si][0]:
-                merged_keys.append(segment[si][0])
-                merged_vals.append(segment[si][1])
-                si += 1
-            else:  # duplicate: the run's value wins (freshest write)
-                merged_keys.append(segment[si][0])
-                merged_vals.append(segment[si][1])
-                li += 1
-                si += 1
-        merged_keys.extend(lk[li:])
-        merged_vals.extend(lv[li:])
-        for k, v in segment[si:]:
-            merged_keys.append(k)
-            merged_vals.append(v)
-        added = len(merged_keys) - len(lk)
+        added, _ = self._apply_run_segment(
+            leaf,
+            [k for k, _ in segment],
+            [v for _, v in segment],
+            fill_factor,
+        )
+        return added
+
+    def _apply_run_segment(
+        self,
+        leaf: LeafNode,
+        seg_keys: list[Key],
+        seg_vals: list[Any],
+        fill_factor: float = 1.0,
+    ) -> tuple[int, LeafNode]:
+        """Place a strictly-increasing segment (within ``leaf``'s pivot
+        range) into ``leaf`` in one motion.
+
+        When the segment fits, this is a single :meth:`LeafNode.apply_run`
+        (one-two bisects + one slice assignment).  On overflow
+        :meth:`_apply_run_overflow` rebuilds the merged result into leaves
+        packed to ``fill_factor``.
+
+        Returns ``(added, last_leaf)`` where ``last_leaf`` is the leaf
+        holding the segment's largest key after any rebuild.
+        """
+        if len(leaf.keys) + len(seg_keys) <= self.config.leaf_capacity:
+            added = leaf.apply_run(seg_keys, seg_vals)
+            self._size += added
+            return added, leaf
+        return self._apply_run_overflow(leaf, seg_keys, seg_vals, fill_factor)
+
+    def _apply_run_overflow(
+        self,
+        leaf: LeafNode,
+        seg_keys: list[Key],
+        seg_vals: list[Any],
+        fill_factor: float,
+    ) -> tuple[int, LeafNode]:
+        """Overflow path of :meth:`_apply_run_segment`: merge ``leaf`` with
+        the segment and rebuild the result into leaves packed to
+        ``fill_factor`` — full right siblings are built directly,
+        bulk-load style, instead of splitting repeatedly."""
+        merged_keys, merged_vals, added = merge_run(
+            leaf.keys, leaf.values, seg_keys, seg_vals
+        )
         self._size += added
         if len(merged_keys) <= self.config.leaf_capacity:
             leaf.keys = merged_keys
             leaf.values = merged_vals
-            return added
+            return added, leaf
         per_leaf = max(2, int(self.config.leaf_capacity * fill_factor))
         cuts = list(range(per_leaf, len(merged_keys), per_leaf))
         # Keep the last chunk at or above min fill by moving the final cut.
@@ -724,11 +766,220 @@ class BPlusTree:
             self.stats.leaf_splits += 1
             self._insert_into_parent(prev, node.keys[0], node)
             prev = node
-        return added
+        return added, prev
 
     def _after_bulk_splice(self) -> None:
         """Hook: a bulk splice finished (fast-path variants refresh their
         cached bounds here)."""
+
+    # ------------------------------------------------------------------
+    # Batched ingest
+    # ------------------------------------------------------------------
+
+    def insert_many(
+        self,
+        items: Iterable[tuple[Key, Any]],
+        fill_factor: float = BATCH_FILL_FACTOR,
+    ) -> int:
+        """Batched upsert: equivalent to ``for k, v in items: insert(k, v)``
+        but with the per-key interpreter overhead amortized away.
+
+        The batch is scanned once and carved into maximal non-decreasing
+        runs (:func:`repro.core.batch.carve_runs`); each run is placed
+        with at most one descent per pivot-bounded segment, and each
+        segment lands in its leaf with one slice assignment instead of
+        per-key bisect + ``list.insert`` calls.  Run-driven overflows
+        build right siblings packed to ``fill_factor`` directly
+        (bulk-load style) rather than splitting repeatedly.  Fast-path
+        variants serve a segment straight from their ``tail``/``lil``/
+        ``pole`` pointer when the run starts in range, skipping even the
+        descent.
+
+        ``fill_factor`` defaults to :data:`BATCH_FILL_FACTOR` rather than
+        1.0: leaves rebuilt completely full overflow again on the very
+        next run that lands in them, so a little headroom buys fewer
+        merge-and-rebuild cycles across batches (and a leaf occupancy
+        close to a per-key-built tree's steady state).  Pass 1.0 for
+        final, read-mostly batches.
+
+        A fragmented batch (average detected run much shorter than a
+        leaf) is *coalesced* first: the items are stable-sorted by key —
+        Timsort merges the very runs the detector counted, at C speed —
+        and applied as a single run.  Stable sort keeps duplicate keys in
+        arrival order, so last-write-wins semantics are preserved
+        exactly.  Batches whose runs are long are applied in arrival
+        order without sorting, which is the paper-aligned path: intrinsic
+        sortedness is exploited, not manufactured.
+
+        Unlike :meth:`bulk_load` the tree may be non-empty and the batch
+        arbitrary: unsorted input, duplicate keys (the latest occurrence
+        wins) and keys already present (upsert) are all honoured.
+        Returns the number of *new* keys added.
+        """
+        if not 0.0 < fill_factor <= 1.0:
+            raise ValueError(f"fill_factor must be in (0, 1], got {fill_factor}")
+        stats = self.stats
+        items, n_runs = probe_runs(items)
+        if n_runs > 1 and 2 * len(items) < self.config.leaf_capacity * n_runs:
+            # Sort by key only (itemgetter), never by value — values may
+            # not be comparable, and key-only sorting is what keeps the
+            # sort stable w.r.t. arrival order of duplicates.
+            items = sorted(items, key=_key_of)
+            stats.batch_coalesced += 1
+        added = 0
+        hint: Optional[tuple[LeafNode, Optional[Key], Optional[Key]]] = None
+        for run_keys, run_vals in carve_runs(items):
+            stats.batch_runs += 1
+            stats.batch_inserts += len(run_keys)
+            run_added, hint = self._insert_run(
+                run_keys, run_vals, fill_factor, hint
+            )
+            added += run_added
+        return added
+
+    def _insert_run(
+        self,
+        run_keys: list[Key],
+        run_vals: list[Any],
+        fill_factor: float = BATCH_FILL_FACTOR,
+        hint: Optional[tuple[LeafNode, Optional[Key], Optional[Key]]] = None,
+    ) -> tuple[int, Optional[tuple[LeafNode, Optional[Key], Optional[Key]]]]:
+        """Apply one strictly-increasing run, segmenting it at existing
+        pivot boundaries (each segment = one target leaf).
+
+        Only the run's first segment pays a descent (or a fast-path hit);
+        a run that continues past a leaf's upper bound is chained along
+        the leaf list — the leaves partition the key space in order, so
+        the chain successor of the leaf that absorbed a segment is the
+        target for keys starting at its upper bound.
+
+        ``hint`` is the batch-local frontier: the rightmost ``(leaf, low,
+        high)`` touched by earlier runs of the same ``insert_many`` call.
+        A near-sorted stream breaks a run with one backward outlier and
+        then resumes right where the previous run left off, so trying the
+        frontier before descending turns the common two-descents-per-
+        outlier pattern into one.  The hint is only valid while nothing
+        else mutates the tree, which holds within a single ``insert_many``
+        call; callers that release locks between runs (the concurrent
+        wrapper) must pass ``hint=None`` each time.
+
+        Returns ``(added, hint)`` — the number of new keys added and the
+        updated frontier for the next run.
+        """
+        # Hot loop: locals are hoisted and the fits-in-leaf case (the vast
+        # majority of segments) is inlined rather than routed through
+        # _apply_run_segment — per-segment call overhead is exactly the
+        # cost this path exists to amortize.
+        cap = self.config.leaf_capacity
+        added = 0
+        i = 0
+        n = len(run_keys)
+        leaf: Optional[LeafNode] = None
+        low: Optional[Key] = None
+        high: Optional[Key] = None
+        last_leaf: Optional[LeafNode] = None
+        if hint is not None:
+            h_leaf, h_low, h_high = hint
+        else:
+            h_leaf = h_low = h_high = None
+        segments = 0
+        chained = 0
+        while i < n:
+            if leaf is None:
+                k0 = run_keys[i]
+                target = self._run_target_from_fp(k0)
+                if target is not None:
+                    leaf, low, high = target
+                elif (
+                    h_leaf is not None
+                    and (h_low is None or k0 >= h_low)
+                    and (h_high is None or k0 < h_high)
+                ):
+                    leaf, low, high = h_leaf, h_low, h_high
+                    chained += 1
+                else:
+                    leaf, low, high = self._descend_for_insert(k0)
+            segments += 1
+            j = n if high is None else bisect_left(run_keys, high, i)
+            if i == 0 and j == n:
+                seg_keys, seg_vals = run_keys, run_vals
+            else:
+                seg_keys, seg_vals = run_keys[i:j], run_vals[i:j]
+            if len(leaf.keys) + len(seg_keys) <= cap:
+                seg_added = leaf.apply_run(seg_keys, seg_vals)
+                self._size += seg_added
+                last_leaf = leaf
+            else:
+                seg_added, last_leaf = self._apply_run_overflow(
+                    leaf, seg_keys, seg_vals, fill_factor
+                )
+                if last_leaf is not leaf:
+                    # The overflow rebuilt the leaf into packed siblings;
+                    # last_leaf is the rightmost piece and its first key
+                    # is exactly the separator that bounds it below.
+                    low = last_leaf.keys[0]
+            # Track the frontier.  Long segments are the in-order bulk of
+            # the stream — where the next run will resume — while short
+            # segments are typically displaced outliers that should not
+            # steal the hint.  A short segment that lands in the hint
+            # leaf itself must still refresh it: an overflow rebuild
+            # narrows the leaf's bounds.
+            if (
+                j - i >= _HINT_MIN_SEGMENT
+                or h_leaf is None
+                or leaf is h_leaf
+                or last_leaf is h_leaf
+            ):
+                h_leaf, h_low, h_high = last_leaf, low, high
+            added += seg_added
+            i = j
+            leaf = None
+            if i < n:
+                # The run continues past this leaf's range; its chain
+                # successor is the target for the next keys.  The
+                # successor's pivot bounds would cost a parent walk, so
+                # use O(1) conservative content bounds instead: a key
+                # between the successor's current smallest and largest
+                # keys is provably inside its pivot range.  The rightmost
+                # leaf is unbounded above, so for it only the lower check
+                # applies.  Keys in the gaps between content bounds and
+                # true pivot bounds fall back to a descent, which routes
+                # them correctly.
+                nxt = last_leaf.next
+                if nxt is not None:
+                    nxt_keys = nxt.keys
+                    if nxt_keys and run_keys[i] >= nxt_keys[0]:
+                        if nxt.next is None:
+                            leaf = nxt
+                            low = nxt_keys[0]
+                            high = None
+                            chained += 1
+                        elif run_keys[i] < nxt_keys[-1]:
+                            leaf = nxt
+                            low = nxt_keys[0]
+                            high = nxt_keys[-1]
+                            chained += 1
+        stats = self.stats
+        stats.batch_segments += segments
+        stats.batch_chained_segments += chained
+        if last_leaf is not None:
+            self._after_insert_run(last_leaf)
+        if h_leaf is None:
+            return added, None
+        return added, (h_leaf, h_low, h_high)
+
+    def _run_target_from_fp(
+        self, key: Key
+    ) -> Optional[tuple[LeafNode, Optional[Key], Optional[Key]]]:
+        """Target leaf (plus pivot bounds) for a run starting at ``key``,
+        when the variant's fast-path pointer can serve it without a
+        descent.  The classical tree has no such pointer."""
+        return None
+
+    def _after_insert_run(self, last_leaf: LeafNode) -> None:
+        """Hook: a run was applied and its largest key landed in
+        ``last_leaf``.  Fast-path variants retarget their pointer here —
+        once per run, not per key."""
 
     # ------------------------------------------------------------------
     # Iteration and introspection

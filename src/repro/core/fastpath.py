@@ -85,6 +85,36 @@ class FastPathTree(BPlusTree):
         """Hook invoked after a fast-path insert lands in ``leaf``."""
 
     # ------------------------------------------------------------------
+    # Batched ingest
+    # ------------------------------------------------------------------
+
+    def _run_target_from_fp(
+        self, key: Key
+    ) -> Optional[tuple[LeafNode, Optional[Key], Optional[Key]]]:
+        """Serve a run segment straight from the fast-path pointer when
+        its first key is in range — the batch analogue of the per-key
+        fast insert: the whole segment skips the descent, not just one
+        entry."""
+        if self._fast_path_accepts(key):
+            fp = self._fp
+            self.stats.batch_fast_segments += 1
+            return fp.leaf, fp.low, fp.high
+        return None
+
+    def _after_insert_run(self, leaf: LeafNode) -> None:
+        """Retarget the fast path to the leaf holding the run's tail.
+
+        This is exactly lil's eager retargeting rule generalized to runs
+        — the pointer lands where the last key of the run landed; the
+        tail and pole variants override it with their own pinning
+        policies.  O(height) once per run — amortized over the whole
+        run, unlike the per-key bookkeeping of ``insert``.
+        """
+        fp = self._fp
+        fp.leaf = leaf
+        fp.low, fp.high = self.bounds_of_leaf(leaf)
+
+    # ------------------------------------------------------------------
     # Metadata upkeep on structural changes
     # ------------------------------------------------------------------
 

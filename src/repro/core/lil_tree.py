@@ -55,3 +55,8 @@ class LilBPlusTree(FastPathTree):
         fp.leaf = leaf
         fp.low = low
         fp.high = high
+
+    # Batched ingest (insert_many) needs no override here: the inherited
+    # FastPathTree._after_insert_run — retarget to the leaf holding the
+    # run's tail — is precisely the lil rule applied per run instead of
+    # per key.

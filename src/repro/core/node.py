@@ -15,6 +15,8 @@ import itertools
 from bisect import bisect_left, bisect_right
 from typing import Any, Iterator, Optional
 
+from .batch import merge_run
+
 _node_ids = itertools.count(1)
 
 Key = Any
@@ -110,6 +112,38 @@ class LeafNode(Node):
         """Remove and return the entry at ``idx``."""
         return self.keys.pop(idx), self.values.pop(idx)
 
+    def apply_run(self, run_keys: list[Key], run_values: list[Any]) -> int:
+        """Place a strictly-increasing run into this leaf in one motion.
+
+        This is the batch-ingest analogue of :meth:`insert_entry`: instead
+        of N bisects and N ``list.insert`` calls, the run is located with
+        at most two bisects and placed with one slice assignment (or a
+        plain ``extend`` for the in-order append case the fast paths live
+        for).  Existing keys are upserted — the run's value wins.
+
+        The caller is responsible for capacity: the leaf may grow by up to
+        ``len(run_keys)`` entries.  Returns the number of new keys added.
+        """
+        keys = self.keys
+        if not keys or run_keys[0] > keys[-1]:
+            keys.extend(run_keys)
+            self.values.extend(run_values)
+            return len(run_keys)
+        lo = bisect_left(keys, run_keys[0])
+        hi = bisect_right(keys, run_keys[-1], lo)
+        if lo == hi:
+            # The run nests between two adjacent existing keys: pure
+            # slice insertion, no merge needed.
+            keys[lo:lo] = run_keys
+            self.values[lo:lo] = run_values
+            return len(run_keys)
+        merged_keys, merged_vals, added = merge_run(
+            keys[lo:hi], self.values[lo:hi], run_keys, run_values
+        )
+        keys[lo:hi] = merged_keys
+        self.values[lo:hi] = merged_vals
+        return added
+
     def position_first_greater(self, bound: Key) -> int:
         """Index of the first key strictly greater than ``bound``.
 
@@ -176,12 +210,15 @@ class InternalNode(Node):
         """Index of the child whose range contains ``key``."""
         return bisect_right(self.keys, key)
 
-    def index_of_child(self, child: Node) -> int:
+    def index_of_child(self, child: Node, stats=None) -> int:
         """Position of ``child`` in this node's child list.
 
         Seeds the search by bisecting on the child's smallest key, so the
         common case costs O(log fan-out) instead of a linear scan; empty
         children (possible under QuIT's lazy delete) fall back to a scan.
+        When the caller passes its ``TreeStats`` the fallback is counted
+        in ``stats.index_fallback_scans`` so O(fan-out) regressions are
+        visible instead of silently absorbed.
         """
         children = self.children
         if child.keys:
@@ -191,6 +228,8 @@ class InternalNode(Node):
             for probe in (idx, idx - 1, idx + 1):
                 if 0 <= probe < len(children) and children[probe] is child:
                     return probe
+        if stats is not None:
+            stats.index_fallback_scans += 1
         for idx, candidate in enumerate(children):
             if candidate is child:
                 return idx

@@ -230,6 +230,27 @@ class PoleBPlusTree(FastPathTree):
         self._count_consecutive_miss()
 
     # ------------------------------------------------------------------
+    # Batched ingest
+    # ------------------------------------------------------------------
+
+    def _after_insert_run(self, leaf: LeafNode) -> None:
+        """Re-pin the pole to the leaf holding the run's tail.
+
+        A per-key top-insert must not move the pole (it may be an
+        outlier), but a run's tail is the in-order frontier by
+        construction — an outlier that broke the previous run starts its
+        own run and the detector folds the stream back into order at the
+        next ascent, so pinning to the tail is the batch analogue of the
+        post-``bulk_load`` pinning.
+        """
+        fp = self._fp
+        fp.prev = leaf.prev
+        fp.leaf = leaf
+        fp.low, fp.high = self.bounds_of_leaf(leaf)
+        fp.next_candidate = None
+        fp.fails = 0
+
+    # ------------------------------------------------------------------
     # Structural upkeep
     # ------------------------------------------------------------------
 

@@ -161,7 +161,7 @@ class QuITTree(PoleBPlusTree):
         child = leaf
         parent = child.parent
         while parent is not None:
-            idx = parent.index_of_child(child)
+            idx = parent.index_of_child(child, self.stats)
             if idx > 0:
                 parent.keys[idx - 1] = new_key
                 return

@@ -36,6 +36,24 @@ class TreeStats:
             top-inserts (proxy for insert cost in the analytical model).
         bulk_splice_segments: descents performed by ``bulk_insert_run``
             (one per pivot-bounded segment of the spliced run).
+        batch_inserts: entries ingested through ``insert_many``.
+        batch_runs: maximal non-decreasing runs the batch detector carved
+            out of ``insert_many`` batches (after coalescing, when it
+            applied).
+        batch_coalesced: fragmented ``insert_many`` batches that were
+            stable-sorted into a single run before application.
+        batch_segments: pivot-bounded segments the batch path applied
+            (>= batch_runs; each segment costs at most one descent).
+        batch_fast_segments: batch segments whose target leaf came
+            straight from the variant's fast-path pointer (no descent).
+        batch_chained_segments: batch segments whose target leaf was
+            reached without a descent via batch-local locality: the leaf
+            chain from the previous segment of the same run, or the
+            frontier (rightmost leaf touched) of earlier runs in the same
+            ``insert_many`` call.
+        index_fallback_scans: ``InternalNode.index_of_child`` calls that
+            fell back to the O(fan-out) linear scan (typically empty
+            children under QuIT's lazy delete).
     """
 
     fast_inserts: int = 0
@@ -54,6 +72,13 @@ class TreeStats:
     deletes: int = 0
     insert_traversal_nodes: int = 0
     bulk_splice_segments: int = 0
+    batch_inserts: int = 0
+    batch_runs: int = 0
+    batch_coalesced: int = 0
+    batch_segments: int = 0
+    batch_fast_segments: int = 0
+    batch_chained_segments: int = 0
+    index_fallback_scans: int = 0
 
     @property
     def inserts(self) -> int:

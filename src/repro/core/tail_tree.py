@@ -56,3 +56,10 @@ class TailBPlusTree(FastPathTree):
         self._fp.leaf = self._tail
         self._refresh_fp_bounds()
         self._fp.high = None
+
+    def _after_insert_run(self, leaf: LeafNode) -> None:
+        # The tail pin never follows the run; a run-driven rebuild may
+        # have grown new tail leaves, so re-derive the pin and its bound.
+        self._fp.leaf = self._tail
+        self._refresh_fp_bounds()
+        self._fp.high = None
