@@ -249,6 +249,29 @@ def time_point_lookups(
     return best
 
 
+def time_point_lookups_batched(
+    tree: Any,
+    targets: Sequence[int],
+    batch_size: int,
+    repeats: int = 2,
+) -> float:
+    """Best-of-``repeats`` elapsed seconds for the same probe set served
+    through ``get_many`` in ``batch_size`` chunks (the batched read
+    path), mirroring :func:`time_point_lookups`."""
+    if batch_size <= 0:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+    get_many = tree.get_many
+    probes = targets if isinstance(targets, list) else [int(k) for k in targets]
+    best = float("inf")
+    with _gc_paused():
+        for _ in range(max(1, repeats)):
+            start = time.perf_counter()
+            for lo in range(0, len(probes), batch_size):
+                get_many(probes[lo : lo + batch_size])
+            best = min(best, time.perf_counter() - start)
+    return best
+
+
 def time_range_queries(
     tree: Any, ranges: Sequence[tuple[int, int]]
 ) -> float:

@@ -1,15 +1,28 @@
-"""Machine-readable batched-ingest regression baseline.
+"""Machine-readable batched-path regression baselines.
 
-Measures per-key ``insert`` vs batched ``insert_many`` throughput for
-every index entry point (the four fast-path variants, the classical
-B+-tree, SWARE, and the concurrent wrapper) on a BoDS near-sorted stream,
-and writes one JSON document suitable for regression tracking::
+Three modes, selected with ``--mode``, all measured for every index
+entry point (the four fast-path variants, the classical B+-tree, SWARE,
+and the concurrent wrapper) on a BoDS near-sorted stream:
 
-    python -m repro.bench.regress --out BENCH_PR1.json
+* ``ingest`` (default): per-key ``insert`` vs batched ``insert_many``
+  throughput — the PR 1 baseline::
 
-The committed ``BENCH_PR1.json`` at the repository root was produced by
-exactly that command (default scale: n=100000, K=5%, L=5%, batch 4096).
-Use ``--smoke`` for a seconds-scale run in CI.
+      python -m repro.bench.regress --out BENCH_PR1.json
+
+* ``reads``: per-key ``get`` vs batched ``get_many`` throughput against
+  a pre-built index, replaying the near-sorted arrival order as the
+  probe stream (chunked by ``--read-batch-size``)::
+
+      python -m repro.bench.regress --mode reads --out BENCH_PR2.json
+
+* ``mixed``: an interleaved read/write workload — each chunk of the
+  stream is ingested and then immediately probed — comparing the
+  per-key loops against ``insert_many`` + ``get_many``.
+
+The committed ``BENCH_PR1.json`` / ``BENCH_PR2.json`` at the repository
+root were produced by exactly the commands above (default scale:
+n=100000, K=5%, L=5%, batch 4096).  Use ``--smoke`` for a seconds-scale
+run in CI.
 """
 
 from __future__ import annotations
@@ -112,13 +125,57 @@ def _batch_stats(tree: Any) -> dict[str, int]:
     }
 
 
+def _meta(
+    benchmark: str,
+    mode: str,
+    scale: BenchScale,
+    k_fraction: float,
+    l_fraction: float,
+    batch_size: int,
+    read_batch_size: Optional[int] = None,
+) -> dict[str, Any]:
+    """The shared ``meta`` block of every regression document."""
+    command = (
+        f"python -m repro.bench.regress --mode {mode}"
+        f" --n {scale.n} --k {k_fraction} --l {l_fraction}"
+        f" --batch-size {batch_size}"
+    )
+    if read_batch_size is not None:
+        command += f" --read-batch-size {read_batch_size}"
+    command += (
+        f" --leaf-capacity {scale.leaf_capacity}"
+        f" --seed {scale.seed} --repeats {scale.repeats}"
+    )
+    meta: dict[str, Any] = {
+        "benchmark": benchmark,
+        "mode": mode,
+        "workload": "BoDS near-sorted stream",
+        "n": scale.n,
+        "k_fraction": k_fraction,
+        "l_fraction": l_fraction,
+        "batch_size": batch_size,
+    }
+    if read_batch_size is not None:
+        meta["read_batch_size"] = read_batch_size
+    meta.update(
+        {
+            "leaf_capacity": scale.leaf_capacity,
+            "seed": scale.seed,
+            "repeats": scale.repeats,
+            "python": platform.python_version(),
+            "command": command,
+        }
+    )
+    return meta
+
+
 def run_regression(
     scale: BenchScale,
     k_fraction: float,
     l_fraction: float,
     batch_size: int,
 ) -> dict[str, Any]:
-    """Measure the full matrix and return the JSON-ready document."""
+    """Measure the ingest matrix and return the JSON-ready document."""
     keys = [
         int(k)
         for k in generate_keys(
@@ -140,26 +197,201 @@ def run_regression(
                 "batch_stats": _batch_stats(tree),
             }
         )
+    meta = _meta(
+        "batched sorted-run ingest vs per-key insert",
+        "ingest", scale, k_fraction, l_fraction, batch_size,
+    )
+    del meta["mode"]  # the PR 1 document predates the mode axis
+    return {"meta": meta, "results": results}
+
+
+def _tree_stats(tree: Any) -> Any:
+    """The TreeStats object behind whichever facade ``tree`` is."""
+    stats = getattr(tree, "stats", None)
+    if stats is None and hasattr(tree, "tree"):
+        stats = tree.tree.stats
+    return stats
+
+
+_READ_COUNTERS = (
+    "point_lookups",
+    "read_batches",
+    "read_chain_hits",
+    "read_redescents",
+    "read_fast_hits",
+    "read_fast_misses",
+)
+
+
+def _read_counters(diff: Any) -> dict[str, int]:
+    """Nonzero-relevant read counters from a stats diff."""
+    if diff is None:
+        return {}
     return {
-        "meta": {
-            "benchmark": "batched sorted-run ingest vs per-key insert",
-            "workload": "BoDS near-sorted stream",
-            "n": scale.n,
-            "k_fraction": k_fraction,
-            "l_fraction": l_fraction,
-            "batch_size": batch_size,
-            "leaf_capacity": scale.leaf_capacity,
-            "seed": scale.seed,
-            "repeats": scale.repeats,
-            "python": platform.python_version(),
-            "command": (
-                "python -m repro.bench.regress"
-                f" --n {scale.n} --k {k_fraction} --l {l_fraction}"
-                f" --batch-size {batch_size}"
-                f" --leaf-capacity {scale.leaf_capacity}"
-                f" --seed {scale.seed} --repeats {scale.repeats}"
-            ),
-        },
+        key: getattr(diff, key)
+        for key in _READ_COUNTERS
+        if hasattr(diff, key)
+    }
+
+
+def _build_loaded(
+    name: str, scale: BenchScale, keys: list[int], batch_size: int
+) -> Any:
+    """One index pre-loaded with the stream via the batched ingest path
+    (buffered indexes flushed, so reads hit the steady state)."""
+    tree = _build(name, scale)
+    items = [(k, k) for k in keys]
+    insert_many = tree.insert_many
+    for lo in range(0, len(items), batch_size):
+        insert_many(items[lo : lo + batch_size])
+    _flush_if_buffered(tree)
+    return tree
+
+
+def run_read_regression(
+    scale: BenchScale,
+    k_fraction: float,
+    l_fraction: float,
+    batch_size: int,
+    read_batch_size: int,
+) -> dict[str, Any]:
+    """Measure per-key ``get`` vs chunked ``get_many`` on pre-built
+    indexes and return the JSON-ready document.
+
+    The probe stream replays the BoDS arrival order (every key present,
+    near-sorted) — the read phase of the paper's mixed workloads.  Each
+    timing phase also reports the read counters it accumulated, so the
+    fast-path read hits and the chain-vs-descent split are visible next
+    to the wall-clock numbers.
+    """
+    keys = [
+        int(k)
+        for k in generate_keys(
+            scale.n, k_fraction, l_fraction, seed=scale.seed
+        )
+    ]
+    repeats = max(1, scale.repeats)
+    results = []
+    for name in MATRIX:
+        tree = _build_loaded(name, scale, keys, batch_size)
+        stats = _tree_stats(tree)
+        get = tree.get
+        before = stats.snapshot() if stats is not None else None
+        per_key_s = float("inf")
+        with _gc_paused():
+            for _ in range(repeats):
+                start = time.perf_counter()
+                for k in keys:
+                    get(k)
+                per_key_s = min(per_key_s, time.perf_counter() - start)
+        per_key_diff = (
+            stats.diff(before) if stats is not None else None
+        )
+        get_many = tree.get_many
+        before = stats.snapshot() if stats is not None else None
+        batched_s = float("inf")
+        with _gc_paused():
+            for _ in range(repeats):
+                start = time.perf_counter()
+                for lo in range(0, len(keys), read_batch_size):
+                    get_many(keys[lo : lo + read_batch_size])
+                batched_s = min(batched_s, time.perf_counter() - start)
+        batched_diff = (
+            stats.diff(before) if stats is not None else None
+        )
+        results.append(
+            {
+                "index": name,
+                "per_key_seconds": round(per_key_s, 6),
+                "batched_seconds": round(batched_s, 6),
+                "per_key_ops": round(scale.n / per_key_s, 1),
+                "batched_ops": round(scale.n / batched_s, 1),
+                "speedup": round(per_key_s / batched_s, 3),
+                "per_key_read_stats": _read_counters(per_key_diff),
+                "batched_read_stats": _read_counters(batched_diff),
+            }
+        )
+    return {
+        "meta": _meta(
+            "batched sorted multi-probe reads vs per-key get",
+            "reads", scale, k_fraction, l_fraction, batch_size,
+            read_batch_size,
+        ),
+        "results": results,
+    }
+
+
+def run_mixed_regression(
+    scale: BenchScale,
+    k_fraction: float,
+    l_fraction: float,
+    batch_size: int,
+    read_batch_size: int,
+) -> dict[str, Any]:
+    """Measure an interleaved read/write workload: each ``batch_size``
+    chunk of the stream is ingested and then immediately probed
+    (every key of the chunk), per-key loops vs
+    ``insert_many`` + ``get_many``."""
+    keys = [
+        int(k)
+        for k in generate_keys(
+            scale.n, k_fraction, l_fraction, seed=scale.seed
+        )
+    ]
+    repeats = max(1, scale.repeats)
+    n_ops = 2 * scale.n  # one insert + one probe per key
+    results = []
+    for name in MATRIX:
+        per_key_s = float("inf")
+        for _ in range(repeats):
+            tree = _build(name, scale)
+            insert = tree.insert
+            get = tree.get
+            with _gc_paused():
+                start = time.perf_counter()
+                for lo in range(0, len(keys), batch_size):
+                    chunk = keys[lo : lo + batch_size]
+                    for k in chunk:
+                        insert(k, k)
+                    for k in chunk:
+                        get(k)
+                _flush_if_buffered(tree)
+                per_key_s = min(per_key_s, time.perf_counter() - start)
+        batched_s = float("inf")
+        tree = None
+        for _ in range(repeats):
+            tree = _build(name, scale)
+            insert_many = tree.insert_many
+            get_many = tree.get_many
+            with _gc_paused():
+                start = time.perf_counter()
+                for lo in range(0, len(keys), batch_size):
+                    chunk = keys[lo : lo + batch_size]
+                    insert_many([(k, k) for k in chunk])
+                    for plo in range(0, len(chunk), read_batch_size):
+                        get_many(chunk[plo : plo + read_batch_size])
+                _flush_if_buffered(tree)
+                batched_s = min(batched_s, time.perf_counter() - start)
+        results.append(
+            {
+                "index": name,
+                "per_key_seconds": round(per_key_s, 6),
+                "batched_seconds": round(batched_s, 6),
+                "per_key_ops": round(n_ops / per_key_s, 1),
+                "batched_ops": round(n_ops / batched_s, 1),
+                "speedup": round(per_key_s / batched_s, 3),
+                "read_stats": _read_counters(None)
+                if _tree_stats(tree) is None
+                else _read_counters(_tree_stats(tree)),
+            }
+        )
+    return {
+        "meta": _meta(
+            "interleaved chunked read/write: per-key loops vs "
+            "insert_many + get_many",
+            "mixed", scale, k_fraction, l_fraction, batch_size,
+            read_batch_size,
+        ),
         "results": results,
     }
 
@@ -169,13 +401,21 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="quit-regress",
         description=(
-            "Batched-ingest regression baseline: per-key insert vs "
-            "insert_many across all index entry points."
+            "Batched-path regression baselines: per-key loops vs "
+            "insert_many / get_many across all index entry points."
         ),
     )
     parser.add_argument(
         "--out", type=Path, default=None,
         help="write the JSON document here (default: stdout only)",
+    )
+    parser.add_argument(
+        "--mode", choices=("ingest", "reads", "mixed"), default="ingest",
+        help=(
+            "ingest: insert vs insert_many (PR 1 baseline); "
+            "reads: get vs get_many on a pre-built index; "
+            "mixed: interleaved chunked read/write (default: ingest)"
+        ),
     )
     parser.add_argument("--n", type=int, default=100_000)
     parser.add_argument(
@@ -187,6 +427,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="BoDS L: max displacement as a fraction of n (default 0.05)",
     )
     parser.add_argument("--batch-size", type=int, default=4096)
+    parser.add_argument(
+        "--read-batch-size", type=int, default=4096,
+        help="probe chunk size handed to get_many (reads/mixed modes)",
+    )
     parser.add_argument("--leaf-capacity", type=int, default=64)
     parser.add_argument("--seed", type=int, default=42)
     parser.add_argument(
@@ -206,6 +450,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.batch_size <= 0:
         parser.error(f"--batch-size must be positive, got {args.batch_size}")
+    if args.read_batch_size <= 0:
+        parser.error(
+            f"--read-batch-size must be positive, got {args.read_batch_size}"
+        )
     n = 20_000 if args.smoke else args.n
     repeats = 2 if args.smoke else args.repeats
     scale = BenchScale(
@@ -215,7 +463,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         repeats=repeats,
         batch_size=args.batch_size,
     )
-    doc = run_regression(scale, args.k, args.l, args.batch_size)
+    if args.mode == "reads":
+        doc = run_read_regression(
+            scale, args.k, args.l, args.batch_size, args.read_batch_size
+        )
+    elif args.mode == "mixed":
+        doc = run_mixed_regression(
+            scale, args.k, args.l, args.batch_size, args.read_batch_size
+        )
+    else:
+        doc = run_regression(scale, args.k, args.l, args.batch_size)
     text = json.dumps(doc, indent=2) + "\n"
     if args.out is not None:
         args.out.write_text(text)

@@ -295,6 +295,86 @@ class BeTree:
         sentinel = object()
         return self.get(key, default=sentinel) is not sentinel
 
+    def get_many(self, keys, default: Any = None) -> list[Any]:
+        """Batched point lookups aligned with ``keys``.
+
+        The sorted probe batch descends the tree *once*: at each internal
+        node the whole group checks the buffer (newest message wins, as
+        in :meth:`get`), and the unresolved remainder is partitioned
+        across children by pivot — every node on the way down is visited
+        one time for the batch instead of once per probe.
+        """
+        key_list = keys if isinstance(keys, list) else list(keys)
+        n = len(key_list)
+        out = [default] * n
+        if not n:
+            return out
+        order = sorted(range(n), key=key_list.__getitem__)
+        probes = [(key_list[pos], pos) for pos in order]
+        self._get_many_in(self._root, probes, out, default)
+        return out
+
+    def _get_many_in(
+        self,
+        node: _Node,
+        probes: list[tuple[Key, int]],
+        out: list[Any],
+        default: Any,
+    ) -> None:
+        """Resolve sorted ``probes`` (key, output position) within
+        ``node``'s subtree."""
+        self.stats.node_accesses += 1
+        if node.is_leaf:
+            leaf_keys = node.keys
+            for key, pos in probes:
+                idx = bisect_left(leaf_keys, key)
+                if idx < len(leaf_keys) and leaf_keys[idx] == key:
+                    out[pos] = node.values[idx]
+            return
+        buffer = node.buffer
+        if buffer:
+            remaining = []
+            for probe in probes:
+                message = buffer.get(probe[0])
+                if message is None:
+                    remaining.append(probe)
+                elif message[0] == _PUT:
+                    out[probe[1]] = message[1]
+                # _DEL tombstone: the probe resolves to ``default``.
+            probes = remaining
+        pivots = node.pivots
+        children = node.children
+        start = 0
+        total = len(probes)
+        while start < total:
+            child_idx = bisect_right(pivots, probes[start][0])
+            stop = start + 1
+            if child_idx < len(pivots):
+                bound = pivots[child_idx]
+                while stop < total and probes[stop][0] < bound:
+                    stop += 1
+            else:
+                stop = total
+            self._get_many_in(
+                children[child_idx], probes[start:stop], out, default
+            )
+            start = stop
+
+    def range_iter(self, start: Key, end: Key) -> Iterator[tuple[Key, Any]]:
+        """Iterator over the entries of :meth:`range_query`.
+
+        Provided for API parity with the B+-tree variants; message
+        resolution requires seeing every buffer on the overlapping
+        paths, so the result is materialized up front rather than
+        streamed.
+        """
+        return iter(self.range_query(start, end))
+
+    def count_range(self, start: Key, end: Key) -> int:
+        """Number of live entries in ``[start, end)`` (materializes the
+        resolved range — see :meth:`range_iter`)."""
+        return len(self.range_query(start, end))
+
     def range_query(self, start: Key, end: Key) -> list[tuple[Key, Any]]:
         """Entries with ``start <= key < end``: merges the pending
         messages along every overlapping path over the leaf contents."""

@@ -44,6 +44,13 @@ _HINT_MIN_SEGMENT = 4
 #: Key extractor for the coalescing sort in :meth:`BPlusTree.insert_many`.
 _key_of = itemgetter(0)
 
+#: Maximum leaves a batched read may walk along the chain before it
+#: concedes and re-descends from the root.  Sorted probe batches usually
+#: advance exactly one leaf at a time (limit never reached); a probe that
+#: jumps far ahead would otherwise degrade to an O(leaves) linear scan
+#: when a descent is O(height).
+_READ_CHAIN_LIMIT = 8
+
 
 class BPlusTree:
     """Textbook B+-tree with upsert semantics and instrumentation.
@@ -315,33 +322,226 @@ class BPlusTree:
             return default
         return leaf.values[idx]
 
+    def get_many(self, keys: Iterable[Key], default: Any = None) -> list[Any]:
+        """Batched point lookups; returns values aligned with ``keys``
+        (``default`` for absent keys) — the read-side twin of
+        :meth:`insert_many`.
+
+        The probe batch is sorted, so consecutive probes usually land in
+        the same leaf or its chain successor: the batch pays one descent
+        to position, then drains probes with a bisect each, advancing
+        along the leaf chain instead of re-descending.  A probe more than
+        :data:`_READ_CHAIN_LIMIT` leaves ahead falls back to a descent
+        (or the variant's fast-path window via
+        :meth:`_read_target_from_fp`).
+
+        Advancing by leaf *content* rather than pivot bounds is safe for
+        reads: the separator between a leaf and its successor satisfies
+        ``leaf keys < sep <= successor.min_key``, so a probe below the
+        successor's smallest key can only live in (or be absent from) the
+        current leaf.  An empty chain successor (QuIT's lazy delete)
+        hides its range, so the walk gives up and descends.
+
+        Counts ``read_batches`` / ``read_chain_hits`` /
+        ``read_redescents`` (plus the fast-path read counters on the
+        variants); probes themselves are *not* added to
+        ``point_lookups`` — batch traffic is reported separately, as on
+        the write side.
+        """
+        key_list = keys if isinstance(keys, list) else list(keys)
+        n = len(key_list)
+        out = [default] * n
+        if not n:
+            return out
+        stats = self.stats
+        stats.read_batches += 1
+        order = sorted(range(n), key=key_list.__getitem__)
+        redescents = 0
+        fp_hits = 0
+        leaf: Optional[LeafNode] = None
+        lk: list[Key] = []
+        lv: list[Any] = []
+        hi: Optional[Key] = None  # successor's smallest key (the horizon)
+        bounded = False  # True when ``hi`` is a real horizon
+        force = False  # degenerate leaf: every probe must reposition
+        for pos in order:
+            key = key_list[pos]
+            if leaf is None or force or (bounded and key >= hi):
+                # Reposition: chain-advance when the probe is near,
+                # otherwise the fast-path window, otherwise a descent.
+                node: Optional[LeafNode] = None
+                if leaf is not None and not force:
+                    cur = leaf
+                    for _ in range(_READ_CHAIN_LIMIT):
+                        nxt = cur.next
+                        if nxt is None:
+                            node = cur
+                            break
+                        nk = nxt.keys
+                        if not nk:  # opaque empty leaf: cannot see past
+                            break
+                        if key < nk[0]:
+                            node = cur
+                            break
+                        cur = nxt
+                if node is not None:
+                    leaf = node
+                else:
+                    leaf = self._read_target_from_fp(key)
+                    if leaf is None:
+                        redescents += 1
+                        leaf = self._find_leaf(key)
+                    else:
+                        fp_hits += 1
+                lk = leaf.keys
+                lv = leaf.values
+                force = False
+                nxt = leaf.next
+                if nxt is None:
+                    bounded = False
+                elif nxt.keys:
+                    hi = nxt.keys[0]
+                    bounded = True
+                elif lk:
+                    # Empty successor: no trustworthy horizon.  Any probe
+                    # beyond this leaf's own content re-descends (the max
+                    # key itself redundantly repositions — harmless).
+                    hi = lk[-1]
+                    bounded = True
+                else:
+                    force = True
+            idx = bisect_left(lk, key)
+            if idx < len(lk) and lk[idx] == key:
+                out[pos] = lv[idx]
+        stats.read_redescents += redescents
+        stats.read_chain_hits += n - redescents - fp_hits
+        return out
+
+    def _read_target_from_fp(self, key: Key) -> Optional[LeafNode]:
+        """Leaf serving a point read for ``key`` straight from the
+        variant's fast-path pointer, or None when the window misses.
+        The classical tree has no such pointer."""
+        return None
+
+    def _probe_leaf_for_read(
+        self, key: Key, hint: Optional[LeafNode] = None
+    ) -> LeafNode:
+        """Leaf that would contain ``key``, reusing ``hint`` from a
+        previous (smaller or equal) probe when the target is within
+        :data:`_READ_CHAIN_LIMIT` chain hops.
+
+        Only valid for *ascending* probe sequences where ``hint`` is the
+        leaf returned for the previous probe — the walk never moves left,
+        so an out-of-order probe would silently read the wrong leaf.
+        Shared by the wrappers (duplicates) that batch composite-key
+        probes; counts ``read_chain_hits`` / ``read_redescents``.
+        """
+        stats = self.stats
+        if hint is not None:
+            cur = hint
+            for _ in range(_READ_CHAIN_LIMIT):
+                nxt = cur.next
+                if nxt is None:
+                    stats.read_chain_hits += 1
+                    return cur
+                nk = nxt.keys
+                if not nk:
+                    break
+                if key < nk[0]:
+                    stats.read_chain_hits += 1
+                    return cur
+                cur = nxt
+        stats.read_redescents += 1
+        return self._find_leaf(key)
+
     def range_query(self, start: Key, end: Key) -> list[tuple[Key, Any]]:
         """All entries with ``start <= key < end`` in key order (§4.4).
 
-        Performs a point lookup on ``start`` and follows the leaf chain,
-        counting every touched leaf in ``stats.leaf_accesses``.
+        One descent positions on the first leaf with ``bisect_left``;
+        the leaf chain is then walked chunk-wise, each leaf contributing
+        one slice.  Interior leaves are recognized with a single
+        ``max_key < end`` comparison — only the boundary leaves pay a
+        bisect.  Every touched leaf is counted in
+        ``stats.leaf_accesses``.
         """
-        self.stats.range_lookups += 1
+        stats = self.stats
+        stats.range_lookups += 1
         if start >= end:
             return []
         leaf: Optional[LeafNode] = self._find_leaf(start)
+        lo = bisect_left(leaf.keys, start)
         out: list[tuple[Key, Any]] = []
         while leaf is not None:
-            for k, v in leaf.items():
-                if k < start:
-                    continue
-                if k >= end:
+            keys = leaf.keys
+            if keys:
+                if keys[-1] < end:
+                    out.extend(zip(keys[lo:], leaf.values[lo:]))
+                else:
+                    hi = bisect_left(keys, end, lo)
+                    out.extend(zip(keys[lo:hi], leaf.values[lo:hi]))
                     return out
-                out.append((k, v))
+            lo = 0
+            leaf = leaf.next
+            if leaf is not None:
+                stats.node_accesses += 1
+                stats.leaf_accesses += 1
+        return out
+
+    def range_iter(self, start: Key, end: Key) -> Iterator[tuple[Key, Any]]:
+        """Lazily yield entries with ``start <= key < end`` in key order.
+
+        Generator analogue of :meth:`range_query`: one descent via
+        ``bisect_left``, then chunk-by-chunk along the leaf chain,
+        short-circuiting on the last leaf whose ``max_key`` reaches
+        ``end``.  Nothing is materialized, so callers can abandon the
+        scan early ("next N after K" queries); each leaf's chunk is
+        snapshotted as it is entered, so in-place mutation of *other*
+        leaves during iteration is tolerated.
+        """
+        self.stats.range_lookups += 1
+        if start >= end:
+            return
+        leaf: Optional[LeafNode] = self._find_leaf(start)
+        lo = bisect_left(leaf.keys, start)
+        while leaf is not None:
+            keys = leaf.keys
+            if keys:
+                if keys[-1] < end:
+                    yield from zip(keys[lo:], leaf.values[lo:])
+                else:
+                    hi = bisect_left(keys, end, lo)
+                    yield from zip(keys[lo:hi], leaf.values[lo:hi])
+                    return
+            lo = 0
             leaf = leaf.next
             if leaf is not None:
                 self.stats.node_accesses += 1
                 self.stats.leaf_accesses += 1
-        return out
 
     def count_range(self, start: Key, end: Key) -> int:
-        """Number of entries in ``[start, end)`` (no materialization)."""
-        return len(self.range_query(start, end))
+        """Number of entries in ``[start, end)`` without materializing
+        them: interior leaves contribute ``len(keys)``, only the two
+        boundary leaves pay a bisect."""
+        stats = self.stats
+        stats.range_lookups += 1
+        if start >= end:
+            return 0
+        leaf: Optional[LeafNode] = self._find_leaf(start)
+        lo = bisect_left(leaf.keys, start)
+        total = 0
+        while leaf is not None:
+            keys = leaf.keys
+            if keys:
+                if keys[-1] < end:
+                    total += len(keys) - lo
+                else:
+                    return total + bisect_left(keys, end, lo) - lo
+            lo = 0
+            leaf = leaf.next
+            if leaf is not None:
+                stats.node_accesses += 1
+                stats.leaf_accesses += 1
+        return total
 
     def update(self, items: Iterable[tuple[Key, Any]]) -> None:
         """Insert every ``(key, value)`` pair (dict-style bulk upsert)."""
@@ -352,7 +552,7 @@ class BPlusTree:
     def delete_range(self, start: Key, end: Key) -> int:
         """Delete every entry with ``start <= key < end``; returns the
         number of entries removed."""
-        victims = [k for k, _ in self.range_query(start, end)]
+        victims = [k for k, _ in self.range_iter(start, end)]
         for key in victims:
             self.delete(key)
         return len(victims)

@@ -13,7 +13,8 @@ physical key order — the fast paths keep working.
 
 from __future__ import annotations
 
-from typing import Any, Iterator, Optional, Type
+from bisect import bisect_left
+from typing import Any, Iterable, Iterator, Optional, Type
 
 from .bptree import BPlusTree
 from .config import TreeConfig
@@ -89,6 +90,46 @@ class DuplicateKeyIndex:
             return value
         return default
 
+    def get_many(
+        self, keys: Iterable[Key], default: Any = None
+    ) -> list[Any]:
+        """Batched :meth:`get`: the oldest value per probe key, aligned
+        with ``keys`` (``default`` for absent keys).
+
+        Probes are sorted and positioned left-to-right on the composite
+        ``(key, -1)`` floor via the tree's chain-reuse read primitive —
+        consecutive probes for nearby logical keys share one leaf
+        instead of opening one ``iter_from`` cursor (a full descent)
+        each.
+        """
+        key_list = keys if isinstance(keys, list) else list(keys)
+        n = len(key_list)
+        out = [default] * n
+        if not n:
+            return out
+        tree = self.tree
+        tree.stats.read_batches += 1
+        order = sorted(range(n), key=key_list.__getitem__)
+        hint = None
+        for pos in order:
+            key = key_list[pos]
+            target = (key, -1)
+            hint = tree._probe_leaf_for_read(target, hint)
+            leaf_keys = hint.keys
+            idx = bisect_left(leaf_keys, target)
+            if idx < len(leaf_keys):
+                if leaf_keys[idx][0] == key:
+                    out[pos] = hint.values[idx]
+                continue
+            # Every composite in this leaf sorts below (key, -1): the
+            # floor entry, if any, starts the next non-empty leaf.
+            nxt = hint.next
+            while nxt is not None and not nxt.keys:
+                nxt = nxt.next
+            if nxt is not None and nxt.keys[0][0] == key:
+                out[pos] = nxt.values[0]
+        return out
+
     def count(self, key: Key) -> int:
         """Number of entries stored under ``key``."""
         return sum(1 for _ in self._entries_for(key))
@@ -98,15 +139,22 @@ class DuplicateKeyIndex:
             return True
         return False
 
+    def range_iter(self, start: Key, end: Key) -> Iterator[tuple[Key, Any]]:
+        """Lazily yield entries with ``start <= key < end``, in key order
+        and arrival order within a key."""
+        for composite, value in self.tree.iter_from((start, -1)):
+            if composite[0] >= end:
+                return
+            yield composite[0], value
+
     def range_query(self, start: Key, end: Key) -> list[tuple[Key, Any]]:
         """All entries with ``start <= key < end``, in key order and
         arrival order within a key."""
-        out: list[tuple[Key, Any]] = []
-        for composite, value in self.tree.iter_from((start, -1)):
-            if composite[0] >= end:
-                break
-            out.append((composite[0], value))
-        return out
+        return list(self.range_iter(start, end))
+
+    def count_range(self, start: Key, end: Key) -> int:
+        """Number of logical entries with ``start <= key < end``."""
+        return sum(1 for _ in self.range_iter(start, end))
 
     def items(self) -> Iterator[tuple[Key, Any]]:
         """All logical entries in (key, arrival) order."""

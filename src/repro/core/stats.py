@@ -54,6 +54,19 @@ class TreeStats:
         index_fallback_scans: ``InternalNode.index_of_child`` calls that
             fell back to the O(fan-out) linear scan (typically empty
             children under QuIT's lazy delete).
+        read_batches: ``get_many`` calls (one per probe batch).
+        read_chain_hits: batched probes resolved without a root-to-leaf
+            descent — served from the leaf the previous probe landed in,
+            or a chain successor within ``_READ_CHAIN_LIMIT`` hops.
+        read_redescents: root-to-leaf descents performed inside
+            ``get_many`` (including the batch's first positioning
+            descent; a fully chained batch counts exactly one).
+        read_fast_hits: point reads served straight from the fast-path
+            pointer's cached leaf because the probe key fell inside its
+            ``[fp_min, fp_max)`` window (read-side analogue of
+            ``fast_inserts``).
+        read_fast_misses: point reads that consulted the fast-path
+            window and missed, falling back to a descent.
     """
 
     fast_inserts: int = 0
@@ -79,6 +92,11 @@ class TreeStats:
     batch_fast_segments: int = 0
     batch_chained_segments: int = 0
     index_fallback_scans: int = 0
+    read_batches: int = 0
+    read_chain_hits: int = 0
+    read_redescents: int = 0
+    read_fast_hits: int = 0
+    read_fast_misses: int = 0
 
     @property
     def inserts(self) -> int:

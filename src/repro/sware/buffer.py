@@ -11,8 +11,9 @@ per-page Bloom probe plus linear scan.
 
 from __future__ import annotations
 
-from bisect import bisect_left
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
+from operator import itemgetter
 from typing import Any, Iterator, Optional
 
 from ..core.node import Key
@@ -214,9 +215,7 @@ class SortednessBuffer:
         if not self._global_bloom.might_contain_hashed(h1, h2):
             self.stats.bloom_negative += 1
             return False, None
-        candidates = [
-            p for p in self._zones.pages_containing(key)
-        ]
+        candidates = list(self._zones.pages_containing(key))
         for page_no in reversed(candidates):
             page = self._pages[page_no]
             if not page.probe_bloom(h1, h2):
@@ -277,14 +276,75 @@ class SortednessBuffer:
         page.bloom.clear()
         page.bloom_built_at = 0
 
+    def get_many(self, keys: list[Key]) -> list[tuple[bool, Any]]:
+        """Batched :meth:`get`: ``(found, value)`` per probe, aligned
+        with ``keys``.
+
+        The whole batch is gated against the global Bloom filter in one
+        pass; survivors are sorted and partitioned across pages with two
+        bisects against each page's zonemap window instead of a full
+        zonemap scan per key.  Pages are walked newest to oldest so the
+        latest write wins, exactly as in the per-key probe.
+        """
+        n = len(keys)
+        out: list[tuple[bool, Any]] = [(False, None)] * n
+        if not n:
+            return out
+        stats = self.stats
+        if not self._size:
+            stats.bloom_negative += n
+            return out
+        bloom = self._global_bloom
+        pending: list[tuple[Key, int, int, int]] = []
+        for pos, key in enumerate(keys):
+            h1, h2 = _hash_pair(key)
+            if bloom.might_contain_hashed(h1, h2):
+                pending.append((key, pos, h1, h2))
+            else:
+                stats.bloom_negative += 1
+        if not pending:
+            return out
+        pending.sort(key=itemgetter(0))
+        probe_keys = [entry[0] for entry in pending]
+        resolved = [False] * len(pending)
+        unresolved = len(pending)
+        zones = self._zones
+        pages = self._pages
+        for page_no in range(len(pages) - 1, -1, -1):
+            if not unresolved:
+                break
+            zone = zones.zone(page_no)
+            if zone.min_key is None:
+                continue
+            lo = bisect_left(probe_keys, zone.min_key)
+            hi = bisect_right(probe_keys, zone.max_key)
+            page = pages[page_no]
+            for i in range(lo, hi):
+                if resolved[i]:
+                    continue
+                key, pos, h1, h2 = pending[i]
+                if not page.probe_bloom(h1, h2):
+                    continue
+                stats.page_probes += 1
+                found, value = self._find_in_page(page, key)
+                if found:
+                    out[pos] = (True, value)
+                    resolved[i] = True
+                    unresolved -= 1
+        return out
+
     def range_items(self, start: Key, end: Key) -> list[tuple[Key, Any]]:
-        """All buffered entries with ``start <= key < end`` (unsorted)."""
+        """All buffered entries with ``start <= key < end``, sorted by
+        key.  The sort is stable over page/arrival order, so duplicates
+        of a key appear oldest first — dict-merging the result keeps
+        latest-write-wins semantics deterministic."""
         out: list[tuple[Key, Any]] = []
         for page_no in self._zones.pages_overlapping(start, end):
             page = self._pages[page_no]
             for k, v in zip(page.keys, page.values):
                 if start <= k < end:
                     out.append((k, v))
+        out.sort(key=itemgetter(0))
         return out
 
     def remove(self, key: Key) -> bool:

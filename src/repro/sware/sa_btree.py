@@ -142,20 +142,76 @@ class SABPlusTree:
             return value
         return self.tree.get(key, default)
 
+    def get_many(self, keys, default: Any = None) -> list[Any]:
+        """Batched point lookups aligned with ``keys``.
+
+        The whole batch goes through the buffer's batched probe first —
+        one global-Bloom pass, probes zonemap-partitioned across pages —
+        and only the buffer misses fall through to the tree's batched
+        read path, preserving buffer-shadows-tree semantics per key.
+        """
+        key_list = keys if isinstance(keys, list) else list(keys)
+        buffered = self.buffer.get_many(key_list)
+        misses = [
+            key
+            for key, (found, _) in zip(key_list, buffered)
+            if not found
+        ]
+        from_tree = iter(self.tree.get_many(misses, default))
+        return [
+            value if found else next(from_tree)
+            for found, value in buffered
+        ]
+
     def __contains__(self, key: Key) -> bool:
         found, _ = self.buffer.get(key)
         if found:
             return True
         return key in self.tree
 
+    def range_iter(self, start: Key, end: Key) -> Iterator[tuple[Key, Any]]:
+        """Lazily yield entries in ``[start, end)`` merged across buffer
+        and tree, in key order, buffered values shadowing tree values.
+
+        The buffered overlap is materialized (it is bounded by the
+        buffer's capacity); the tree side streams through
+        ``tree.range_iter``, so callers can abandon the scan early.
+        """
+        shadow: dict[Key, Any] = {}
+        for k, v in self.buffer.range_items(start, end):
+            shadow[k] = v  # sorted + arrival-stable: latest write wins
+        pending = list(shadow.items())  # insertion order == key order
+        i = 0
+        m = len(pending)
+        for k, v in self.tree.range_iter(start, end):
+            while i < m and pending[i][0] < k:
+                yield pending[i]
+                i += 1
+            if i < m and pending[i][0] == k:
+                yield pending[i]
+                i += 1
+            else:
+                yield k, v
+        while i < m:
+            yield pending[i]
+            i += 1
+
     def range_query(self, start: Key, end: Key) -> list[tuple[Key, Any]]:
         """Entries in ``[start, end)`` merged across buffer and tree.
 
         Buffered values shadow tree values for duplicate keys.
         """
-        merged = dict(self.tree.range_query(start, end))
-        merged.update(self.buffer.range_items(start, end))
-        return sorted(merged.items())
+        return list(self.range_iter(start, end))
+
+    def count_range(self, start: Key, end: Key) -> int:
+        """Number of distinct keys in ``[start, end)`` across buffer and
+        tree, without materializing the merged entries."""
+        buffered = {k for k, _ in self.buffer.range_items(start, end)}
+        total = len(buffered)
+        for k, _ in self.tree.range_iter(start, end):
+            if k not in buffered:
+                total += 1
+        return total
 
     def items(self) -> Iterator[tuple[Key, Any]]:
         """All entries in key order, without flushing."""

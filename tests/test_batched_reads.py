@@ -1,0 +1,431 @@
+"""Equivalence tests for the batched read path.
+
+The contract: for any probe batch, ``tree.get_many(keys)`` returns
+exactly ``[tree.get(k, default) for k in keys]`` — aligned with the
+input order, duplicates and misses included — and ``range_iter`` /
+``count_range`` agree with ``range_query``, which itself agrees with a
+filtered ``items()`` oracle.  Covered for every entry point: all tree
+variants (including the QuIT ablations), BoDS near-sorted loads at
+several (K, L) settings, the SWARE buffered tree with an unflushed
+buffer, the concurrent wrapper, the Bε-tree, and the duplicate-key
+adapter.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.betree import BeTree, BeTreeConfig
+from repro.concurrency import ConcurrentTree
+from repro.core import BPlusTree, DuplicateKeyIndex, QuITTree, TreeConfig
+from repro.sortedness.bods import generate_keys
+from repro.sware import SABPlusTree
+
+from conftest import ALL_TREE_CLASSES
+
+SMALL = TreeConfig(leaf_capacity=8, internal_capacity=8)
+
+
+def _probe_batch(keys: list[int], seed: int = 13) -> list[int]:
+    """Present keys, misses, and repeated probes, shuffled."""
+    rng = random.Random(seed)
+    hits = rng.sample(keys, min(len(keys), 200))
+    misses = [max(keys) + 1 + i for i in range(50)] + [-5, -1]
+    dupes = hits[:25] * 3
+    batch = hits + misses + dupes
+    rng.shuffle(batch)
+    return batch
+
+
+def _loaded(cls, keys):
+    tree = cls(SMALL)
+    for k in keys:
+        tree.insert(k, k * 3)
+    return tree
+
+
+def _assert_read_counters(stats_diff: dict, n_probes: int) -> None:
+    """Every probe in a ``get_many`` batch is accounted for exactly once
+    as a chain hit, a re-descent, or a fast-path window hit."""
+    assert stats_diff["read_batches"] == 1
+    accounted = (
+        stats_diff["read_chain_hits"]
+        + stats_diff["read_redescents"]
+        + stats_diff["read_fast_hits"]
+    )
+    assert accounted == n_probes
+    # The batch's first positioning is either a descent or a fast-path
+    # window hit (a reverse-loaded fast-path tree caches the head leaf,
+    # which covers the smallest probe).
+    assert stats_diff["read_redescents"] + stats_diff["read_fast_hits"] >= 1
+
+
+def _stats_diff(stats, before: dict) -> dict:
+    after = stats.as_dict()
+    return {k: after[k] - before[k] for k in after}
+
+
+# ----------------------------------------------------------------------
+# get_many on the core variants
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "pattern",
+    ["sorted", "reverse", "shuffled", "near_sorted"],
+)
+def test_get_many_matches_per_key(any_tree_class, pattern):
+    n = 600
+    rng = random.Random(5)
+    keys = {
+        "sorted": list(range(n)),
+        "reverse": list(reversed(range(n))),
+        "shuffled": rng.sample(range(n), n),
+        "near_sorted": list(range(n)),
+    }[pattern]
+    if pattern == "near_sorted":
+        for _ in range(n // 20):
+            i, j = rng.randrange(n), rng.randrange(n)
+            keys[i], keys[j] = keys[j], keys[i]
+    tree = _loaded(any_tree_class, keys)
+    probes = _probe_batch(keys)
+    expected = [tree.get(k, default="miss") for k in probes]
+
+    before = tree.stats.as_dict()
+    got = tree.get_many(probes, default="miss")
+
+    assert got == expected
+    _assert_read_counters(_stats_diff(tree.stats, before), len(probes))
+
+
+@pytest.mark.parametrize("k_frac,l_frac", [(0.0, 0.0), (0.05, 0.05), (0.25, 0.25), (1.0, 1.0)])
+def test_get_many_on_bods_streams(any_tree_class, k_frac, l_frac):
+    """BoDS-generated loads across the sortedness spectrum, from fully
+    sorted (K=L=0) to fully scrambled (K=L=100%)."""
+    keys = [int(k) for k in generate_keys(2_000, k_frac, l_frac, seed=9)]
+    tree = _loaded(any_tree_class, keys)
+    probes = _probe_batch(keys)
+    expected = [tree.get(k) for k in probes]
+    assert tree.get_many(probes) == expected
+
+
+def test_get_many_empty_tree_and_empty_batch(any_tree_class):
+    tree = any_tree_class(SMALL)
+    assert tree.get_many([]) == []
+    assert tree.get_many([1, 2, 3], default=0) == [0, 0, 0]
+    tree.insert(5, "x")
+    assert tree.get_many([]) == []
+    assert tree.get_many(iter([4, 5, 6])) == [None, "x", None]
+
+
+def test_get_many_after_deletes(any_tree_class):
+    """Lazy deletion (QuIT) leaves empty leaves in the chain; the batched
+    reader must not serve stale entries or lose live ones."""
+    keys = list(range(500))
+    tree = _loaded(any_tree_class, keys)
+    rng = random.Random(3)
+    gone = rng.sample(keys, 250)
+    for k in gone:
+        assert tree.delete(k)
+    probes = _probe_batch(keys)
+    expected = [tree.get(k, default="miss") for k in probes]
+    assert tree.get_many(probes, default="miss") == expected
+
+
+def test_get_many_fast_path_window_hits(fastpath_tree_class):
+    """Probes inside the cached fast-path leaf's window are served
+    without a descent and counted as read_fast_hits."""
+    tree = fastpath_tree_class(SMALL)
+    for k in range(200):
+        tree.insert(k, k)
+    fp_leaf = tree._fp.leaf
+    assert fp_leaf is not None and fp_leaf.keys
+    in_window = list(fp_leaf.keys)
+
+    before = tree.stats.as_dict()
+    # Descending probe order defeats the ascending chain walk, forcing
+    # each reposition through the fast-path window check.
+    got = tree.get_many(list(reversed(in_window)))
+    diff = _stats_diff(tree.stats, before)
+    assert got == list(reversed(in_window))
+    assert diff["read_fast_hits"] >= 1
+
+    # Per-key get() also takes the shortcut for in-window probes.
+    before = tree.stats.as_dict()
+    assert tree.get(in_window[-1]) == in_window[-1]
+    diff = _stats_diff(tree.stats, before)
+    assert diff["read_fast_hits"] == 1
+    assert diff["read_fast_misses"] == 0
+
+    # An out-of-window probe counts a miss and falls back to descent.
+    before = tree.stats.as_dict()
+    assert tree.get(-10) is None
+    assert _stats_diff(tree.stats, before)["read_fast_misses"] == 1
+
+
+# ----------------------------------------------------------------------
+# range_iter / range_query / count_range
+# ----------------------------------------------------------------------
+
+RANGE_BOUNDS = [(-10, 700), (0, 0), (100, 101), (250, 400), (595, 9000)]
+
+
+@pytest.mark.parametrize("start,end", RANGE_BOUNDS)
+def test_range_paths_agree(any_tree_class, start, end):
+    keys = random.Random(1).sample(range(600), 600)
+    tree = _loaded(any_tree_class, keys)
+    oracle = [(k, v) for k, v in tree.items() if start <= k < end]
+
+    assert tree.range_query(start, end) == oracle
+    assert list(tree.range_iter(start, end)) == oracle
+    assert tree.count_range(start, end) == len(oracle)
+
+
+def test_range_iter_is_lazy(any_tree_class):
+    """Abandoning the iterator early must not walk the whole chain."""
+    tree = _loaded(any_tree_class, list(range(2_000)))
+    it = tree.range_iter(0, 2_000)
+    before = tree.stats.leaf_accesses
+    first = [next(it) for _ in range(3)]
+    assert first == [(0, 0), (1, 3), (2, 6)]
+    # Three entries sit in the first leaf: no chain advance needed.
+    assert tree.stats.leaf_accesses - before <= 1
+
+
+def test_range_paths_after_deletes(any_tree_class):
+    tree = _loaded(any_tree_class, list(range(400)))
+    for k in range(0, 400, 3):
+        tree.delete(k)
+    oracle = [(k, v) for k, v in tree.items() if 50 <= k < 350]
+    assert tree.range_query(50, 350) == oracle
+    assert list(tree.range_iter(50, 350)) == oracle
+    assert tree.count_range(50, 350) == len(oracle)
+
+
+def test_delete_range_uses_lazy_iter(any_tree_class):
+    tree = _loaded(any_tree_class, list(range(300)))
+    removed = tree.delete_range(100, 200)
+    assert removed == 100
+    assert tree.count_range(0, 300) == 200
+    assert all(tree.get(k) is None for k in range(100, 200))
+    tree.validate(check_min_fill=False)
+
+
+# ----------------------------------------------------------------------
+# SWARE
+# ----------------------------------------------------------------------
+
+
+def _sware_fixture():
+    """SWARE tree with flushed history AND a live unflushed buffer whose
+    entries shadow older tree values."""
+    sa = SABPlusTree(SMALL, buffer_capacity=64, page_capacity=16)
+    for k in range(500):
+        sa.insert(k, k)
+    sa.flush()
+    for k in range(450, 520):  # overwrite tail + extend, stays buffered
+        sa.insert(k, -k)
+    assert len(sa.buffer) > 0
+    return sa
+
+
+def test_sware_get_many_matches_per_key():
+    sa = _sware_fixture()
+    probes = _probe_batch(list(range(520)))
+    expected = [sa.get(k, default="miss") for k in probes]
+    assert sa.get_many(probes, default="miss") == expected
+    # Shadowing: buffered overwrites win over flushed values.
+    assert sa.get_many([460])[0] == -460
+
+
+def test_sware_get_many_bloom_short_circuit():
+    sa = _sware_fixture()
+    all_missing = [10_000 + i for i in range(64)]
+    before = sa.buffer_stats.bloom_negative
+    sa.get_many(all_missing)
+    # Every probe was rejected by a Bloom filter without a page search.
+    assert sa.buffer_stats.bloom_negative > before
+
+
+def test_sware_range_paths_agree():
+    sa = _sware_fixture()
+    oracle = [(k, v) for k, v in sa.items() if 430 <= k < 510]
+    assert sa.range_query(430, 510) == oracle
+    assert list(sa.range_iter(430, 510)) == oracle
+    assert sa.count_range(430, 510) == len(oracle)
+
+
+def test_sware_get_many_empty_buffer():
+    sa = SABPlusTree(SMALL, buffer_capacity=64)
+    for k in range(100):
+        sa.insert(k, k)
+    sa.flush()
+    probes = [3, 99, 100, -1, 3]
+    assert sa.get_many(probes) == [3, 99, None, None, 3]
+
+
+# ----------------------------------------------------------------------
+# ConcurrentTree
+# ----------------------------------------------------------------------
+
+
+def _concurrent_fixture():
+    ct = ConcurrentTree(QuITTree(SMALL))
+    for k in random.Random(2).sample(range(600), 600):
+        ct.insert(k, k * 2)
+    for k in range(0, 600, 5):
+        ct.delete(k)
+    return ct
+
+
+def test_concurrent_get_many_matches_per_key():
+    ct = _concurrent_fixture()
+    probes = _probe_batch(list(range(600)))
+    expected = [ct.get(k, default="miss") for k in probes]
+    before = ct.tree.stats.as_dict()
+    got = ct.get_many(probes, default="miss")
+    assert got == expected
+    diff = _stats_diff(ct.tree.stats, before)
+    assert diff["read_batches"] == 1
+    assert diff["read_chain_hits"] + diff["read_redescents"] == len(probes)
+
+
+@pytest.mark.parametrize("chunk_size", [1, 7, 256])
+def test_concurrent_range_paths_agree(chunk_size):
+    ct = _concurrent_fixture()
+    oracle = [
+        (k, v) for k, v in ct.tree.items() if 100 <= k < 480
+    ]
+    assert ct.range_query(100, 480) == oracle
+    assert list(ct.range_iter(100, 480, chunk_size=chunk_size)) == oracle
+    assert ct.count_range(100, 480) == len(oracle)
+
+
+def test_concurrent_reads_under_writers():
+    """Batched readers racing real writer threads must only ever see
+    values some write actually produced, for every key probed."""
+    import threading
+
+    ct = ConcurrentTree(QuITTree(TreeConfig(leaf_capacity=16, internal_capacity=16)))
+    for k in range(1_000):
+        ct.insert(k, 0)
+    stop = threading.Event()
+    errors: list[str] = []
+
+    def writer():
+        v = 1
+        while not stop.is_set():
+            for k in range(0, 1_000, 17):
+                ct.insert(k, v)
+            v += 1
+
+    def reader():
+        probes = list(range(1_000))
+        while not stop.is_set():
+            got = ct.get_many(probes)
+            for k, v in zip(probes, got):
+                if v is None:
+                    errors.append(f"lost key {k}")
+                    return
+            list(ct.range_iter(200, 800, chunk_size=64))
+
+    threads = [threading.Thread(target=writer)] + [
+        threading.Thread(target=reader) for _ in range(2)
+    ]
+    for t in threads:
+        t.start()
+    import time
+
+    time.sleep(0.5)
+    stop.set()
+    for t in threads:
+        t.join()
+    assert not errors, errors
+
+
+# ----------------------------------------------------------------------
+# Bε-tree
+# ----------------------------------------------------------------------
+
+
+def _betree_fixture():
+    """Bε-tree with entries at every resolution stage: flushed to
+    leaves, pending in interior buffers, and deleted via tombstones
+    that are still buffered."""
+    bt = BeTree(BeTreeConfig(leaf_capacity=8, fanout=4, buffer_capacity=12))
+    for k in random.Random(4).sample(range(500), 500):
+        bt.insert(k, k + 1)
+    for k in range(0, 500, 7):
+        bt.delete(k)
+    for k in range(100, 120):  # overwrites likely still buffered
+        bt.insert(k, -k)
+    return bt
+
+
+def test_betree_get_many_matches_per_key():
+    bt = _betree_fixture()
+    probes = _probe_batch(list(range(500)))
+    expected = [bt.get(k, default="miss") for k in probes]
+    assert bt.get_many(probes, default="miss") == expected
+
+
+def test_betree_get_many_resolves_buffered_messages():
+    bt = BeTree(BeTreeConfig(leaf_capacity=8, fanout=4, buffer_capacity=12))
+    for k in range(50):
+        bt.insert(k, k)
+    bt.insert(10, "fresh")  # buffered overwrite
+    bt.delete(11)  # buffered tombstone
+    assert bt.get_many([10, 11, 12], default="miss") == ["fresh", "miss", 12]
+
+
+def test_betree_range_paths_agree():
+    bt = _betree_fixture()
+    oracle = bt.range_query(50, 450)
+    assert list(bt.range_iter(50, 450)) == oracle
+    assert bt.count_range(50, 450) == len(oracle)
+
+
+# ----------------------------------------------------------------------
+# DuplicateKeyIndex
+# ----------------------------------------------------------------------
+
+
+def _dupe_fixture():
+    idx = DuplicateKeyIndex(config=SMALL)
+    rng = random.Random(6)
+    for i in range(800):
+        idx.insert(rng.randrange(120), i)  # heavy duplication
+    return idx
+
+
+def test_duplicates_get_many_matches_per_key():
+    idx = _dupe_fixture()
+    probes = _probe_batch(list(range(120)))
+    expected = [idx.get(k, default="miss") for k in probes]
+    before = idx.stats.as_dict()
+    got = idx.get_many(probes, default="miss")
+    assert got == expected
+    assert _stats_diff(idx.stats, before)["read_batches"] == 1
+
+
+def test_duplicates_get_many_after_deletes():
+    idx = _dupe_fixture()
+    for k in range(0, 120, 3):
+        idx.delete_all(k)
+    idx.delete_one(1)
+    probes = _probe_batch(list(range(120)))
+    expected = [idx.get(k, default="miss") for k in probes]
+    assert idx.get_many(probes, default="miss") == expected
+
+
+def test_duplicates_range_paths_agree():
+    idx = _dupe_fixture()
+    oracle = idx.range_query(20, 90)
+    assert list(idx.range_iter(20, 90)) == oracle
+    assert idx.count_range(20, 90) == len(oracle)
+    # Values for one key stay in arrival order.
+    assert idx.get_all(oracle[0][0]) == [
+        v for k, v in oracle if k == oracle[0][0]
+    ]

@@ -112,10 +112,13 @@ class TestShapes:
         assert sorted_row["btree_occ_pct"] < 60
 
     def test_fig10b_no_read_penalty(self, results):
-        ratios = [row["normalized"] for row in results["fig10b"].rows]
-        # No read overhead: on average within noise of 1.0.
-        mean = sum(ratios) / len(ratios)
-        assert mean < 1.15
+        def check(result):
+            ratios = [row["normalized"] for row in result.rows]
+            # No read overhead: on average within noise of 1.0.
+            mean = sum(ratios) / len(ratios)
+            assert mean < 1.15
+
+        check_with_retry(results, "fig10b", check)
 
     def test_fig10c_fewer_accesses_when_sorted(self, results):
         # The 0.1% selectivity touches only 1-2 leaves at tiny scale, so
