@@ -1,0 +1,258 @@
+"""``quit-durability`` — operate and benchmark the crash-safety layer.
+
+Subcommands over a durability directory (``snapshot.quit`` +
+``wal/wal-*.seg``, as written by :class:`repro.core.DurableTree`):
+
+* ``checkpoint DIR`` — recover the state, write a fresh v2 snapshot,
+  truncate the WAL;
+* ``recover DIR`` — rebuild the tree and print the
+  :class:`~repro.core.RecoveryReport` (exit status 1 when damage was
+  found and repaired, 0 when clean);
+* ``scrub DIR`` — recover without the implicit scrub, then audit the
+  fast-path metadata explicitly and print what was repaired;
+* ``bench`` — end-to-end recovery-time numbers: ingest *n* entries,
+  checkpoint, append *m* more WAL ops, then time a cold recovery.
+
+Examples::
+
+    quit-durability bench --n 100000 --wal-ops 10000 --variant QuIT
+    quit-durability recover /var/lib/quit/state
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Optional, Sequence
+
+from ..core import DurableTree, RecoveryReport, TreeConfig
+from ..core.wal import replay_wal, segment_paths
+from .harness import VARIANTS
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Argument parser for quit-durability."""
+    parser = argparse.ArgumentParser(
+        prog="quit-durability",
+        description="Checkpoint, recover, scrub, and benchmark the "
+                    "crash-safe durability layer.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--variant", default="QuIT", choices=sorted(VARIANTS),
+            help="tree variant to rebuild into (default: QuIT)",
+        )
+        p.add_argument(
+            "--leaf-capacity", type=int, default=None,
+            help="node capacity override (default: from the snapshot)",
+        )
+
+    cp = sub.add_parser(
+        "checkpoint",
+        help="recover DIR, write a fresh snapshot, truncate the WAL",
+    )
+    cp.add_argument("directory", type=Path)
+    add_common(cp)
+
+    rec = sub.add_parser(
+        "recover", help="rebuild from DIR and print the recovery report"
+    )
+    rec.add_argument("directory", type=Path)
+    add_common(rec)
+    rec.add_argument(
+        "--no-scrub", action="store_true",
+        help="skip the fast-path metadata audit after replay",
+    )
+
+    sc = sub.add_parser(
+        "scrub",
+        help="recover DIR, audit fast-path metadata, print repairs",
+    )
+    sc.add_argument("directory", type=Path)
+    add_common(sc)
+
+    bench = sub.add_parser(
+        "bench", help="measure checkpoint and recovery times"
+    )
+    bench.add_argument(
+        "--n", type=int, default=100_000,
+        help="entries in the checkpointed snapshot (default: 100000)",
+    )
+    bench.add_argument(
+        "--wal-ops", type=int, default=10_000,
+        help="single-key WAL ops appended after the checkpoint "
+             "(default: 10000)",
+    )
+    bench.add_argument(
+        "--fsync", default="none", choices=("always", "interval", "none"),
+        help="WAL fsync policy during the ingest phase (default: none; "
+             "'always' shows the per-op fsync tax)",
+    )
+    bench.add_argument(
+        "--directory", type=Path, default=None,
+        help="durability directory (default: a fresh temp dir)",
+    )
+    add_common(bench)
+
+    return parser
+
+
+def _config(args: argparse.Namespace) -> Optional[TreeConfig]:
+    if args.leaf_capacity is None:
+        return None
+    return TreeConfig(
+        leaf_capacity=args.leaf_capacity,
+        internal_capacity=args.leaf_capacity,
+    )
+
+
+def print_report(report: RecoveryReport, out) -> None:
+    """Render a recovery report as aligned key/value lines."""
+    rows = [
+        ("snapshot loaded", report.snapshot_loaded),
+        ("snapshot entries", report.snapshot_entries),
+        ("WAL segments scanned", report.segments_scanned),
+        ("WAL records replayed", report.records_replayed),
+        ("entries replayed", report.entries_replayed),
+        ("checksum failures", report.checksum_failures),
+        ("torn tail", report.truncated_tail),
+        ("tail bytes dropped", report.tail_bytes_dropped),
+        ("unknown records skipped", report.unknown_records),
+    ]
+    if report.scrub is not None:
+        rows.append(("scrub issues", len(report.scrub.issues)))
+        rows.append(("scrub repairs", report.scrub.repairs))
+    width = max(len(label) for label, _ in rows)
+    for label, value in rows:
+        print(f"  {label:<{width}}  {value}", file=out)
+    print(f"  {'clean':<{width}}  {report.clean}", file=out)
+
+
+def cmd_checkpoint(args: argparse.Namespace, out) -> int:
+    durable, report = DurableTree.recover(
+        args.directory, VARIANTS[args.variant], _config(args)
+    )
+    try:
+        count = durable.checkpoint()
+    finally:
+        durable.close()
+    print(f"recovered {len(durable)} entries:", file=out)
+    print_report(report, out)
+    print(f"checkpointed {count} entries; WAL truncated", file=out)
+    return 0
+
+
+def cmd_recover(args: argparse.Namespace, out) -> int:
+    durable, report = DurableTree.recover(
+        args.directory, VARIANTS[args.variant], _config(args),
+        scrub=not args.no_scrub,
+    )
+    durable.close()
+    print(f"recovered {len(durable)} entries:", file=out)
+    print_report(report, out)
+    return 0 if report.clean else 1
+
+
+def cmd_scrub(args: argparse.Namespace, out) -> int:
+    durable, _ = DurableTree.recover(
+        args.directory, VARIANTS[args.variant], _config(args), scrub=False
+    )
+    report = durable.scrub()
+    durable.close()
+    print(f"{report.variant}: {len(report.issues)} issue(s), "
+          f"{report.repairs} repair(s)", file=out)
+    for issue in report.issues:
+        print(f"  - {issue}", file=out)
+    violations = durable.check(check_min_fill=False)
+    for violation in violations:
+        print(f"  ! {violation}", file=out)
+    return 0 if report.clean and not violations else 1
+
+
+def cmd_bench(args: argparse.Namespace, out) -> int:
+    tree_class = VARIANTS[args.variant]
+    config = _config(args) or TreeConfig()
+    if args.directory is not None:
+        directory = args.directory
+        cleanup = None
+    else:
+        cleanup = tempfile.TemporaryDirectory(prefix="quit-durability-")
+        directory = Path(cleanup.name)
+    try:
+        durable = DurableTree(
+            tree_class(config), directory, fsync=args.fsync
+        )
+        t0 = time.perf_counter()
+        durable.insert_many([(i, i) for i in range(args.n)])
+        t_ingest = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        durable.checkpoint()
+        t_checkpoint = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        base = args.n
+        for i in range(args.wal_ops):
+            durable.insert(base + i, i)
+        t_wal = time.perf_counter() - t0
+        durable.close()
+        wal_bytes = sum(
+            p.stat().st_size for p in segment_paths(directory / "wal")
+        )
+
+        t0 = time.perf_counter()
+        recovered, report = DurableTree.recover(
+            directory, tree_class, config
+        )
+        t_recover = time.perf_counter() - t0
+        recovered.close()
+
+        total = args.n + args.wal_ops
+        print(f"variant={args.variant} n={args.n} "
+              f"wal_ops={args.wal_ops} fsync={args.fsync}", file=out)
+        rows = [
+            ("ingest (batched, logged)",
+             t_ingest, f"{args.n / max(t_ingest, 1e-9):,.0f} entries/s"),
+            ("checkpoint (v2 snapshot)",
+             t_checkpoint,
+             f"{args.n / max(t_checkpoint, 1e-9):,.0f} entries/s"),
+            (f"WAL appends x{args.wal_ops}",
+             t_wal, f"{args.wal_ops / max(t_wal, 1e-9):,.0f} ops/s"),
+            ("recovery (snapshot+replay)",
+             t_recover, f"{total / max(t_recover, 1e-9):,.0f} entries/s"),
+        ]
+        width = max(len(label) for label, _, _ in rows)
+        for label, seconds, rate in rows:
+            print(f"  {label:<{width}}  {seconds * 1000:9.1f} ms"
+                  f"  {rate}", file=out)
+        print(f"  {'WAL size at recovery':<{width}}  "
+              f"{wal_bytes / 1024:9.1f} KiB", file=out)
+        print(f"recovered {len(recovered)} entries "
+              f"({report.records_replayed} WAL records replayed); "
+              f"clean={report.clean}", file=out)
+        return 0
+    finally:
+        if cleanup is not None:
+            cleanup.cleanup()
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    """CLI entry point; returns the process exit status."""
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "checkpoint": cmd_checkpoint,
+        "recover": cmd_recover,
+        "scrub": cmd_scrub,
+        "bench": cmd_bench,
+    }
+    return handlers[args.command](args, out)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

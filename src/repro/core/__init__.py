@@ -3,8 +3,9 @@ sortedness-aware fast-path variants (tail, lil, pole, QuIT)."""
 
 from .ablation import QuITNoResetTree, QuITNoVariableSplitTree
 from .batch import carve_runs, merge_run, probe_runs
-from .bptree import BPlusTree
+from .bptree import BPlusTree, TreeInvariantError
 from .describe import TreeDescription, describe, format_description
+from .durable import DurableTree, RecoveryReport
 from .duplicates import DuplicateKeyIndex
 from .config import TreeConfig, reset_threshold
 from .fastpath import FastPathTree
@@ -21,8 +22,15 @@ from .node import InternalNode, LeafNode, Node
 from .persist import PersistenceError, load_tree, save_tree
 from .pole_tree import PoleBPlusTree
 from .quit_tree import QuITTree
-from .stats import OccupancyStats, TreeStats
+from .stats import OccupancyStats, ScrubReport, TreeStats
 from .tail_tree import TailBPlusTree
+from .wal import (
+    WALError,
+    WALReplayResult,
+    WriteAheadLog,
+    repair_wal,
+    replay_wal,
+)
 
 #: All tree variants benchmarked by the paper, in presentation order.
 TREE_VARIANTS = (
@@ -63,6 +71,15 @@ __all__ = [
     "save_tree",
     "load_tree",
     "PersistenceError",
+    "TreeInvariantError",
+    "ScrubReport",
+    "DurableTree",
+    "RecoveryReport",
+    "WriteAheadLog",
+    "WALError",
+    "WALReplayResult",
+    "replay_wal",
+    "repair_wal",
     "describe",
     "format_description",
     "TreeDescription",

@@ -25,7 +25,17 @@ from .config import (
     TreeConfig,
 )
 from .node import InternalNode, Key, LeafNode, Node
-from .stats import OccupancyStats, TreeStats
+from .stats import OccupancyStats, ScrubReport, TreeStats
+
+
+class TreeInvariantError(AssertionError):
+    """A structural invariant of the tree does not hold.
+
+    Raised explicitly by :meth:`BPlusTree.validate` (never via the
+    ``assert`` statement, so validation survives ``python -O``).
+    Subclasses :class:`AssertionError` for compatibility with callers
+    that treated validation failures as assertion failures.
+    """
 
 #: Default leaf fill for run-driven overflow rebuilds in
 #: :meth:`BPlusTree.insert_many`.  Packing rebuilt leaves completely full
@@ -1269,30 +1279,92 @@ class BPlusTree:
     # Validation
     # ------------------------------------------------------------------
 
-    def validate(self, check_min_fill: bool = True) -> None:
-        """Check every structural invariant; raises AssertionError on any
-        violation.  ``check_min_fill=False`` relaxes the leaf minimum-fill
-        bound (QuIT's variable split intentionally creates small leaves).
+    def validate(
+        self, check_min_fill: bool = True, report: bool = False
+    ) -> Optional[list[str]]:
+        """Check every structural invariant.
+
+        With ``report=False`` (default) the first violation raises
+        :class:`TreeInvariantError`; with ``report=True`` nothing raises
+        — every violated invariant is collected and the list returned
+        (empty for a healthy tree), which is what ``scrub()`` and
+        operator tooling consume.  Violations are raised explicitly (not
+        via ``assert``), so validation also works under ``python -O``.
+
+        ``check_min_fill=False`` relaxes the leaf minimum-fill bound
+        (QuIT's variable split intentionally creates small leaves).
         """
-        assert self._root.parent is None, "root must have no parent"
+        errors: Optional[list[str]] = [] if report else None
+        self._invariant(
+            self._root.parent is None, "root must have no parent", errors
+        )
         leaves_via_tree: list[LeafNode] = []
         count = self._validate_node(
             self._root, None, None, self._height, check_min_fill,
-            leaves_via_tree,
+            leaves_via_tree, errors,
         )
-        assert count == self._size, (
-            f"size mismatch: counted {count}, recorded {self._size}"
+        self._invariant(
+            count == self._size,
+            f"size mismatch: counted {count}, recorded {self._size}",
+            errors,
         )
-        chain = list(self.leaves())
-        assert [id(x) for x in chain] == [id(x) for x in leaves_via_tree], (
-            "leaf chain does not match tree order"
+        # The chain walk bounds its own length: a corrupt ``next`` link
+        # could form a cycle, and report mode must terminate anyway.
+        chain: list[LeafNode] = []
+        leaf: Optional[LeafNode] = self._head
+        limit = 2 * len(leaves_via_tree) + 2
+        while leaf is not None and len(chain) <= limit:
+            chain.append(leaf)
+            leaf = leaf.next
+        if leaf is not None:
+            self._invariant(
+                False, "leaf chain longer than the tree (cycle?)", errors
+            )
+        self._invariant(
+            [id(x) for x in chain] == [id(x) for x in leaves_via_tree],
+            "leaf chain does not match tree order",
+            errors,
         )
-        assert chain[0] is self._head and chain[-1] is self._tail
+        if chain:
+            self._invariant(
+                chain[0] is self._head, "head pointer astray", errors
+            )
+            self._invariant(
+                chain[-1] is self._tail, "tail pointer astray", errors
+            )
         for a, b in zip(chain, chain[1:]):
-            assert b.prev is a, "broken prev link"
-        flat = [k for leaf in chain for k in leaf.keys]
-        assert flat == sorted(set(flat)), "global key order violated"
-        assert self._height == self._measure_height(), "height drifted"
+            self._invariant(b.prev is a, "broken prev link", errors)
+        flat = [k for lf in chain for k in lf.keys]
+        self._invariant(
+            flat == sorted(set(flat)), "global key order violated", errors
+        )
+        self._invariant(
+            self._height == self._measure_height(), "height drifted", errors
+        )
+        return errors
+
+    def check(self, check_min_fill: bool = True) -> list[str]:
+        """Non-raising validation: the list of violated invariants.
+
+        Unlike :meth:`validate`, which stops at the first violation,
+        this surveys the whole structure — an operator diagnosing a
+        recovered tree wants every problem, not the first.
+        """
+        result = self.validate(check_min_fill=check_min_fill, report=True)
+        assert result is not None
+        return result
+
+    @staticmethod
+    def _invariant(
+        cond: bool, message: str, errors: Optional[list[str]]
+    ) -> bool:
+        """Raise ``TreeInvariantError`` (or collect into ``errors``)."""
+        if cond:
+            return True
+        if errors is None:
+            raise TreeInvariantError(message)
+        errors.append(message)
+        return False
 
     def _validate_node(
         self,
@@ -1302,44 +1374,111 @@ class BPlusTree:
         depth: int,
         check_min_fill: bool,
         leaves_out: list[LeafNode],
+        errors: Optional[list[str]],
     ) -> int:
+        require = self._invariant
         keys = node.keys
-        assert all(a < b for a, b in zip(keys, keys[1:])), (
-            f"unsorted keys in {node!r}"
+        require(
+            all(a < b for a, b in zip(keys, keys[1:])),
+            f"unsorted keys in {node!r}",
+            errors,
         )
         if keys:
             if low is not None:
-                assert keys[0] >= low, f"key below lower pivot in {node!r}"
+                require(
+                    keys[0] >= low, f"key below lower pivot in {node!r}",
+                    errors,
+                )
             if high is not None:
-                assert keys[-1] < high, f"key above upper pivot in {node!r}"
+                require(
+                    keys[-1] < high, f"key above upper pivot in {node!r}",
+                    errors,
+                )
         if node.is_leaf:
             leaf: LeafNode = node  # type: ignore[assignment]
-            assert depth == 1, "leaves must share one level"
-            assert len(leaf.keys) == len(leaf.values)
-            assert leaf.size <= self.config.leaf_capacity
+            require(depth == 1, "leaves must share one level", errors)
+            require(
+                len(leaf.keys) == len(leaf.values),
+                f"keys/values length mismatch in {leaf!r}",
+                errors,
+            )
+            require(
+                leaf.size <= self.config.leaf_capacity,
+                f"leaf {leaf!r} above capacity",
+                errors,
+            )
             if check_min_fill and leaf.parent is not None:
-                assert leaf.size >= self._min_leaf_fill(), (
-                    f"leaf {leaf!r} below min fill"
+                require(
+                    leaf.size >= self._min_leaf_fill(),
+                    f"leaf {leaf!r} below min fill",
+                    errors,
                 )
             leaves_out.append(leaf)
             return leaf.size
         internal: InternalNode = node  # type: ignore[assignment]
-        assert len(internal.children) == len(internal.keys) + 1
-        assert internal.size <= self.config.internal_capacity + 1
+        require(
+            len(internal.children) == len(internal.keys) + 1,
+            f"child/separator count mismatch in {internal!r}",
+            errors,
+        )
+        require(
+            internal.size <= self.config.internal_capacity + 1,
+            f"internal {internal!r} above capacity",
+            errors,
+        )
         if internal.parent is not None:
-            assert internal.size >= 2, "internal node with < 2 children"
+            require(
+                internal.size >= 2, "internal node with < 2 children",
+                errors,
+            )
         total = 0
         for i, child in enumerate(internal.children):
-            assert child.parent is internal, "broken parent pointer"
+            require(
+                child.parent is internal, "broken parent pointer", errors
+            )
             child_low = internal.keys[i - 1] if i > 0 else low
             child_high = (
                 internal.keys[i] if i < len(internal.keys) else high
             )
             total += self._validate_node(
                 child, child_low, child_high, depth - 1, check_min_fill,
-                leaves_out,
+                leaves_out, errors,
             )
         return total
+
+    # ------------------------------------------------------------------
+    # Scrubbing (post-recovery hygiene)
+    # ------------------------------------------------------------------
+
+    def scrub(self) -> "ScrubReport":
+        """Verify derived/auxiliary state and repair what can be reset.
+
+        The classical tree keeps no fast-path metadata, so its scrub
+        only audits the ``head``/``tail`` chain endpoints (repairable by
+        rescanning the chain).  Fast-path variants extend this with
+        ``lil``/``pole``/``tail`` pointer checks — see
+        :meth:`repro.core.fastpath.FastPathTree.scrub`.  Structural
+        damage (which scrubbing cannot repair) is reported via
+        :meth:`check`, not here.
+        """
+        report = ScrubReport(variant=self.name)
+        self.stats.scrub_checks += 1
+        leaf: Optional[LeafNode] = self._head
+        last = leaf
+        hops = 0
+        while leaf is not None and leaf.next is not None:
+            last = leaf.next
+            leaf = leaf.next
+            hops += 1
+            if hops > 2 * self._size + 2:  # cycle: unrepairable here
+                report.issues.append("leaf chain does not terminate")
+                return report
+        if last is not self._tail:
+            report.issues.append("tail pointer does not end the chain")
+            self._tail = last  # type: ignore[assignment]
+            report.repairs += 1
+            self.stats.scrub_resets += 1
+        return report
 
 
 class _Missing:

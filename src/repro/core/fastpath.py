@@ -16,6 +16,7 @@ from .bptree import BPlusTree
 from .config import TreeConfig
 from .metadata import FastPathState
 from .node import Key, LeafNode
+from .stats import ScrubReport
 
 
 class FastPathTree(BPlusTree):
@@ -197,3 +198,74 @@ class FastPathTree(BPlusTree):
         # A splice can split the fast-path leaf outside the normal split
         # hooks, so the cached pivot bounds must be recomputed.
         self._refresh_fp_bounds()
+
+    # ------------------------------------------------------------------
+    # Scrubbing (post-recovery hygiene)
+    # ------------------------------------------------------------------
+
+    def scrub(self) -> ScrubReport:
+        """Audit the fast-path metadata; reset it when untrustworthy.
+
+        Inserts and window reads act on ``fp.leaf`` *without a descent*
+        whenever a key falls inside ``[fp.low, fp.high)``, so the cached
+        window being a **subset** of the leaf's true pivot range is the
+        safety invariant: a window wider than the range routes keys into
+        the wrong leaf (silent order violation) or declares present keys
+        absent.  A window *narrower* than the range is merely
+        conservative (some fast-path hits degrade to top-inserts) and is
+        left alone.  Any unsafe finding resets the pointer to the tail
+        leaf — always a valid pin — and counts ``stats.scrub_resets``
+        instead of asserting, so a recovered or degraded tree keeps
+        serving.
+        """
+        report = super().scrub()
+        fp = self._fp
+        leaf = fp.leaf
+        unsafe = False
+        if leaf is None:
+            report.issues.append("fast-path leaf unset")
+            unsafe = True
+        elif not self._leaf_attached(leaf):
+            report.issues.append("fast-path leaf detached from tree")
+            unsafe = True
+        else:
+            pb_low, pb_high = self.bounds_of_leaf(leaf)
+            if pb_low is not None and (fp.low is None or fp.low < pb_low):
+                report.issues.append(
+                    "fast-path window extends below the leaf's pivot range"
+                )
+                unsafe = True
+            if pb_high is not None and (
+                fp.high is None or fp.high > pb_high
+            ):
+                report.issues.append(
+                    "fast-path window extends above the leaf's pivot range"
+                )
+                unsafe = True
+        unsafe |= self._scrub_extra(report)
+        if unsafe:
+            self._scrub_reset_fp()
+            report.repairs += 1
+            self.stats.scrub_resets += 1
+        return report
+
+    def _leaf_attached(self, leaf: LeafNode) -> bool:
+        """Whether ``leaf`` hangs off this tree's root (bounded walk)."""
+        node = leaf
+        hops = 0
+        while node.parent is not None:
+            node = node.parent
+            hops += 1
+            if hops > self._height + 2:
+                return False
+        return node is self._root
+
+    def _scrub_extra(self, report: ScrubReport) -> bool:
+        """Variant-specific scrub checks; True when a reset is needed."""
+        return False
+
+    def _scrub_reset_fp(self) -> None:
+        """Re-pin the fast path to the tail leaf (always a valid pin)."""
+        fp = self._fp
+        fp.leaf = self._tail
+        fp.low, fp.high = self.bounds_of_leaf(self._tail)

@@ -1,10 +1,25 @@
 """Persistence helpers: dump an index to a file and reload it.
 
-The on-disk format is deliberately simple and durable: a small header
-(format tag, entry count, configuration) followed by one
-tab-separated ``key<TAB>value`` line per entry in key order.  Loading
-rebuilds the index via packed bulk loading, so a reloaded tree starts at
-optimal occupancy regardless of the ingestion history that produced it.
+Two on-disk formats share one loader:
+
+* **v1** (``quit-tree-v1``): a small header (format tag, entry count,
+  configuration) followed by one tab-separated ``key<TAB>value`` line per
+  entry in key order.
+* **v2** (``quit-tree-v2``): the same header, but every entry line is
+  prefixed with the CRC32 of its ``key<TAB>value`` body
+  (``crc<TAB>key<TAB>value``), so a flipped bit is caught at load time
+  instead of silently rebuilding a wrong tree.  This is the format
+  :meth:`repro.core.durable.DurableTree.checkpoint` writes.
+
+Writes are **atomic**: the tree is serialized to a same-directory temp
+file which is fsynced and ``os.replace``d over the destination only on
+success.  A failure mid-write (unserializable value, full disk, injected
+fault) unlinks the temp file and leaves any previous good snapshot at
+``path`` untouched.
+
+Loading rebuilds the index via packed bulk loading, so a reloaded tree
+starts at optimal occupancy regardless of the ingestion history that
+produced it.
 
 Values are stored via ``repr`` and restored with
 :func:`ast.literal_eval`, so any Python literal (numbers, strings,
@@ -15,47 +30,103 @@ rejected at save time rather than corrupting the file.
 from __future__ import annotations
 
 import ast
+import os
+import zlib
 from pathlib import Path
-from typing import Optional, Type, Union
+from typing import Optional, TextIO, Type, Union
 
+from ..testing import failpoints
 from .bptree import BPlusTree
 from .config import TreeConfig
 
 _FORMAT_TAG = "quit-tree-v1"
+_FORMAT_TAG_V2 = "quit-tree-v2"
 
 
 class PersistenceError(ValueError):
-    """Raised for unserializable values or malformed files."""
+    """Raised for unserializable values or malformed/corrupt files."""
 
 
-def save_tree(tree: BPlusTree, path: Union[str, Path]) -> int:
-    """Write ``tree`` to ``path``; returns the number of entries saved."""
-    path = Path(path)
+def _entry_repr(key, value) -> tuple[str, str]:
+    """Validated ``repr`` pair for one entry; raises PersistenceError."""
+    key_repr = repr(key)
+    value_repr = repr(value)
+    for label, text in (("key", key_repr), ("value", value_repr)):
+        if "\t" in text or "\n" in text:
+            raise PersistenceError(
+                f"{label} {text!r} contains a separator character"
+            )
+        try:
+            ast.literal_eval(text)
+        except (ValueError, SyntaxError):
+            raise PersistenceError(
+                f"{label} {text!r} is not a Python literal; "
+                "only literal keys/values can be persisted"
+            ) from None
+    return key_repr, value_repr
+
+
+def _write_entries(tree: BPlusTree, fh: TextIO, version: int) -> int:
+    fh.write(
+        f"{_FORMAT_TAG_V2 if version == 2 else _FORMAT_TAG}\t{len(tree)}\t"
+        f"{tree.config.leaf_capacity}\t"
+        f"{tree.config.internal_capacity}\n"
+    )
     count = 0
-    with path.open("w", encoding="utf-8") as fh:
-        fh.write(
-            f"{_FORMAT_TAG}\t{len(tree)}\t"
-            f"{tree.config.leaf_capacity}\t"
-            f"{tree.config.internal_capacity}\n"
-        )
-        for key, value in tree.items():
-            key_repr = repr(key)
-            value_repr = repr(value)
-            for label, text in (("key", key_repr), ("value", value_repr)):
-                if "\t" in text or "\n" in text:
-                    raise PersistenceError(
-                        f"{label} {text!r} contains a separator character"
-                    )
-                try:
-                    ast.literal_eval(text)
-                except (ValueError, SyntaxError):
-                    raise PersistenceError(
-                        f"{label} {text!r} is not a Python literal; "
-                        "only literal keys/values can be persisted"
-                    ) from None
-            fh.write(f"{key_repr}\t{value_repr}\n")
-            count += 1
+    for key, value in tree.items():
+        key_repr, value_repr = _entry_repr(key, value)
+        body = f"{key_repr}\t{value_repr}"
+        if version == 2:
+            fh.write(f"{zlib.crc32(body.encode('utf-8')):08x}\t{body}\n")
+        else:
+            fh.write(f"{body}\n")
+        count += 1
     return count
+
+
+def save_tree(
+    tree: BPlusTree, path: Union[str, Path], *, version: int = 1
+) -> int:
+    """Atomically write ``tree`` to ``path``; returns the entry count.
+
+    Args:
+        tree: any tree variant (anything with ``config``, ``__len__``
+            and ``items()``).
+        path: destination file, replaced atomically on success.
+        version: 1 for the legacy format, 2 for per-record CRC32.
+    """
+    if version not in (1, 2):
+        raise PersistenceError(f"unknown snapshot version {version}")
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    failpoints.fire("snapshot.before_tmp_write")
+    try:
+        with tmp.open("w", encoding="utf-8") as fh:
+            count = _write_entries(tree, fh, version)
+            fh.flush()
+            os.fsync(fh.fileno())
+    except Exception:
+        tmp.unlink(missing_ok=True)
+        raise
+    failpoints.fire("snapshot.after_tmp_write")
+    os.replace(tmp, path)
+    _fsync_parent_dir(path)
+    failpoints.fire("snapshot.after_replace")
+    return count
+
+
+def _fsync_parent_dir(path: Path) -> None:
+    """Make the rename itself durable (best-effort off POSIX)."""
+    try:
+        fd = os.open(path.parent, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform dependent
+        pass
+    finally:
+        os.close(fd)
 
 
 def load_tree(
@@ -64,19 +135,26 @@ def load_tree(
     config: Optional[TreeConfig] = None,
     fill_factor: float = 1.0,
 ) -> BPlusTree:
-    """Rebuild an index saved by :func:`save_tree`.
+    """Rebuild an index saved by :func:`save_tree` (either version).
 
     Args:
         path: file written by :func:`save_tree`.
         tree_class: index variant to instantiate (any tree class).
         config: overrides the persisted node capacities when given.
         fill_factor: leaf packing for the rebuild (1.0 = fully packed).
+
+    Raises:
+        PersistenceError: malformed header/entries, an entry count
+            mismatch, or (v2) a per-record checksum failure.
     """
     path = Path(path)
     with path.open("r", encoding="utf-8") as fh:
         header = fh.readline().rstrip("\n").split("\t")
-        if len(header) != 4 or header[0] != _FORMAT_TAG:
-            raise PersistenceError(f"{path} is not a {_FORMAT_TAG} file")
+        if len(header) != 4 or header[0] not in (_FORMAT_TAG, _FORMAT_TAG_V2):
+            raise PersistenceError(
+                f"{path} is not a {_FORMAT_TAG}/{_FORMAT_TAG_V2} file"
+            )
+        checksummed = header[0] == _FORMAT_TAG_V2
         try:
             expected = int(header[1])
             leaf_capacity = int(header[2])
@@ -93,8 +171,26 @@ def load_tree(
             line = line.rstrip("\n")
             if not line:
                 continue
+            if checksummed:
+                crc_hex, sep, body = line.partition("\t")
+                if not sep:
+                    raise PersistenceError(
+                        f"malformed entry at {path}:{line_no}"
+                    )
+                try:
+                    crc = int(crc_hex, 16)
+                except ValueError:
+                    raise PersistenceError(
+                        f"malformed checksum at {path}:{line_no}"
+                    ) from None
+                if zlib.crc32(body.encode("utf-8")) != crc:
+                    raise PersistenceError(
+                        f"checksum mismatch at {path}:{line_no}"
+                    )
+            else:
+                body = line
             try:
-                key_repr, value_repr = line.split("\t")
+                key_repr, value_repr = body.split("\t")
                 pairs.append((
                     ast.literal_eval(key_repr),
                     ast.literal_eval(value_repr),

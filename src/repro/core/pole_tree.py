@@ -22,6 +22,7 @@ from .fastpath import FastPathTree
 from .ikr import ikr_threshold
 from .metadata import PoleState
 from .node import Key, LeafNode
+from .stats import ScrubReport
 
 
 class PoleBPlusTree(FastPathTree):
@@ -247,6 +248,53 @@ class PoleBPlusTree(FastPathTree):
         fp.prev = leaf.prev
         fp.leaf = leaf
         fp.low, fp.high = self.bounds_of_leaf(leaf)
+        fp.next_candidate = None
+        fp.fails = 0
+
+    # ------------------------------------------------------------------
+    # Scrubbing
+    # ------------------------------------------------------------------
+
+    def _scrub_extra(self, report: ScrubReport) -> bool:
+        """Audit ``pole_prev``/``pole_next`` (IKR's reference window).
+
+        A stale ``pole_prev`` — detached, identical to the pole, or with
+        a min key *above* the pole's — would feed IKR a negative density
+        window.  The runtime guards degrade gracefully (IKR returns no
+        estimate), but after recovery the reference should be rebuilt
+        rather than left poisoned.
+        """
+        fp = self._fp
+        unsafe = False
+        prev = fp.prev
+        pole = fp.leaf
+        if prev is not None:
+            if prev is pole:
+                report.issues.append("pole_prev aliases the pole itself")
+                unsafe = True
+            elif not self._leaf_attached(prev):
+                report.issues.append("pole_prev detached from tree")
+                unsafe = True
+            elif (
+                pole is not None
+                and prev.size > 0
+                and pole.size > 0
+                and prev.min_key > pole.min_key
+            ):
+                report.issues.append("pole_prev min key above the pole's")
+                unsafe = True
+        if fp.next_candidate is not None and not self._leaf_attached(
+            fp.next_candidate
+        ):
+            report.issues.append("pole_next detached from tree")
+            unsafe = True
+        return unsafe
+
+    def _scrub_reset_fp(self) -> None:
+        """Re-pin pole (and its IKR references) to the tail leaf."""
+        super()._scrub_reset_fp()
+        fp = self._fp
+        fp.prev = self._tail.prev
         fp.next_candidate = None
         fp.fails = 0
 

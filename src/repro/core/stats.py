@@ -10,7 +10,7 @@ snapshot from any tree.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, fields
+from dataclasses import dataclass, field, fields
 
 
 @dataclass
@@ -67,6 +67,10 @@ class TreeStats:
             ``fast_inserts``).
         read_fast_misses: point reads that consulted the fast-path
             window and missed, falling back to a descent.
+        scrub_checks: ``scrub()`` passes run over this tree.
+        scrub_resets: fast-path/auxiliary pointers that ``scrub()``
+            found inconsistent and reset (graceful degradation after
+            recovery instead of trusting derived state blindly).
     """
 
     fast_inserts: int = 0
@@ -97,6 +101,8 @@ class TreeStats:
     read_redescents: int = 0
     read_fast_hits: int = 0
     read_fast_misses: int = 0
+    scrub_checks: int = 0
+    scrub_resets: int = 0
 
     @property
     def inserts(self) -> int:
@@ -138,6 +144,29 @@ class TreeStats:
     def as_dict(self) -> dict[str, int]:
         """Counters as a plain dict (for reporting)."""
         return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+@dataclass
+class ScrubReport:
+    """Outcome of a ``scrub()`` pass over one tree.
+
+    Attributes:
+        variant: ``name`` of the scrubbed tree class.
+        issues: human-readable description of each inconsistency found
+            in derived state (fast-path pointers, chain endpoints).
+        repairs: how many of those were repaired in place (pointer
+            resets); issues without a matching repair are unrepairable
+            by scrubbing and need :meth:`BPlusTree.check`.
+    """
+
+    variant: str = ""
+    issues: list[str] = field(default_factory=list)
+    repairs: int = 0
+
+    @property
+    def clean(self) -> bool:
+        """True when no inconsistency was found."""
+        return not self.issues
 
 
 @dataclass

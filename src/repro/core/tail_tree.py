@@ -63,3 +63,10 @@ class TailBPlusTree(FastPathTree):
         self._fp.leaf = self._tail
         self._refresh_fp_bounds()
         self._fp.high = None
+
+    def _scrub_extra(self, report) -> bool:
+        # The tail variant's one extra invariant: the pin *is* the tail.
+        if self._fp.leaf is not self._tail:
+            report.issues.append("fast-path pin is not the tail leaf")
+            return True
+        return False

@@ -1,0 +1,389 @@
+"""Write-ahead log: append-only, checksummed, torn-tail tolerant.
+
+Logical operations (``insert`` / ``delete`` / ``insert_many``) are
+serialized as Python literals — the same discipline as
+:mod:`repro.core.persist`, so exactly the key/value types a snapshot can
+hold are loggable — and framed as binary records::
+
+    <payload length: u32 LE> <CRC32(payload): u32 LE> <payload bytes>
+
+Records accumulate in numbered segment files (``wal-00000001.seg``, ...)
+inside a directory; a segment that outgrows ``segment_bytes`` is closed
+and a new one started, so a checkpoint's truncation deletes whole files.
+
+Durability is governed by the fsync policy:
+
+* ``"always"`` — flush + fsync after every append; an acknowledged write
+  survives any crash.
+* ``"interval"`` — fsync every ``fsync_interval`` appends (and on
+  rotation/close); bounded loss window, much cheaper.
+* ``"none"`` — leave it to the OS page cache.
+
+Replay (:func:`replay_wal`) never raises on a damaged log: it stops
+cleanly at the first truncated or checksum-failing record and reports
+what was dropped (a crash mid-append legitimately leaves a torn tail).
+:func:`repair_wal` then truncates the log back to its last valid record
+so post-recovery appends are never hidden behind garbage.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import struct
+import threading
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Optional, Union
+
+from ..testing import failpoints
+from .node import Key
+
+_HEADER = struct.Struct("<II")
+_SEGMENT_PREFIX = "wal-"
+_SEGMENT_SUFFIX = ".seg"
+
+#: Logical op tags used in record payloads.
+OP_INSERT = "i"
+OP_DELETE = "d"
+OP_INSERT_MANY = "m"
+
+_FSYNC_POLICIES = ("always", "interval", "none")
+
+
+class WALError(ValueError):
+    """Raised for unloggable values or misuse of the WAL API."""
+
+
+def _encode(op: tuple) -> bytes:
+    """Serialize an op tuple as a Python-literal payload.
+
+    Round-trippability is enforced at append time (cheaply, via a
+    ``literal_eval`` of the repr) so a bad value corrupts nothing: the
+    record is rejected before any byte hits the log.
+    """
+    text = repr(op)
+    try:
+        ast.literal_eval(text)
+    except (ValueError, SyntaxError):
+        raise WALError(
+            f"op {text!r} is not a Python literal; only literal "
+            "keys/values can be logged"
+        ) from None
+    return text.encode("utf-8")
+
+
+def _decode(payload: bytes) -> tuple:
+    return ast.literal_eval(payload.decode("utf-8"))
+
+
+def segment_paths(directory: Union[str, Path]) -> list[Path]:
+    """Existing WAL segment files in ``directory``, in replay order."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    return sorted(
+        p for p in directory.iterdir()
+        if p.name.startswith(_SEGMENT_PREFIX)
+        and p.name.endswith(_SEGMENT_SUFFIX)
+    )
+
+
+def _segment_seq(path: Path) -> int:
+    return int(path.name[len(_SEGMENT_PREFIX):-len(_SEGMENT_SUFFIX)])
+
+
+@dataclass
+class WALReplayResult:
+    """Outcome of scanning a WAL directory.
+
+    Attributes:
+        ops: decoded op tuples, in log order, up to the first damage.
+        records: number of valid records decoded.
+        segments_scanned: segment files examined.
+        checksum_failures: records whose CRC32 did not match (replay
+            stops at the first, so this is 0 or 1).
+        truncated_tail: True when the log ended mid-record (torn write).
+        tail_bytes_dropped: bytes from the first damaged record onward,
+            across all remaining segments.
+        corrupt_segment: segment file where replay stopped, if any.
+        valid_offset: byte offset of the last valid record boundary in
+            ``corrupt_segment`` (used by :func:`repair_wal`).
+    """
+
+    ops: list[tuple] = field(default_factory=list)
+    records: int = 0
+    segments_scanned: int = 0
+    checksum_failures: int = 0
+    truncated_tail: bool = False
+    tail_bytes_dropped: int = 0
+    corrupt_segment: Optional[Path] = None
+    valid_offset: int = 0
+
+    @property
+    def clean(self) -> bool:
+        """True when the whole log was intact."""
+        return self.corrupt_segment is None
+
+
+def replay_wal(directory: Union[str, Path]) -> WALReplayResult:
+    """Scan every segment in ``directory``; never raises on damage.
+
+    Replay is strictly prefix-valid: the first truncated or
+    checksum-failing record ends it, and everything at or after that
+    point — including later segments, whose records were appended after
+    the damaged one — counts as dropped tail bytes.
+    """
+    result = WALReplayResult()
+    segments = segment_paths(directory)
+    damaged = False
+    for seg in segments:
+        if damaged:
+            # Records here were logged after the corrupt one; applying
+            # them would reorder history, so they are dropped too.
+            result.tail_bytes_dropped += seg.stat().st_size
+            continue
+        result.segments_scanned += 1
+        data = seg.read_bytes()
+        offset = 0
+        n = len(data)
+        while offset < n:
+            if offset + _HEADER.size > n:
+                result.truncated_tail = True
+                break
+            length, crc = _HEADER.unpack_from(data, offset)
+            start = offset + _HEADER.size
+            end = start + length
+            if end > n:
+                result.truncated_tail = True
+                break
+            payload = data[start:end]
+            if zlib.crc32(payload) != crc:
+                result.checksum_failures += 1
+                break
+            try:
+                op = _decode(payload)
+            except (ValueError, SyntaxError):
+                # CRC-valid but undecodable: treat as corruption rather
+                # than crashing recovery.
+                result.checksum_failures += 1
+                break
+            result.ops.append(op)
+            result.records += 1
+            offset = end
+        if offset < n or result.truncated_tail:
+            damaged = True
+            result.corrupt_segment = seg
+            result.valid_offset = offset
+            result.tail_bytes_dropped += n - offset
+    return result
+
+
+def repair_wal(
+    directory: Union[str, Path], result: WALReplayResult
+) -> None:
+    """Truncate the log back to its last valid record boundary.
+
+    The damaged segment is cut at ``result.valid_offset`` and every later
+    segment is deleted — without this, records appended after recovery
+    would sit behind the damaged region and be invisible to the next
+    replay.
+    """
+    if result.corrupt_segment is None:
+        return
+    with open(result.corrupt_segment, "r+b") as fh:
+        fh.truncate(result.valid_offset)
+        fh.flush()
+        os.fsync(fh.fileno())
+    drop = False
+    for seg in segment_paths(directory):
+        if drop:
+            seg.unlink()
+        elif seg == result.corrupt_segment:
+            drop = True
+    _fsync_dir(Path(directory))
+
+
+def _fsync_dir(directory: Path) -> None:
+    """fsync a directory so renames/unlinks inside it are durable.
+
+    Best-effort: not every platform supports opening a directory.
+    """
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform dependent
+        pass
+    finally:
+        os.close(fd)
+
+
+class WriteAheadLog:
+    """Appender over a WAL directory.
+
+    Args:
+        directory: created if missing; holds the segment files.
+        fsync: ``"always"`` / ``"interval"`` / ``"none"``.
+        fsync_interval: appends between fsyncs under ``"interval"``.
+        segment_bytes: rotation threshold for the active segment.
+
+    A fresh appender always starts a new segment rather than appending
+    to the previous one: the previous tail may hold bytes that were
+    never fsynced, and mixing acknowledged records into the same file
+    would entangle their durability.  Thread-safe: appends serialize on
+    an internal lock (the tree above has its own locking).
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        *,
+        fsync: str = "always",
+        fsync_interval: int = 64,
+        segment_bytes: int = 4 * 1024 * 1024,
+    ) -> None:
+        if fsync not in _FSYNC_POLICIES:
+            raise WALError(
+                f"fsync must be one of {_FSYNC_POLICIES}, got {fsync!r}"
+            )
+        if fsync_interval <= 0:
+            raise WALError(f"fsync_interval must be positive, got {fsync_interval}")
+        if segment_bytes <= 0:
+            raise WALError(f"segment_bytes must be positive, got {segment_bytes}")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.fsync_policy = fsync
+        self.fsync_interval = fsync_interval
+        self.segment_bytes = segment_bytes
+        self.records_appended = 0
+        self.bytes_appended = 0
+        self.syncs = 0
+        self.rotations = 0
+        self._lock = threading.Lock()
+        self._fh = None
+        self._since_sync = 0
+        self._active_size = 0
+        existing = segment_paths(self.directory)
+        self._seq = _segment_seq(existing[-1]) + 1 if existing else 1
+
+    # ------------------------------------------------------------------
+    # Appending
+    # ------------------------------------------------------------------
+
+    def log_insert(self, key: Key, value: Any = None) -> None:
+        """Log a single upsert."""
+        self._append((OP_INSERT, key, value))
+
+    def log_delete(self, key: Key) -> None:
+        """Log a single delete."""
+        self._append((OP_DELETE, key))
+
+    def log_insert_many(self, items: list[tuple[Key, Any]]) -> None:
+        """Log a batched upsert as one record (one fsync per batch)."""
+        self._append((OP_INSERT_MANY, items))
+
+    def _append(self, op: tuple) -> None:
+        payload = _encode(op)
+        record = (
+            _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+        )
+        with self._lock:
+            failpoints.fire("wal.before_append")
+            fh = self._fh
+            if fh is None or self._active_size + len(record) > self.segment_bytes:
+                fh = self._rotate_locked()
+            fh.write(record)
+            self._active_size += len(record)
+            self.records_appended += 1
+            self.bytes_appended += len(record)
+            self._since_sync += 1
+            policy = self.fsync_policy
+            if policy == "always":
+                self._sync_locked(fh)
+            elif policy == "interval":
+                fh.flush()
+                if self._since_sync >= self.fsync_interval:
+                    self._sync_locked(fh)
+            failpoints.fire("wal.after_append")
+
+    def _rotate_locked(self):
+        """Close the active segment (fsynced) and open the next one."""
+        if self._fh is not None:
+            failpoints.fire("wal.before_rotate")
+            self._sync_locked(self._fh)
+            self._fh.close()
+            self.rotations += 1
+        path = (
+            self.directory
+            / f"{_SEGMENT_PREFIX}{self._seq:08d}{_SEGMENT_SUFFIX}"
+        )
+        self._seq += 1
+        # Unbuffered: every record write is an os.write, so a simulated
+        # crash can never leave bytes in a Python-level buffer that a
+        # later GC flush would resurrect behind a repaired tail.
+        self._fh = open(path, "ab", buffering=0)
+        self._active_size = self._fh.tell()
+        _fsync_dir(self.directory)
+        return self._fh
+
+    def _sync_locked(self, fh) -> None:
+        fh.flush()
+        failpoints.fire("wal.before_fsync")
+        os.fsync(fh.fileno())
+        self.syncs += 1
+        self._since_sync = 0
+
+    def sync(self) -> None:
+        """Force an fsync of the active segment."""
+        with self._lock:
+            if self._fh is not None:
+                self._sync_locked(self._fh)
+
+    # ------------------------------------------------------------------
+    # Truncation (checkpoint) and lifecycle
+    # ------------------------------------------------------------------
+
+    def truncate(self) -> int:
+        """Delete every segment (the snapshot now covers their ops).
+
+        Returns the number of segment files removed.  Deletion is
+        oldest-first: a crash mid-truncate leaves a suffix of the log,
+        and replaying a suffix of already-snapshotted ops is idempotent,
+        whereas a surviving *prefix* with a missing middle would not be.
+        """
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+                self._active_size = 0
+            removed = 0
+            for seg in segment_paths(self.directory):
+                failpoints.fire("wal.before_truncate_segment")
+                seg.unlink()
+                removed += 1
+            _fsync_dir(self.directory)
+            return removed
+
+    def close(self) -> None:
+        """Flush, fsync, and close the active segment."""
+        with self._lock:
+            if self._fh is not None:
+                self._sync_locked(self._fh)
+                self._fh.close()
+                self._fh = None
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        # A SimulatedCrash must not reach the close() cleanup: a dead
+        # process flushes nothing.
+        if exc_info[0] is not None and not issubclass(
+            exc_info[0], Exception
+        ):
+            return
+        self.close()

@@ -1,0 +1,25 @@
+"""Fault-injection utilities shared by the durability layer and tests."""
+
+from .failpoints import (
+    KNOWN_FAILPOINTS,
+    FailpointError,
+    SimulatedCrash,
+    active,
+    armed,
+    fire,
+    hit_count,
+    registered,
+    reset,
+)
+
+__all__ = [
+    "KNOWN_FAILPOINTS",
+    "FailpointError",
+    "SimulatedCrash",
+    "active",
+    "armed",
+    "fire",
+    "hit_count",
+    "registered",
+    "reset",
+]

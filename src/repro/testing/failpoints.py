@@ -1,0 +1,175 @@
+"""Named failpoints: deterministic fault injection for the durability layer.
+
+The WAL, snapshot, and checkpoint code paths call :func:`fire` at the
+moments where a crash is interesting (just before an fsync, between the
+temp-file write and the atomic replace, between the snapshot replace and
+the WAL truncate, ...).  In production the call is a dictionary miss —
+one ``if not _active`` check — so the instrumentation stays resident.
+
+Tests arm a failpoint by name inside a ``with`` block::
+
+    with failpoints.active("wal.before_fsync", mode="crash"):
+        durable.insert(1, "one")      # raises SimulatedCrash mid-append
+
+Modes:
+
+* ``"raise"`` — raise :class:`FailpointError`, an ordinary exception the
+  caller is expected to handle (exercises error paths).
+* ``"crash"`` — raise :class:`SimulatedCrash`, which derives from
+  ``BaseException`` so no ``except Exception`` handler in the durability
+  code can accidentally swallow it: it models the process dying at that
+  instruction.  Whatever bytes reached the filesystem stay; nothing else
+  does.
+* ``"probability"`` — crash with probability ``p`` per hit (seeded RNG).
+
+``hits_before`` skips the first N hits, so a test can kill the Nth fsync
+of a workload rather than the first.  Arming is process-global (the
+durability code has no handle to thread test state through), guarded by a
+lock; :func:`fire` itself is lock-free on the inactive path.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import random
+import threading
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+#: Every failpoint the durability layer is instrumented with.  ``fire``
+#: rejects unknown names so a renamed call site cannot silently detach
+#: its tests; add new sites here first.
+KNOWN_FAILPOINTS: tuple[str, ...] = (
+    "wal.before_append",
+    "wal.after_append",
+    "wal.before_fsync",
+    "wal.before_rotate",
+    "wal.before_truncate_segment",
+    "snapshot.before_tmp_write",
+    "snapshot.after_tmp_write",
+    "snapshot.after_replace",
+    "checkpoint.before_truncate",
+    "checkpoint.after_truncate",
+)
+
+_KNOWN = frozenset(KNOWN_FAILPOINTS)
+
+
+class FailpointError(RuntimeError):
+    """Recoverable injected failure (``mode="raise"``)."""
+
+
+class SimulatedCrash(BaseException):
+    """Injected process death (``mode="crash"``).
+
+    Derives from ``BaseException`` so durability-layer ``except
+    Exception`` cleanup cannot catch it — a real crash runs no cleanup
+    either.  Tests catch it explicitly.
+    """
+
+
+@dataclass
+class _Armed:
+    mode: str
+    hits_before: int = 0
+    probability: float = 1.0
+    rng: Optional[random.Random] = None
+    hits: int = 0
+    fired: int = 0
+
+    def should_fire(self) -> bool:
+        self.hits += 1
+        if self.hits <= self.hits_before:
+            return False
+        if self.mode == "probability":
+            assert self.rng is not None
+            return self.rng.random() < self.probability
+        return True
+
+
+_lock = threading.Lock()
+_active: dict[str, _Armed] = {}
+_hit_counts: dict[str, int] = {}
+
+
+def registered() -> tuple[str, ...]:
+    """All failpoint names the durability layer fires (for sweeps)."""
+    return KNOWN_FAILPOINTS
+
+
+def fire(name: str) -> None:
+    """Trigger point called by instrumented code.  No-op unless armed."""
+    if not _active:
+        return
+    with _lock:
+        _hit_counts[name] = _hit_counts.get(name, 0) + 1
+        armed_point = _active.get(name)
+        if armed_point is None or not armed_point.should_fire():
+            return
+        armed_point.fired += 1
+        mode = armed_point.mode
+    if mode == "raise":
+        raise FailpointError(f"injected failure at {name}")
+    raise SimulatedCrash(f"simulated crash at {name}")
+
+
+@contextlib.contextmanager
+def active(
+    name: str,
+    mode: str = "raise",
+    *,
+    hits_before: int = 0,
+    probability: float = 1.0,
+    seed: int = 0,
+) -> Iterator[_Armed]:
+    """Arm failpoint ``name`` for the duration of the block.
+
+    Yields the armed state; ``state.fired`` afterwards tells whether the
+    point actually triggered (useful for probabilistic sweeps).
+    """
+    if name not in _KNOWN:
+        raise ValueError(
+            f"unknown failpoint {name!r}; known: {', '.join(KNOWN_FAILPOINTS)}"
+        )
+    if mode not in ("raise", "crash", "probability"):
+        raise ValueError(f"unknown failpoint mode {mode!r}")
+    state = _Armed(
+        mode=mode,
+        hits_before=hits_before,
+        probability=probability,
+        rng=random.Random(seed) if mode == "probability" else None,
+    )
+    with _lock:
+        if name in _active:
+            raise RuntimeError(f"failpoint {name!r} is already armed")
+        _active[name] = state
+    try:
+        yield state
+    finally:
+        with _lock:
+            _active.pop(name, None)
+
+
+def armed() -> tuple[str, ...]:
+    """Names currently armed (diagnostics)."""
+    with _lock:
+        return tuple(_active)
+
+
+def hit_count(name: str) -> int:
+    """How often ``name`` has been reached while any failpoint was armed.
+
+    Counting is only live while at least one failpoint is armed — the
+    production fast path must stay a single dict check — so arm an
+    unrelated point (or the one being measured with a huge
+    ``hits_before``) to census hit counts.
+    """
+    with _lock:
+        return _hit_counts.get(name, 0)
+
+
+def reset() -> None:
+    """Disarm everything and zero the hit counters (test isolation)."""
+    with _lock:
+        _active.clear()
+        _hit_counts.clear()

@@ -6,6 +6,7 @@ import random
 
 import pytest
 
+from repro.testing import failpoints
 from repro.core import (
     BPlusTree,
     LilBPlusTree,
@@ -30,6 +31,13 @@ ALL_TREE_CLASSES = [
 
 #: The variants with a fast path.
 FASTPATH_TREE_CLASSES = ALL_TREE_CLASSES[1:]
+
+
+@pytest.fixture(autouse=True)
+def _disarm_failpoints():
+    """Failpoint arming is process-global; never leak across tests."""
+    yield
+    failpoints.reset()
 
 
 @pytest.fixture

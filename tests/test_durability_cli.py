@@ -1,0 +1,97 @@
+"""Tests for the quit-durability CLI."""
+
+import io
+
+import pytest
+
+from repro.bench.durability_cli import main
+from repro.core import DurableTree, QuITTree, TreeConfig
+from repro.core.durable import WAL_DIRNAME
+from repro.core.wal import segment_paths
+
+CFG = TreeConfig(leaf_capacity=8, internal_capacity=8)
+
+
+def seed_state(directory, n=200, checkpoint=True, extra=50):
+    t = DurableTree(QuITTree(CFG), directory)
+    t.insert_many([(i, i) for i in range(n)])
+    if checkpoint:
+        t.checkpoint()
+    for i in range(extra):
+        t.insert(n + i, i)
+    t.close()
+    return t
+
+
+class TestRecover:
+    def test_clean_state_exits_zero(self, tmp_path, capsys):
+        seed_state(tmp_path)
+        assert main(["recover", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "recovered 250 entries" in out
+        assert "clean                    True" in out
+
+    def test_damaged_state_exits_one_with_report(self, tmp_path, capsys):
+        seed_state(tmp_path)
+        segs = segment_paths(tmp_path / WAL_DIRNAME)
+        segs[-1].write_bytes(segs[-1].read_bytes()[:-4])
+        assert main(["recover", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "torn tail                True" in out
+        assert "recovered 249 entries" in out
+
+    def test_no_scrub_flag(self, tmp_path, capsys):
+        seed_state(tmp_path)
+        assert main(["recover", str(tmp_path), "--no-scrub"]) == 0
+        assert "scrub" not in capsys.readouterr().out
+
+
+class TestCheckpointAndScrub:
+    def test_checkpoint_truncates_wal(self, tmp_path, capsys):
+        seed_state(tmp_path)
+        assert segment_paths(tmp_path / WAL_DIRNAME)
+        assert main(["checkpoint", str(tmp_path)]) == 0
+        assert "checkpointed 250 entries" in capsys.readouterr().out
+        assert segment_paths(tmp_path / WAL_DIRNAME) == []
+        # The snapshot now carries everything by itself.
+        assert main(["recover", str(tmp_path)]) == 0
+        assert "snapshot entries         250" in capsys.readouterr().out
+
+    def test_scrub_reports_clean(self, tmp_path, capsys):
+        seed_state(tmp_path)
+        assert main(["scrub", str(tmp_path)]) == 0
+        assert "0 issue(s), 0 repair(s)" in capsys.readouterr().out
+
+    def test_variant_choice(self, tmp_path, capsys):
+        seed_state(tmp_path)
+        assert main(["scrub", str(tmp_path), "--variant", "B+-tree"]) == 0
+        assert "B+-tree:" in capsys.readouterr().out
+
+
+class TestBench:
+    def test_bench_prints_timings(self):
+        out = io.StringIO()
+        code = main(
+            ["bench", "--n", "2000", "--wal-ops", "200",
+             "--leaf-capacity", "32"],
+            out=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "checkpoint (v2 snapshot)" in text
+        assert "recovery (snapshot+replay)" in text
+        assert "recovered 2200 entries (200 WAL records replayed)" in text
+        assert "clean=True" in text
+
+    def test_bench_honors_directory_and_fsync(self, tmp_path):
+        out = io.StringIO()
+        code = main(
+            ["bench", "--n", "500", "--wal-ops", "50",
+             "--fsync", "always", "--variant", "tail-B+-tree",
+             "--directory", str(tmp_path / "state")],
+            out=out,
+        )
+        assert code == 0
+        assert (tmp_path / "state" / "snapshot.quit").exists()
+        # The state the bench left behind is a valid durability dir.
+        assert main(["recover", str(tmp_path / "state")], out=io.StringIO()) == 0

@@ -1,0 +1,325 @@
+"""DurableTree: logged mutations, checkpointing, recovery, and the
+crash windows around the snapshot-replace / WAL-truncate boundary."""
+
+import pytest
+
+from repro.concurrency.concurrent_tree import ConcurrentTree
+from repro.core import (
+    BPlusTree,
+    DurableTree,
+    PersistenceError,
+    QuITTree,
+    TreeConfig,
+    load_tree,
+    save_tree,
+)
+from repro.core.durable import SNAPSHOT_NAME, WAL_DIRNAME
+from repro.core.wal import replay_wal, segment_paths
+from repro.testing import SimulatedCrash, failpoints
+
+from conftest import ALL_TREE_CLASSES
+
+
+CFG = TreeConfig(leaf_capacity=8, internal_capacity=8)
+
+
+def reference_state(tree) -> dict:
+    return dict(tree.items())
+
+
+class TestLoggedOps:
+    @pytest.mark.parametrize(
+        "tree_class", ALL_TREE_CLASSES, ids=lambda c: c.name
+    )
+    def test_recovery_replays_every_variant(self, tmp_path, tree_class):
+        t = DurableTree(tree_class(CFG), tmp_path)
+        for i in range(300):
+            t.insert(i, i * 2)
+        t.insert_many([(i, i * 3) for i in range(150, 450)])
+        for i in range(0, 100, 7):
+            t.delete(i)
+        expected = reference_state(t.tree)
+        t.close()
+        recovered, report = DurableTree.recover(tmp_path, tree_class)
+        assert reference_state(recovered.tree) == expected
+        assert not report.snapshot_loaded  # never checkpointed
+        assert report.records_replayed > 0
+        assert recovered.check(check_min_fill=False) == []
+
+    def test_empty_directory_recovers_empty_tree(self, tmp_path):
+        t, report = DurableTree.recover(tmp_path / "fresh", QuITTree)
+        assert len(t) == 0
+        assert report.clean
+        assert not report.snapshot_loaded
+
+    def test_empty_batch_is_not_logged(self, tmp_path):
+        t = DurableTree(BPlusTree(CFG), tmp_path)
+        assert t.insert_many([]) == 0
+        t.close()
+        assert replay_wal(tmp_path / WAL_DIRNAME).records == 0
+
+    def test_dict_sugar_and_reads_delegate(self, tmp_path):
+        t = DurableTree(QuITTree(CFG), tmp_path)
+        t[5] = "five"
+        assert t[5] == "five"
+        assert 5 in t and 6 not in t
+        with pytest.raises(KeyError):
+            t[6]
+        t.insert_many([(i, i) for i in range(10, 20)])
+        assert t.get_many([10, 11, 99]) == [10, 11, None]
+        assert t.count_range(10, 20) == 10
+        assert [k for k, _ in t.range_iter(10, 13)] == [10, 11, 12]
+        assert len(t.range_query(10, 13)) == 3
+        assert t.scrub().clean
+
+
+class TestCheckpoint:
+    def test_checkpoint_truncates_wal_and_survives(self, tmp_path):
+        t = DurableTree(QuITTree(CFG), tmp_path)
+        t.insert_many([(i, i) for i in range(500)])
+        assert t.checkpoint() == 500
+        assert segment_paths(tmp_path / WAL_DIRNAME) == []
+        t.insert(1000, "post")
+        t.close()
+        recovered, report = DurableTree.recover(tmp_path, QuITTree)
+        assert report.snapshot_loaded
+        assert report.snapshot_entries == 500
+        assert report.records_replayed == 1
+        assert len(recovered) == 501 and recovered.get(1000) == "post"
+
+    def test_snapshot_is_v2_checksummed(self, tmp_path):
+        t = DurableTree(BPlusTree(CFG), tmp_path)
+        t.insert_many([(i, i) for i in range(100)])
+        t.checkpoint()
+        snapshot = tmp_path / SNAPSHOT_NAME
+        assert snapshot.read_text().startswith("quit-tree-v2\t")
+        # Flip a payload character: load must reject, not mis-rebuild.
+        text = snapshot.read_text().splitlines()
+        line = text[10]
+        crc, key, value = line.split("\t")
+        text[10] = f"{crc}\t{key}\t{int(value) + 1}"
+        snapshot.write_text("\n".join(text) + "\n")
+        with pytest.raises(PersistenceError, match="checksum"):
+            load_tree(snapshot)
+
+    def test_recover_still_reads_v1_snapshots(self, tmp_path):
+        legacy = BPlusTree(CFG)
+        for i in range(200):
+            legacy.insert(i, i)
+        save_tree(legacy, tmp_path / SNAPSHOT_NAME)  # v1 writer
+        recovered, report = DurableTree.recover(tmp_path, QuITTree)
+        assert report.snapshot_loaded and report.snapshot_entries == 200
+        assert reference_state(recovered.tree) == reference_state(legacy)
+
+    def test_crash_between_replace_and_truncate_double_replays(
+        self, tmp_path
+    ):
+        """Satellite: the snapshot already holds the WAL's ops; replaying
+        them on top of it again must be a no-op for insert/delete."""
+        t = DurableTree(QuITTree(CFG), tmp_path)
+        t.insert_many([(i, i) for i in range(200)])
+        for i in range(0, 50, 5):
+            t.delete(i)
+        expected = reference_state(t.tree)
+        wal_records = replay_wal(tmp_path / WAL_DIRNAME).records
+        with failpoints.active("checkpoint.before_truncate", mode="crash"):
+            with pytest.raises(SimulatedCrash):
+                t.checkpoint()
+        # Snapshot replaced, WAL untouched: both describe the state.
+        assert (tmp_path / SNAPSHOT_NAME).exists()
+        assert replay_wal(tmp_path / WAL_DIRNAME).records == wal_records
+        recovered, report = DurableTree.recover(tmp_path, QuITTree)
+        assert report.snapshot_loaded and report.snapshot_entries == len(expected)
+        assert report.records_replayed == wal_records  # double replay
+        assert reference_state(recovered.tree) == expected
+        assert recovered.check(check_min_fill=False) == []
+
+    def test_crash_mid_truncate_leaves_replayable_suffix(self, tmp_path):
+        t = DurableTree(
+            QuITTree(CFG), tmp_path, segment_bytes=256
+        )
+        for i in range(300):
+            t.insert(i, i)
+        expected = reference_state(t.tree)
+        assert len(segment_paths(tmp_path / WAL_DIRNAME)) > 2
+        with failpoints.active(
+            "wal.before_truncate_segment", mode="crash", hits_before=1
+        ):
+            with pytest.raises(SimulatedCrash):
+                t.checkpoint()
+        # One segment deleted, the rest survive; snapshot covers it all.
+        recovered, _ = DurableTree.recover(tmp_path, QuITTree)
+        assert reference_state(recovered.tree) == expected
+
+    def test_crash_before_snapshot_replace_keeps_old_snapshot(
+        self, tmp_path
+    ):
+        t = DurableTree(QuITTree(CFG), tmp_path)
+        t.insert_many([(i, i) for i in range(100)])
+        t.checkpoint()
+        t.insert(500, "next-epoch")
+        expected = reference_state(t.tree)
+        with failpoints.active("snapshot.after_tmp_write", mode="crash"):
+            with pytest.raises(SimulatedCrash):
+                t.checkpoint()
+        # The abandoned temp file must not shadow or replace anything.
+        recovered, report = DurableTree.recover(tmp_path, QuITTree)
+        assert report.snapshot_entries == 100
+        assert reference_state(recovered.tree) == expected
+        assert not (tmp_path / (SNAPSHOT_NAME + ".tmp")).exists()
+
+    def test_checkpoint_failure_mid_write_preserves_old_snapshot(
+        self, tmp_path
+    ):
+        """Satellite: a failed save unlinks its temp file and leaves the
+        previous good snapshot untouched."""
+        t = DurableTree(BPlusTree(CFG), tmp_path)
+        t.insert_many([(i, i) for i in range(50)])
+        t.checkpoint()
+        before = (tmp_path / SNAPSHOT_NAME).read_bytes()
+        # Slip an unserializable value past the WAL (which would reject
+        # it at append time) straight into the tree: the snapshot write
+        # then fails partway through its temp file.
+        t.tree.insert(60, object())
+        with pytest.raises(PersistenceError):
+            t.checkpoint()
+        assert (tmp_path / SNAPSHOT_NAME).read_bytes() == before
+        assert not (tmp_path / (SNAPSHOT_NAME + ".tmp")).exists()
+
+
+class TestTornTailRecovery:
+    def test_corrupt_tail_yields_report_not_exception(self, tmp_path):
+        t = DurableTree(QuITTree(CFG), tmp_path)
+        for i in range(100):
+            t.insert(i, i)
+        t.close()
+        (seg,) = segment_paths(tmp_path / WAL_DIRNAME)
+        data = seg.read_bytes()
+        seg.write_bytes(data[:-5])  # tear the last record
+        recovered, report = DurableTree.recover(tmp_path, QuITTree)
+        assert report.truncated_tail
+        assert report.tail_bytes_dropped > 0
+        assert report.records_replayed == 99
+        assert len(recovered) == 99
+        assert not report.clean
+
+    def test_post_recovery_writes_survive_the_next_recovery(self, tmp_path):
+        t = DurableTree(QuITTree(CFG), tmp_path)
+        for i in range(50):
+            t.insert(i, i)
+        t.close()
+        (seg,) = segment_paths(tmp_path / WAL_DIRNAME)
+        seg.write_bytes(seg.read_bytes()[:-3])
+        recovered, report = DurableTree.recover(tmp_path, QuITTree)
+        assert report.truncated_tail
+        recovered.insert(777, "after-repair")
+        recovered.close()
+        again, report2 = DurableTree.recover(tmp_path, QuITTree)
+        assert report2.clean  # repair trimmed the torn bytes for good
+        assert again.get(777) == "after-repair"
+        assert len(again) == 50  # 49 survivors + the new key
+
+
+class TestConcurrentComposition:
+    def test_durable_over_concurrent_round_trip(self, tmp_path):
+        t = DurableTree(ConcurrentTree(QuITTree(CFG)), tmp_path)
+        t.insert_many([(i, i) for i in range(200)])
+        t.insert(1000, "x")
+        t.delete(5)
+        t.checkpoint()
+        t.insert(1001, "y")
+        expected = dict(t.tree.items())
+        t.close()
+        recovered, report = DurableTree.recover(
+            tmp_path, QuITTree, wrap=ConcurrentTree
+        )
+        assert isinstance(recovered.tree, ConcurrentTree)
+        assert dict(recovered.tree.items()) == expected
+        assert recovered.get(1001) == "y"
+        assert recovered.check() == []
+
+    def test_threaded_writers_all_survive_recovery(self, tmp_path):
+        import threading
+
+        t = DurableTree(
+            ConcurrentTree(QuITTree(CFG)), tmp_path, fsync="none"
+        )
+
+        def writer(base):
+            for i in range(200):
+                t.insert(base + i, base + i)
+
+        threads = [
+            threading.Thread(target=writer, args=(b,))
+            for b in (0, 10_000, 20_000)
+        ]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+        t.close()
+        recovered, report = DurableTree.recover(
+            tmp_path, QuITTree, wrap=ConcurrentTree
+        )
+        assert report.clean and len(recovered) == 600
+        assert recovered.check() == []
+
+
+class TestScrubIntegration:
+    def test_recover_scrubs_by_default(self, tmp_path):
+        t = DurableTree(QuITTree(CFG), tmp_path)
+        t.insert_many([(i, i) for i in range(100)])
+        t.close()
+        _, report = DurableTree.recover(tmp_path, QuITTree)
+        assert report.scrub is not None and report.scrub.clean
+        _, report = DurableTree.recover(tmp_path, QuITTree, scrub=False)
+        assert report.scrub is None
+
+    def test_scrub_resets_poisoned_fast_path(self, small_config):
+        tree = QuITTree(small_config)
+        for i in range(500):
+            tree.insert(i, i)
+        # Widen the window beyond the leaf's pivot range: unsafe.
+        tree._fp.low = None
+        tree._fp.high = None
+        tree._fp.leaf = tree.head_leaf
+        report = tree.scrub()
+        assert not report.clean and report.repairs == 1
+        assert tree.stats.scrub_resets == 1
+        # The reset pin must be immediately serviceable.
+        tree.insert(10_000, "post-scrub")
+        assert tree.get(10_000) == "post-scrub"
+        tree.validate(check_min_fill=False)
+
+    def test_scrub_detects_detached_leaf_and_stale_pole_prev(
+        self, small_config
+    ):
+        from repro.core.node import LeafNode
+
+        tree = QuITTree(small_config)
+        for i in range(500):
+            tree.insert(i, i)
+        orphan = LeafNode()
+        orphan.keys = [10**9]
+        orphan.values = ["orphan"]
+        tree._fp.leaf = orphan
+        report = tree.scrub()
+        assert any("detached" in issue for issue in report.issues)
+        tree.validate(check_min_fill=False)
+        # Stale pole_prev: min key above the pole's.
+        tree._fp.prev = tree.tail_leaf
+        tree._fp.leaf = tree.head_leaf
+        tree._fp.low, tree._fp.high = tree.bounds_of_leaf(tree.head_leaf)
+        report = tree.scrub()
+        assert any("pole_prev" in issue for issue in report.issues)
+        tree.validate(check_min_fill=False)
+
+    def test_clean_trees_scrub_clean(self, any_tree_class, small_config):
+        tree = any_tree_class(small_config)
+        for i in range(300):
+            tree.insert((i * 7919) % 1000, i)
+        for i in range(0, 200, 3):
+            tree.delete(i)
+        report = tree.scrub()
+        assert report.clean, report.issues
+        assert tree.stats.scrub_checks == 1

@@ -1,0 +1,101 @@
+"""The fault-injection framework itself: arming semantics, modes,
+scoping, and the registry contract the durability layer relies on."""
+
+import pytest
+
+from repro.testing import (
+    KNOWN_FAILPOINTS,
+    FailpointError,
+    SimulatedCrash,
+    failpoints,
+)
+
+
+class TestRegistry:
+    def test_known_names_are_stable_and_nonempty(self):
+        assert "wal.before_fsync" in KNOWN_FAILPOINTS
+        assert "snapshot.after_tmp_write" in KNOWN_FAILPOINTS
+        assert "checkpoint.before_truncate" in KNOWN_FAILPOINTS
+        assert failpoints.registered() == KNOWN_FAILPOINTS
+
+    def test_unknown_name_rejected_at_arming(self):
+        with pytest.raises(ValueError, match="unknown failpoint"):
+            with failpoints.active("wal.no_such_point"):
+                pass
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown failpoint mode"):
+            with failpoints.active("wal.before_fsync", mode="explode"):
+                pass
+
+    def test_double_arming_rejected(self):
+        with failpoints.active("wal.before_fsync"):
+            with pytest.raises(RuntimeError, match="already armed"):
+                with failpoints.active("wal.before_fsync"):
+                    pass
+
+
+class TestFiring:
+    def test_unarmed_fire_is_a_no_op(self):
+        failpoints.fire("wal.before_fsync")  # nothing armed: no raise
+
+    def test_raise_mode(self):
+        with failpoints.active("wal.before_fsync", mode="raise"):
+            with pytest.raises(FailpointError):
+                failpoints.fire("wal.before_fsync")
+
+    def test_crash_mode_bypasses_except_exception(self):
+        with failpoints.active("wal.before_fsync", mode="crash"):
+            with pytest.raises(SimulatedCrash):
+                try:
+                    failpoints.fire("wal.before_fsync")
+                except Exception:  # durability-layer cleanup can't eat it
+                    pytest.fail("SimulatedCrash was caught as Exception")
+
+    def test_scope_disarms_on_exit(self):
+        with failpoints.active("wal.before_fsync"):
+            assert failpoints.armed() == ("wal.before_fsync",)
+        assert failpoints.armed() == ()
+        failpoints.fire("wal.before_fsync")  # disarmed again
+
+    def test_hits_before_skips_early_hits(self):
+        with failpoints.active(
+            "wal.before_fsync", mode="raise", hits_before=2
+        ) as state:
+            failpoints.fire("wal.before_fsync")
+            failpoints.fire("wal.before_fsync")
+            assert state.fired == 0
+            with pytest.raises(FailpointError):
+                failpoints.fire("wal.before_fsync")
+            assert state.fired == 1
+
+    def test_other_points_unaffected_while_one_is_armed(self):
+        with failpoints.active("wal.before_fsync", mode="raise"):
+            failpoints.fire("checkpoint.before_truncate")  # no raise
+
+    def test_probabilistic_mode_is_seeded_and_partial(self):
+        fired = 0
+        with failpoints.active(
+            "wal.before_fsync", mode="probability",
+            probability=0.5, seed=7,
+        ) as state:
+            for _ in range(100):
+                try:
+                    failpoints.fire("wal.before_fsync")
+                except SimulatedCrash:
+                    fired += 1
+        assert fired == state.fired
+        assert 20 < fired < 80  # seeded coin, not all-or-nothing
+
+    def test_hit_counting_while_armed(self):
+        failpoints.reset()
+        with failpoints.active(
+            "wal.before_fsync", mode="raise", hits_before=10**9
+        ):
+            failpoints.fire("wal.before_fsync")
+            failpoints.fire("wal.before_fsync")
+            failpoints.fire("checkpoint.before_truncate")
+            assert failpoints.hit_count("wal.before_fsync") == 2
+            assert failpoints.hit_count("checkpoint.before_truncate") == 1
+        failpoints.reset()
+        assert failpoints.hit_count("wal.before_fsync") == 0

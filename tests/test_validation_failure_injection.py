@@ -1,9 +1,14 @@
 """Failure injection: validate() must catch every class of structural
-corruption it claims to check."""
+corruption it claims to check.
+
+Violations are raised as :class:`TreeInvariantError` (explicitly, not
+via ``assert``), so this suite is also run under ``python -O`` in CI to
+lock in that validation survives optimized mode.
+"""
 
 import pytest
 
-from repro.core import BPlusTree, QuITTree, TreeConfig
+from repro.core import BPlusTree, QuITTree, TreeConfig, TreeInvariantError
 from repro.core.node import InternalNode
 
 
@@ -26,47 +31,47 @@ class TestValidateCatchesCorruption:
     def test_unsorted_leaf_keys(self, tree):
         leaf = tree.head_leaf
         leaf.keys[0], leaf.keys[1] = leaf.keys[1], leaf.keys[0]
-        with pytest.raises(AssertionError):
+        with pytest.raises(TreeInvariantError):
             tree.validate()
 
     def test_key_outside_pivot_range(self, tree):
         leaf = tree.head_leaf.next
         leaf.keys[-1] = 10_000_000
-        with pytest.raises(AssertionError):
+        with pytest.raises(TreeInvariantError):
             tree.validate()
 
     def test_broken_parent_pointer(self, tree):
         leaf = tree.head_leaf.next
         leaf.parent = None
-        with pytest.raises(AssertionError):
+        with pytest.raises(TreeInvariantError):
             tree.validate()
 
     def test_broken_next_link(self, tree):
         leaf = tree.head_leaf
         leaf.next = leaf.next.next  # skip one leaf
-        with pytest.raises(AssertionError):
+        with pytest.raises(TreeInvariantError):
             tree.validate()
 
     def test_broken_prev_link(self, tree):
         leaf = tree.head_leaf.next
         leaf.prev = None
-        with pytest.raises(AssertionError):
+        with pytest.raises(TreeInvariantError):
             tree.validate()
 
     def test_size_drift(self, tree):
         tree._size += 1
-        with pytest.raises(AssertionError):
+        with pytest.raises(TreeInvariantError):
             tree.validate()
 
     def test_height_drift(self, tree):
         tree._height += 1
-        with pytest.raises(AssertionError):
+        with pytest.raises(TreeInvariantError):
             tree.validate()
 
     def test_values_keys_length_mismatch(self, tree):
         leaf = tree.head_leaf
         leaf.values.pop()
-        with pytest.raises(AssertionError):
+        with pytest.raises(TreeInvariantError):
             tree.validate()
 
     def test_overfull_leaf(self, tree):
@@ -75,7 +80,7 @@ class TestValidateCatchesCorruption:
             leaf.keys.append(10_000 + extra)
             leaf.values.append(extra)
         tree._size += 20
-        with pytest.raises(AssertionError):
+        with pytest.raises(TreeInvariantError):
             tree.validate()
 
     def test_underfull_leaf_with_strict_min_fill(self, tree):
@@ -85,7 +90,7 @@ class TestValidateCatchesCorruption:
             leaf.remove_at(0)
             removed += 1
         tree._size -= removed
-        with pytest.raises(AssertionError):
+        with pytest.raises(TreeInvariantError):
             tree.validate(check_min_fill=True)
         # Relaxed mode tolerates it (QuIT's variable split relies on
         # this allowance).
@@ -94,15 +99,82 @@ class TestValidateCatchesCorruption:
     def test_internal_child_count_mismatch(self, tree):
         node = first_internal(tree)
         node.keys.append(node.keys[-1] + 1)
-        with pytest.raises(AssertionError):
+        with pytest.raises(TreeInvariantError):
             tree.validate()
 
     def test_duplicate_key_across_leaves(self, tree):
         second = tree.head_leaf.next
         dup = tree.head_leaf.keys[0]
         second.keys[0] = dup
+        with pytest.raises(TreeInvariantError):
+            tree.validate()
+
+    def test_error_is_catchable_as_assertion_error(self, tree):
+        # Pre-existing callers treat validation failures as
+        # AssertionError; the new type must remain compatible.
+        tree._size += 1
         with pytest.raises(AssertionError):
             tree.validate()
+
+    def test_validate_works_without_assert_statements(self, tree):
+        # The guarantee behind the CI `python -O` job: an explicit raise,
+        # not an ``assert``, carries every violation.
+        import inspect
+
+        src = inspect.getsource(BPlusTree._validate_node)
+        assert "assert " not in src
+        tree._size += 1
+        with pytest.raises(TreeInvariantError):
+            tree.validate()
+
+
+class TestCheckReportsAllViolations:
+    """validate(report=True) / check(): collect instead of raising."""
+
+    def test_healthy_tree_reports_nothing(self, tree):
+        assert tree.check() == []
+        assert tree.validate(report=True) == []
+
+    def test_collects_multiple_independent_violations(self, tree):
+        tree._size += 1
+        tree._height += 1
+        leaf = tree.head_leaf
+        leaf.keys[0], leaf.keys[1] = leaf.keys[1], leaf.keys[0]
+        violations = tree.check()
+        assert len(violations) >= 3
+        text = "\n".join(violations)
+        assert "size mismatch" in text
+        assert "height drifted" in text
+        assert "unsorted keys" in text
+        # validate() without report still raises on the first.
+        with pytest.raises(TreeInvariantError):
+            tree.validate()
+
+    def test_report_mode_never_raises_on_deep_corruption(self, tree):
+        node = first_internal(tree)
+        node.children[0].parent = None
+        node.keys.append(node.keys[-1] + 1)
+        tree.tail_leaf.values.pop()
+        violations = tree.check()
+        assert violations  # survey completed despite the mess
+
+    def test_report_mode_terminates_on_leaf_chain_cycle(self, tree):
+        leaf = tree.head_leaf
+        leaf.next.next = leaf  # 2-cycle at the head of the chain
+        violations = tree.check()
+        assert any("cycle" in v or "chain" in v for v in violations)
+
+    def test_min_fill_flag_respected_in_report_mode(self, tree):
+        leaf = tree.head_leaf
+        removed = 0
+        while leaf.size > 1:
+            leaf.remove_at(0)
+            removed += 1
+        tree._size -= removed
+        assert any("min fill" in v for v in tree.check(check_min_fill=True))
+        assert not any(
+            "min fill" in v for v in tree.check(check_min_fill=False)
+        )
 
 
 class TestValidateAcceptsHealthyQuIT:
@@ -115,3 +187,4 @@ class TestValidateAcceptsHealthyQuIT:
         for k in range(0, 500, 3):
             tree.delete(k)
         tree.validate(check_min_fill=False)
+        assert tree.check(check_min_fill=False) == []

@@ -1,0 +1,264 @@
+"""WAL unit tests: framing, fsync policies, rotation, and every
+damaged-log edge case replay must tolerate."""
+
+import struct
+import zlib
+
+import pytest
+
+from repro.core.wal import (
+    WALError,
+    WriteAheadLog,
+    repair_wal,
+    replay_wal,
+    segment_paths,
+)
+from repro.testing import FailpointError, failpoints
+
+
+@pytest.fixture
+def wal_dir(tmp_path):
+    return tmp_path / "wal"
+
+
+def fill(wal, n=10):
+    for i in range(n):
+        wal.log_insert(i, f"v{i}")
+
+
+class TestAppendAndReplay:
+    def test_round_trip_all_op_kinds(self, wal_dir):
+        with WriteAheadLog(wal_dir) as wal:
+            wal.log_insert(1, "one")
+            wal.log_delete(2)
+            wal.log_insert_many([(3, None), (4, (4, "four"))])
+        res = replay_wal(wal_dir)
+        assert res.clean
+        assert res.ops == [
+            ("i", 1, "one"),
+            ("d", 2),
+            ("m", [(3, None), (4, (4, "four"))]),
+        ]
+        assert res.records == 3
+
+    def test_empty_directory_replays_empty(self, wal_dir):
+        res = replay_wal(wal_dir)
+        assert res.clean
+        assert res.ops == []
+        assert res.segments_scanned == 0
+
+    def test_empty_segment_replays_empty(self, wal_dir):
+        # A WAL opened and closed without appends: directory exists but
+        # holds no segment (segments are created lazily).
+        wal = WriteAheadLog(wal_dir)
+        wal.close()
+        res = replay_wal(wal_dir)
+        assert res.clean and res.ops == []
+        # A zero-byte segment file is equally fine.
+        (wal_dir / "wal-00000001.seg").write_bytes(b"")
+        res = replay_wal(wal_dir)
+        assert res.clean and res.ops == [] and res.segments_scanned == 1
+
+    def test_non_literal_value_rejected_before_logging(self, wal_dir):
+        wal = WriteAheadLog(wal_dir)
+        with pytest.raises(WALError):
+            wal.log_insert(1, object())
+        wal.close()
+        assert replay_wal(wal_dir).ops == []  # nothing half-written
+
+    def test_successive_appenders_replay_in_order(self, wal_dir):
+        with WriteAheadLog(wal_dir) as wal:
+            wal.log_insert(1, "a")
+        with WriteAheadLog(wal_dir) as wal:  # new segment, same log
+            wal.log_insert(2, "b")
+        res = replay_wal(wal_dir)
+        assert [op[1] for op in res.ops] == [1, 2]
+        assert res.segments_scanned == 2
+
+
+class TestFsyncPoliciesAndRotation:
+    def test_always_syncs_every_append(self, wal_dir):
+        wal = WriteAheadLog(wal_dir, fsync="always")
+        fill(wal, 5)
+        assert wal.syncs == 5
+        wal.close()
+
+    def test_interval_syncs_every_n(self, wal_dir):
+        wal = WriteAheadLog(wal_dir, fsync="interval", fsync_interval=4)
+        fill(wal, 10)
+        assert wal.syncs == 2  # at appends 4 and 8
+        wal.close()
+        assert wal.syncs == 3  # close always syncs
+
+    def test_none_never_syncs_until_close(self, wal_dir):
+        wal = WriteAheadLog(wal_dir, fsync="none")
+        fill(wal, 10)
+        assert wal.syncs == 0
+        wal.close()
+
+    def test_bad_policy_rejected(self, wal_dir):
+        with pytest.raises(WALError):
+            WriteAheadLog(wal_dir, fsync="sometimes")
+
+    def test_rotation_caps_segment_size(self, wal_dir):
+        wal = WriteAheadLog(wal_dir, segment_bytes=128)
+        fill(wal, 30)
+        wal.close()
+        segs = segment_paths(wal_dir)
+        assert len(segs) > 1
+        assert all(s.stat().st_size <= 128 for s in segs)
+        res = replay_wal(wal_dir)
+        assert res.clean and res.records == 30
+
+    def test_truncate_removes_all_segments(self, wal_dir):
+        wal = WriteAheadLog(wal_dir, segment_bytes=128)
+        fill(wal, 30)
+        removed = wal.truncate()
+        assert removed >= 2
+        assert segment_paths(wal_dir) == []
+        wal.log_insert(99, "after")  # appender survives truncation
+        wal.close()
+        assert [op[1] for op in replay_wal(wal_dir).ops] == [99]
+
+
+class TestDamagedLogs:
+    """Satellite: empty log, truncated length prefix, flipped byte —
+    replay stops cleanly and reports, never raises."""
+
+    def make_log(self, wal_dir, n=10):
+        with WriteAheadLog(wal_dir) as wal:
+            fill(wal, n)
+        (seg,) = segment_paths(wal_dir)
+        return seg
+
+    def test_truncated_length_prefix(self, wal_dir):
+        seg = self.make_log(wal_dir)
+        data = seg.read_bytes()
+        seg.write_bytes(data[: len(data) - len(data) // 3])  # mid-record
+        res = replay_wal(wal_dir)
+        assert res.truncated_tail
+        assert 0 < res.records < 10
+        assert res.tail_bytes_dropped > 0
+        assert res.checksum_failures == 0
+        # Degenerate torn tail: fewer bytes than one header.
+        seg.write_bytes(data[: 5])
+        res = replay_wal(wal_dir)
+        assert res.truncated_tail and res.records == 0
+        assert res.tail_bytes_dropped == 5
+
+    def test_truncated_payload(self, wal_dir):
+        seg = self.make_log(wal_dir, n=1)
+        data = seg.read_bytes()
+        seg.write_bytes(data[:-1])
+        res = replay_wal(wal_dir)
+        assert res.truncated_tail and res.records == 0
+
+    def test_flipped_payload_byte(self, wal_dir):
+        seg = self.make_log(wal_dir)
+        data = bytearray(seg.read_bytes())
+        # Flip one byte inside the *last* record's payload.
+        length, _ = struct.unpack_from("<II", data, 0)
+        data[-2] ^= 0xFF
+        seg.write_bytes(bytes(data))
+        res = replay_wal(wal_dir)
+        assert res.checksum_failures == 1
+        assert res.records == 9
+        assert not res.truncated_tail
+        assert res.tail_bytes_dropped == 8 + length  # header + payload
+
+    def test_flipped_byte_mid_log_drops_later_records_too(self, wal_dir):
+        seg = self.make_log(wal_dir)
+        data = bytearray(seg.read_bytes())
+        data[10] ^= 0x01  # first record's payload
+        seg.write_bytes(bytes(data))
+        res = replay_wal(wal_dir)
+        assert res.records == 0
+        assert res.checksum_failures == 1
+        assert res.tail_bytes_dropped == len(data)
+
+    def test_damage_in_early_segment_drops_later_segments(self, wal_dir):
+        with WriteAheadLog(wal_dir, segment_bytes=128) as wal:
+            fill(wal, 30)
+        segs = segment_paths(wal_dir)
+        assert len(segs) >= 3
+        data = bytearray(segs[0].read_bytes())
+        data[-1] ^= 0x10
+        segs[0].write_bytes(bytes(data))
+        res = replay_wal(wal_dir)
+        assert res.corrupt_segment == segs[0]
+        later = sum(s.stat().st_size for s in segs[1:])
+        assert res.tail_bytes_dropped >= later
+
+    def test_crc_valid_but_undecodable_payload(self, wal_dir):
+        seg = wal_dir
+        seg.mkdir()
+        payload = b"not a python literal ]["
+        rec = struct.pack("<II", len(payload), zlib.crc32(payload)) + payload
+        (wal_dir / "wal-00000001.seg").write_bytes(rec)
+        res = replay_wal(wal_dir)
+        assert res.checksum_failures == 1 and res.records == 0
+
+
+class TestRepair:
+    def test_repair_trims_to_last_valid_record(self, wal_dir):
+        with WriteAheadLog(wal_dir) as wal:
+            fill(wal, 10)
+        (seg,) = segment_paths(wal_dir)
+        data = seg.read_bytes()
+        seg.write_bytes(data[:-3])  # torn tail
+        res = replay_wal(wal_dir)
+        repair_wal(wal_dir, res)
+        assert seg.stat().st_size == res.valid_offset
+        # Appends after repair are visible to the next replay.
+        with WriteAheadLog(wal_dir) as wal:
+            wal.log_insert(777, "post-repair")
+        res2 = replay_wal(wal_dir)
+        assert res2.clean
+        assert res2.ops[-1] == ("i", 777, "post-repair")
+        assert res2.records == res.records + 1
+
+    def test_repair_deletes_segments_after_the_damage(self, wal_dir):
+        with WriteAheadLog(wal_dir, segment_bytes=128) as wal:
+            fill(wal, 30)
+        segs = segment_paths(wal_dir)
+        data = bytearray(segs[0].read_bytes())
+        data[-1] ^= 0x10
+        segs[0].write_bytes(bytes(data))
+        res = replay_wal(wal_dir)
+        repair_wal(wal_dir, res)
+        assert segment_paths(wal_dir) == [segs[0]]
+        assert replay_wal(wal_dir).clean
+
+    def test_repair_of_clean_log_is_a_no_op(self, wal_dir):
+        with WriteAheadLog(wal_dir) as wal:
+            fill(wal, 3)
+        before = [(s, s.stat().st_size) for s in segment_paths(wal_dir)]
+        res = replay_wal(wal_dir)
+        repair_wal(wal_dir, res)
+        assert [(s, s.stat().st_size) for s in segment_paths(wal_dir)] == before
+
+
+class TestWALFailpoints:
+    def test_raise_mode_surfaces_and_log_stays_consistent(self, wal_dir):
+        wal = WriteAheadLog(wal_dir)
+        wal.log_insert(1, "a")
+        with failpoints.active("wal.before_fsync", mode="raise"):
+            with pytest.raises(FailpointError):
+                wal.log_insert(2, "b")
+        wal.log_insert(3, "c")
+        wal.close()
+        res = replay_wal(wal_dir)
+        # Record 2 was written before its fsync failed; all three are
+        # intact — the point is no *framing* damage occurred.
+        assert res.clean and [op[1] for op in res.ops] == [1, 2, 3]
+
+    def test_crash_before_append_loses_only_that_record(self, wal_dir):
+        from repro.testing import SimulatedCrash
+
+        wal = WriteAheadLog(wal_dir)
+        wal.log_insert(1, "a")
+        with failpoints.active("wal.before_append", mode="crash"):
+            with pytest.raises(SimulatedCrash):
+                wal.log_insert(2, "b")
+        res = replay_wal(wal_dir)
+        assert res.clean and [op[1] for op in res.ops] == [1]
