@@ -38,6 +38,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Iterable, Iterator, Optional, Type, Union
 
+from ..concurrency.locks import RWLock
 from ..testing import failpoints
 from .bptree import BPlusTree
 from .config import TreeConfig
@@ -118,6 +119,14 @@ class DurableTree:
     for concurrent writers (WAL appends serialize internally either
     way).  Mutations not routed through this facade bypass the log and
     forfeit durability — use the facade's methods.
+
+    Log-then-apply is made atomic with respect to :meth:`checkpoint` by
+    the facade's own reader-writer gate: every mutation holds it shared
+    across *WAL append + tree apply*, while the checkpoint holds it
+    exclusive across *snapshot + truncate*.  Without the gate a
+    checkpoint could run between a writer's append and its apply,
+    snapshotting a tree that lacks the op while truncating the WAL
+    record that held it — a lost acknowledged write.
     """
 
     def __init__(
@@ -140,6 +149,13 @@ class DurableTree:
         )
         self.checkpoints = 0
         self.last_recovery: Optional[RecoveryReport] = None
+        # Checkpoint gate: mutations hold it shared across log+apply,
+        # checkpoint holds it exclusive across snapshot+truncate, so a
+        # logged-but-unapplied op can never be truncated out of the WAL
+        # while missing from the snapshot.  Separate from any lock in
+        # the wrapped tree (the RW locks are not reentrant): concurrent
+        # writers still run in parallel under the shared side.
+        self._gate = RWLock()
 
     # ------------------------------------------------------------------
     # Logged mutations
@@ -147,8 +163,9 @@ class DurableTree:
 
     def insert(self, key: Key, value: Any = None) -> None:
         """Durable upsert: WAL append (per the fsync policy), then apply."""
-        self.wal.log_insert(key, value)
-        self.tree.insert(key, value)
+        with self._gate.read_locked():
+            self.wal.log_insert(key, value)
+            self.tree.insert(key, value)
 
     def __setitem__(self, key: Key, value: Any) -> None:
         self.insert(key, value)
@@ -160,8 +177,9 @@ class DurableTree:
         log-then-apply cannot know beforehand, and replaying a delete of
         a missing key is a no-op.
         """
-        self.wal.log_delete(key)
-        return self.tree.delete(key)
+        with self._gate.read_locked():
+            self.wal.log_delete(key)
+            return self.tree.delete(key)
 
     def insert_many(self, items: Iterable[tuple[Key, Any]]) -> int:
         """Durable batched upsert: the whole batch is one WAL record
@@ -171,8 +189,9 @@ class DurableTree:
         batch = [(k, v) for k, v in items]
         if not batch:
             return 0
-        self.wal.log_insert_many(batch)
-        return self.tree.insert_many(batch)
+        with self._gate.read_locked():
+            self.wal.log_insert_many(batch)
+            return self.tree.insert_many(batch)
 
     # ------------------------------------------------------------------
     # Reads (pure delegation)
@@ -249,16 +268,23 @@ class DurableTree:
           *suffix* of already-snapshotted ops can survive, which
           re-applies idempotently.
 
-        For a ``ConcurrentTree`` the snapshot **and** the truncate run
-        under its exclusive lock: an op slipping between them would be
-        truncated from the log without being in the snapshot.
+        Concurrent writers are excluded for the whole snapshot+truncate
+        span by the facade's checkpoint gate, held exclusively here and
+        shared by every mutation across its log+apply pair — so no op
+        can be logged but not yet applied while the checkpoint runs
+        (such an op would be truncated from the WAL without being in
+        the snapshot: a lost acknowledged write).  For a
+        ``ConcurrentTree`` its structural write lock is additionally
+        taken so the snapshot sees a consistent cut even if some writer
+        bypasses the facade.
         """
-        base = self.tree
-        exclusive = getattr(base, "exclusive", None)
-        if exclusive is not None:
-            with exclusive():
-                return self._checkpoint_inner(base.tree)
-        return self._checkpoint_inner(base)
+        with self._gate.write_locked():
+            base = self.tree
+            exclusive = getattr(base, "exclusive", None)
+            if exclusive is not None:
+                with exclusive():
+                    return self._checkpoint_inner(base.tree)
+            return self._checkpoint_inner(base)
 
     def _checkpoint_inner(self, snapshot_source) -> int:
         count = save_tree(snapshot_source, self.snapshot_path, version=2)
@@ -276,10 +302,14 @@ class DurableTree:
         return self
 
     def __exit__(self, *exc_info) -> None:
-        if exc_info[0] is not None and not issubclass(
-            exc_info[0], Exception
+        # Only a SimulatedCrash models a dead process (which flushes
+        # nothing).  Any other exception — including BaseExceptions
+        # like KeyboardInterrupt — leaves a live process, so the final
+        # flush/fsync must still happen.
+        if exc_info[0] is not None and issubclass(
+            exc_info[0], failpoints.SimulatedCrash
         ):
-            return  # simulated crash: a dead process flushes nothing
+            return
         self.close()
 
     # ------------------------------------------------------------------

@@ -381,9 +381,10 @@ class WriteAheadLog:
 
     def __exit__(self, *exc_info) -> None:
         # A SimulatedCrash must not reach the close() cleanup: a dead
-        # process flushes nothing.
-        if exc_info[0] is not None and not issubclass(
-            exc_info[0], Exception
+        # process flushes nothing.  Anything else — KeyboardInterrupt
+        # included — leaves a live process that must still flush.
+        if exc_info[0] is not None and issubclass(
+            exc_info[0], failpoints.SimulatedCrash
         ):
             return
         self.close()

@@ -37,8 +37,9 @@ from dataclasses import dataclass, field
 from typing import Iterator, Optional
 
 #: Every failpoint the durability layer is instrumented with.  ``fire``
-#: rejects unknown names so a renamed call site cannot silently detach
-#: its tests; add new sites here first.
+#: rejects unknown names whenever any failpoint is armed (the inactive
+#: fast path stays a single dict check), so a renamed call site cannot
+#: silently detach its tests; add new sites here first.
 KNOWN_FAILPOINTS: tuple[str, ...] = (
     "wal.before_append",
     "wal.after_append",
@@ -101,6 +102,12 @@ def fire(name: str) -> None:
     """Trigger point called by instrumented code.  No-op unless armed."""
     if not _active:
         return
+    if name not in _KNOWN:
+        raise ValueError(
+            f"fire() called with unregistered failpoint {name!r}; "
+            f"add it to KNOWN_FAILPOINTS (known: "
+            f"{', '.join(KNOWN_FAILPOINTS)})"
+        )
     with _lock:
         _hit_counts[name] = _hit_counts.get(name, 0) + 1
         armed_point = _active.get(name)

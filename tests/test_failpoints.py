@@ -99,3 +99,17 @@ class TestFiring:
             assert failpoints.hit_count("checkpoint.before_truncate") == 1
         failpoints.reset()
         assert failpoints.hit_count("wal.before_fsync") == 0
+
+    def test_fire_rejects_unknown_name_while_armed(self):
+        """A renamed call site must not silently detach its tests: any
+        armed run surfaces the unregistered name immediately."""
+        with failpoints.active(
+            "wal.before_fsync", mode="raise", hits_before=10**9
+        ):
+            with pytest.raises(ValueError, match="unregistered failpoint"):
+                failpoints.fire("wal.renamed_typo_site")
+
+    def test_fire_unknown_name_noop_when_nothing_armed(self):
+        # The inactive fast path stays a single dict check; validation
+        # only runs while some failpoint is armed (i.e. under test).
+        failpoints.fire("wal.renamed_typo_site")

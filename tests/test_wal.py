@@ -262,3 +262,27 @@ class TestWALFailpoints:
                 wal.log_insert(2, "b")
         res = replay_wal(wal_dir)
         assert res.clean and [op[1] for op in res.ops] == [1]
+
+
+class TestContextManagerExit:
+    def test_exit_flushes_on_keyboard_interrupt(self, wal_dir):
+        """An interrupt leaves a *live* process, so __exit__ must still
+        close and fsync — only SimulatedCrash models a dead one."""
+        wal = WriteAheadLog(wal_dir, fsync="interval", fsync_interval=1000)
+        with pytest.raises(KeyboardInterrupt):
+            with wal:
+                wal.log_insert(1, "a")
+                raise KeyboardInterrupt
+        assert wal._fh is None  # closed → final flush/fsync happened
+        assert wal.syncs >= 1
+
+    def test_exit_skips_close_on_simulated_crash(self, wal_dir):
+        from repro.testing import SimulatedCrash
+
+        wal = WriteAheadLog(wal_dir, fsync="none")
+        with pytest.raises(SimulatedCrash):
+            with wal:
+                wal.log_insert(1, "a")
+                raise SimulatedCrash("simulated crash")
+        assert wal._fh is not None  # a dead process flushes nothing
+        wal._fh.close()
