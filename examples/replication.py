@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""WAL-shipping replication: primary, replicas, failover, fencing.
+
+A ``Primary`` wraps a ``DurableTree`` and serves its write-ahead log as
+a stream; ``Replica`` nodes bootstrap from the latest checkpoint
+snapshot, apply shipped records through their own durable tree, and can
+be promoted when the primary dies. This script walks the whole story:
+synchronous-ack replication, a primary kill, coordinator-driven
+failover (epoch bump + promotion of the most-caught-up replica), and
+the deposed primary's writes being fenced off after the network heals.
+
+Run:  python examples/replication.py
+"""
+
+import shutil
+import tempfile
+from pathlib import Path
+
+from repro import QuITTree, TreeConfig
+from repro.core import DurableTree
+from repro.replication import (
+    EpochRegistry,
+    FailoverCoordinator,
+    FencedError,
+    InProcessTransport,
+    Primary,
+    Replica,
+)
+
+N_BEFORE_SNAPSHOT = 20_000
+N_STREAMED = 5_000
+
+
+def main() -> None:
+    root = Path(tempfile.mkdtemp(prefix="quit-replication-"))
+    config = TreeConfig(leaf_capacity=64, internal_capacity=64)
+    registry = EpochRegistry()
+    try:
+        # ------------------------------------------------- primary up
+        primary = Primary(
+            DurableTree(QuITTree(config), root / "node0", fsync="none"),
+            registry=registry, node_id="node0",
+        )
+        primary.insert_many(
+            [(i, f"row-{i}") for i in range(N_BEFORE_SNAPSHOT)]
+        )
+        primary.checkpoint()
+        print(f"primary node0: epoch {primary.epoch}, "
+              f"{len(primary):,} entries checkpointed")
+
+        # ------------------------- replicas bootstrap, then stream
+        replicas = []
+        for i in (1, 2):
+            replica = Replica(
+                root / f"node{i}", InProcessTransport(primary),
+                tree_class=QuITTree, config=config, name=f"node{i}",
+            )
+            replica.bootstrap()
+            primary.attach(replica)
+            replicas.append(replica)
+        print(f"replicas bootstrapped from snapshot: "
+              f"{[len(r) for r in replicas]} entries each")
+
+        # required_acks=1: from here on, each write must be applied by
+        # a replica before the primary acknowledges it.
+        primary.required_acks = 1
+        for i in range(N_BEFORE_SNAPSHOT,
+                       N_BEFORE_SNAPSHOT + N_STREAMED):
+            primary.insert(i, f"row-{i}")
+        tail = primary.tail_position()
+        for replica in replicas:
+            replica.catch_up(tail, max_rounds=200)
+        print(f"streamed {N_STREAMED:,} writes; replica lag: "
+              f"{[r.lag_bytes for r in replicas]} bytes")
+
+        # ------------------------------------ primary dies; failover
+        coordinator = FailoverCoordinator(
+            primary, InProcessTransport(primary), replicas, registry,
+            transport_factory=InProcessTransport, failure_threshold=2,
+        )
+        primary.kill()
+        report = None
+        while report is None:
+            report = coordinator.tick()
+        print(f"failover: {report.old_node} (epoch {report.old_epoch}) "
+              f"-> {report.new_node} (epoch {report.new_epoch}), "
+              f"winner at {report.winner_lsn}, "
+              f"scrub repaired {report.scrub_repairs} pointer(s)")
+
+        new_primary = coordinator.primary
+        new_primary.insert(999_999, "written in the new tenure")
+        survivor = coordinator.replicas[0]
+        survivor.catch_up(new_primary.tail_position())
+        assert survivor.get(999_999) == "written in the new tenure"
+        print(f"new primary {new_primary.node_id}: "
+              f"{len(new_primary):,} entries; survivor "
+              f"{survivor.name} follows at epoch {survivor.epoch}")
+
+        # -------------------------- the deposed primary stays fenced
+        primary.alive = True  # the old process limps back online
+        try:
+            primary.insert(0, "split-brain attempt")
+        except FencedError as exc:
+            print(f"old primary fenced: {exc}")
+        assert new_primary.get(0) == "row-0"  # nothing diverged
+
+        expected = N_BEFORE_SNAPSHOT + N_STREAMED + 1
+        assert len(new_primary) == expected
+        assert survivor.items() == list(new_primary.items())
+        print(f"converged: {expected:,} entries, replica byte-for-byte "
+              "equal — no acknowledged write lost")
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    main()

@@ -11,25 +11,50 @@ Subcommands over a durability directory (``snapshot.quit`` +
 * ``scrub DIR`` — recover without the implicit scrub, then audit the
   fast-path metadata explicitly and print what was repaired;
 * ``bench`` — end-to-end recovery-time numbers: ingest *n* entries,
-  checkpoint, append *m* more WAL ops, then time a cold recovery.
+  checkpoint, append *m* more WAL ops, then time a cold recovery;
+* ``replicate DIR`` — serve DIR as a replication primary with *k*
+  in-process replicas, ingest a demo workload, and report each
+  replica's applied position (``--serve`` keeps running until
+  SIGTERM/SIGINT, then checkpoints and closes the WAL before exiting);
+* ``promote DIR`` — turn a (former) replica directory into a primary:
+  scrub, bump the epoch, checkpoint;
+* ``status DIR`` — inspect a node directory without recovering it:
+  role, epoch, cursor, snapshot and WAL footprint.
+
+The process installs SIGTERM/SIGINT handlers for the long-running
+commands so an orderly ``kill`` produces a checkpointed, truncated-WAL
+directory instead of a replay-heavy one (exit status 0).
 
 Examples::
 
     quit-durability bench --n 100000 --wal-ops 10000 --variant QuIT
     quit-durability recover /var/lib/quit/state
+    quit-durability replicate /var/lib/quit/state --replicas 2 --serve
 """
 
 from __future__ import annotations
 
 import argparse
+import os
+import signal
 import sys
 import tempfile
+import threading
 import time
 from pathlib import Path
 from typing import Optional, Sequence
 
 from ..core import DurableTree, RecoveryReport, TreeConfig
-from ..core.wal import replay_wal, segment_paths
+from ..core.durable import SNAPSHOT_NAME, WAL_DIRNAME
+from ..core.wal import first_position, replay_wal, segment_paths
+from ..replication import (
+    CURSOR_FILENAME,
+    InProcessTransport,
+    Primary,
+    Replica,
+    TransportChaos,
+    read_epoch,
+)
 from .harness import VARIANTS
 
 
@@ -99,7 +124,79 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_common(bench)
 
+    rep = sub.add_parser(
+        "replicate",
+        help="serve DIR as a primary with in-process replicas",
+    )
+    rep.add_argument("directory", type=Path)
+    add_common(rep)
+    rep.add_argument(
+        "--replicas", type=int, default=2,
+        help="replica count (default: 2)",
+    )
+    rep.add_argument(
+        "--replica-root", type=Path, default=None,
+        help="where replica directories live "
+             "(default: <DIR>-replicas)",
+    )
+    rep.add_argument(
+        "--ops", type=int, default=1000,
+        help="demo writes to stream through the cluster (default: 1000)",
+    )
+    rep.add_argument(
+        "--required-acks", type=int, default=0,
+        help="replicas that must apply a write before it is "
+             "acknowledged (default: 0 = asynchronous)",
+    )
+    rep.add_argument(
+        "--chaos-drop", type=float, default=0.0, metavar="P",
+        help="per-fetch probability a replica's fetch is dropped",
+    )
+    rep.add_argument(
+        "--seed", type=int, default=0, help="chaos RNG seed",
+    )
+    rep.add_argument(
+        "--fsync", default="none", choices=("always", "interval", "none"),
+        help="primary WAL fsync policy (default: none)",
+    )
+    rep.add_argument(
+        "--serve", action="store_true",
+        help="keep serving after the demo workload until SIGTERM/SIGINT "
+             "(then checkpoint, close the WAL, and exit 0)",
+    )
+
+    pr = sub.add_parser(
+        "promote",
+        help="turn a (former) replica directory into a primary",
+    )
+    pr.add_argument("directory", type=Path)
+    add_common(pr)
+
+    st = sub.add_parser(
+        "status",
+        help="inspect a node directory: role, epoch, cursor, footprint",
+    )
+    st.add_argument("directory", type=Path)
+
     return parser
+
+
+def _install_shutdown_handlers(stop: threading.Event) -> None:
+    """Route SIGTERM/SIGINT into ``stop`` for a graceful shutdown.
+
+    Signal handlers can only be installed from the main thread; called
+    anywhere else (e.g. a test runner worker) this is a silent no-op
+    and the command simply runs to completion.
+    """
+
+    def _handler(signum, frame):  # pragma: no cover - signal context
+        stop.set()
+
+    try:
+        signal.signal(signal.SIGTERM, _handler)
+        signal.signal(signal.SIGINT, _handler)
+    except ValueError:
+        pass
 
 
 def _config(args: argparse.Namespace) -> Optional[TreeConfig]:
@@ -241,6 +338,139 @@ def cmd_bench(args: argparse.Namespace, out) -> int:
             cleanup.cleanup()
 
 
+def _print_cluster(primary: Primary, replicas, out) -> None:
+    tail = primary.tail_position()
+    print(f"primary {primary.node_id}: epoch {primary.epoch}, "
+          f"{len(primary)} entries, WAL tail {tail}", file=out)
+    for replica in replicas:
+        print(f"  {replica.name}: applied_lsn {replica.position} "
+              f"lag {replica.lag_bytes}B "
+              f"({replica.records_applied} records applied)", file=out)
+
+
+def cmd_replicate(args: argparse.Namespace, out) -> int:
+    stop = threading.Event()
+    _install_shutdown_handlers(stop)
+    tree_class = VARIANTS[args.variant]
+    config = _config(args)
+    durable, _ = DurableTree.recover(
+        args.directory, tree_class, config, fsync=args.fsync
+    )
+    primary = Primary(
+        durable, node_id="primary", required_acks=args.required_acks
+    )
+    replica_root = args.replica_root
+    if replica_root is None:
+        replica_root = args.directory.parent / (
+            args.directory.name + "-replicas"
+        )
+    replicas = []
+    for i in range(args.replicas):
+        chaos = None
+        if args.chaos_drop > 0:
+            chaos = TransportChaos(
+                drop_probability=args.chaos_drop, seed=args.seed + i
+            )
+        replica = Replica(
+            replica_root / f"replica{i}",
+            InProcessTransport(primary, chaos=chaos),
+            tree_class=tree_class,
+            config=config,
+            name=f"replica{i}",
+        )
+        replica.bootstrap()
+        primary.attach(replica)
+        replicas.append(replica)
+    base = len(primary)
+    print(f"replicating {args.directory} to {len(replicas)} replica(s) "
+          f"under {replica_root} (required_acks={args.required_acks})",
+          file=out)
+    out.flush()
+    written = 0
+    try:
+        for i in range(args.ops):
+            if stop.is_set():
+                break
+            primary.insert(base + i, i)
+            written += 1
+        tail = primary.tail_position()
+        for replica in replicas:
+            replica.catch_up(tail, max_rounds=64)
+        print(f"streamed {written} write(s)", file=out)
+        _print_cluster(primary, replicas, out)
+        if args.serve:
+            print(f"serving until SIGTERM/SIGINT (pid {os.getpid()})",
+                  file=out)
+            out.flush()
+            while not stop.wait(0.1):
+                pass
+    finally:
+        # Graceful shutdown: leave a checkpointed directory behind so
+        # the next start replays (nearly) nothing.
+        count = primary.checkpoint()
+        primary.close()
+        for replica in replicas:
+            replica.close()
+    print(f"graceful shutdown: checkpointed {count} entries; "
+          "WAL truncated", file=out)
+    return 0
+
+
+def cmd_promote(args: argparse.Namespace, out) -> int:
+    tree_class = VARIANTS[args.variant]
+    durable, _ = DurableTree.recover(
+        args.directory, tree_class, _config(args), scrub=False
+    )
+    scrub_report = durable.scrub()
+    old_epoch = read_epoch(args.directory)
+    primary = Primary(
+        durable, epoch=old_epoch + 1, node_id=args.directory.name
+    )
+    count = primary.checkpoint()
+    primary.close()
+    # The directory is no longer a follower of anyone.
+    (args.directory / CURSOR_FILENAME).unlink(missing_ok=True)
+    print(f"promoted {args.directory}: epoch {old_epoch} -> "
+          f"{primary.epoch}", file=out)
+    print(f"  scrub: {len(scrub_report.issues)} issue(s), "
+          f"{scrub_report.repairs} repair(s)", file=out)
+    print(f"  checkpointed {count} entries; existing replicas must "
+          "re-bootstrap", file=out)
+    return 0
+
+
+def cmd_status(args: argparse.Namespace, out) -> int:
+    directory = args.directory
+    if not directory.exists():
+        print(f"{directory}: no such directory", file=out)
+        return 1
+    cursor_path = directory / CURSOR_FILENAME
+    role = "replica" if cursor_path.exists() else "primary"
+    rows = [("role", role), ("epoch", read_epoch(directory))]
+    if cursor_path.exists():
+        try:
+            epoch_s, seg_s, off_s = cursor_path.read_text().split()
+            rows.append(("applied_lsn", f"{seg_s}:{off_s} "
+                                        f"(tenure {epoch_s})"))
+        except ValueError:
+            rows.append(("applied_lsn", "unreadable"))
+    snapshot = directory / SNAPSHOT_NAME
+    if snapshot.exists():
+        rows.append(("snapshot", f"{snapshot.stat().st_size} bytes"))
+    else:
+        rows.append(("snapshot", "none"))
+    wal_dir = directory / WAL_DIRNAME
+    segments = segment_paths(wal_dir) if wal_dir.exists() else []
+    wal_bytes = sum(p.stat().st_size for p in segments)
+    rows.append(("wal", f"{len(segments)} segment(s), {wal_bytes} bytes"))
+    first = first_position(wal_dir) if wal_dir.exists() else None
+    rows.append(("wal first position", first if first else "empty"))
+    width = max(len(label) for label, _ in rows)
+    for label, value in rows:
+        print(f"  {label:<{width}}  {value}", file=out)
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     """CLI entry point; returns the process exit status."""
     out = out if out is not None else sys.stdout
@@ -250,6 +480,9 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         "recover": cmd_recover,
         "scrub": cmd_scrub,
         "bench": cmd_bench,
+        "replicate": cmd_replicate,
+        "promote": cmd_promote,
+        "status": cmd_status,
     }
     return handlers[args.command](args, out)
 

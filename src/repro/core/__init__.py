@@ -26,8 +26,14 @@ from .stats import OccupancyStats, ScrubReport, TreeStats
 from .tail_tree import TailBPlusTree
 from .wal import (
     WALError,
+    WALPosition,
+    WALReader,
+    WALRecord,
     WALReplayResult,
+    WALStreamError,
+    WALTruncatedError,
     WriteAheadLog,
+    first_position,
     repair_wal,
     replay_wal,
 )
@@ -77,7 +83,13 @@ __all__ = [
     "RecoveryReport",
     "WriteAheadLog",
     "WALError",
+    "WALPosition",
+    "WALReader",
+    "WALRecord",
     "WALReplayResult",
+    "WALStreamError",
+    "WALTruncatedError",
+    "first_position",
     "replay_wal",
     "repair_wal",
     "describe",

@@ -47,8 +47,10 @@ from .persist import load_tree, save_tree
 from .stats import ScrubReport, TreeStats
 from .wal import (
     OP_DELETE,
+    OP_EPOCH,
     OP_INSERT,
     OP_INSERT_MANY,
+    WALPosition,
     WriteAheadLog,
     repair_wal,
     replay_wal,
@@ -76,6 +78,10 @@ class RecoveryReport:
             discarded by replay and trimmed by repair.
         unknown_records: intact records whose op tag this version does
             not understand (skipped, never fatal).
+        epoch_markers: replication epoch markers seen in the log (they
+            carry no tree data and are not counted as entries).
+        last_epoch: highest epoch stamped in the log, 0 if none — a
+            restarting primary resumes at least past it.
         scrub: fast-path metadata audit run after replay, if any.
     """
 
@@ -88,6 +94,8 @@ class RecoveryReport:
     truncated_tail: bool = False
     tail_bytes_dropped: int = 0
     unknown_records: int = 0
+    epoch_markers: int = 0
+    last_epoch: int = 0
     scrub: Optional[ScrubReport] = None
 
     @property
@@ -149,6 +157,10 @@ class DurableTree:
         )
         self.checkpoints = 0
         self.last_recovery: Optional[RecoveryReport] = None
+        #: WAL tail at the moment of the last checkpoint's truncate:
+        #: the stream position the on-disk snapshot corresponds to.
+        #: ``None`` until the first checkpoint of this facade's life.
+        self.last_checkpoint_position: Optional[WALPosition] = None
         # Checkpoint gate: mutations hold it shared across log+apply,
         # checkpoint holds it exclusive across snapshot+truncate, so a
         # logged-but-unapplied op can never be truncated out of the WAL
@@ -289,6 +301,10 @@ class DurableTree:
     def _checkpoint_inner(self, snapshot_source) -> int:
         count = save_tree(snapshot_source, self.snapshot_path, version=2)
         failpoints.fire("checkpoint.before_truncate")
+        # Captured before the truncate, under the exclusive gate: the
+        # snapshot covers exactly the records below this position, so a
+        # replication reader caught up to it has missed nothing.
+        self.last_checkpoint_position = self.wal.tail_position()
         self.wal.truncate()
         failpoints.fire("checkpoint.after_truncate")
         self.checkpoints += 1
@@ -379,6 +395,9 @@ class DurableTree:
             elif tag == OP_INSERT_MANY:
                 tree.insert_many(op[1])
                 report.entries_replayed += len(op[1])
+            elif tag == OP_EPOCH:
+                report.epoch_markers += 1
+                report.last_epoch = max(report.last_epoch, op[1])
             else:
                 report.unknown_records += 1
                 continue

@@ -48,6 +48,10 @@ _SEGMENT_SUFFIX = ".seg"
 OP_INSERT = "i"
 OP_DELETE = "d"
 OP_INSERT_MANY = "m"
+#: Replication epoch marker: ``("e", epoch)``.  Carries no tree data —
+#: it stamps the primary's epoch into the record stream so replicas can
+#: detect a deposed primary (see :mod:`repro.replication`).
+OP_EPOCH = "e"
 
 _FSYNC_POLICIES = ("always", "interval", "none")
 
@@ -222,6 +226,214 @@ def _fsync_dir(directory: Path) -> None:
         os.close(fd)
 
 
+@dataclass(frozen=True, order=True)
+class WALPosition:
+    """A durable cursor into a WAL directory: ``(segment_seq, offset)``.
+
+    Positions order lexicographically — segment sequence numbers are
+    monotonically increasing for the lifetime of a WAL directory (they
+    survive rotation *and* truncation, which never reuses a sequence
+    number), so a larger position always denotes a later point in the
+    logical stream.
+    """
+
+    segment: int
+    offset: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.segment}:{self.offset}"
+
+
+@dataclass
+class WALRecord:
+    """One framed record as read by :class:`WALReader`.
+
+    The raw ``payload``/``crc`` pair is kept so a *consumer* (e.g. a
+    replica applying a shipped record) can re-verify the checksum at its
+    end of the wire rather than trusting the reader's copy.
+    """
+
+    position: WALPosition
+    next_position: WALPosition
+    payload: bytes
+    crc: int
+
+    @property
+    def op(self) -> tuple:
+        """Decode the payload into its logical op tuple."""
+        return _decode(self.payload)
+
+    def verify(self) -> bool:
+        """Recompute the CRC32 over the payload bytes."""
+        return zlib.crc32(self.payload) == self.crc
+
+
+class WALTruncatedError(WALError):
+    """The requested position precedes the oldest surviving WAL record.
+
+    Raised by :class:`WALReader` when a checkpoint truncated (or a
+    repair trimmed) the segments a tailing reader had not consumed yet.
+    The reader cannot recover the gap — the caller must re-bootstrap
+    from a snapshot that covers it.
+    """
+
+
+class WALStreamError(WALError):
+    """Damage strictly *below* the tail of the log.
+
+    A torn record or checksum failure in a segment that is followed by a
+    newer segment cannot be an in-flight append — it is real corruption,
+    and skipping it would reorder history.
+    """
+
+
+def first_position(directory: Union[str, Path]) -> Optional[WALPosition]:
+    """Start of the oldest surviving segment, or None when empty."""
+    segments = segment_paths(directory)
+    if not segments:
+        return None
+    return WALPosition(_segment_seq(segments[0]), 0)
+
+
+class WALReader:
+    """Incremental, resumable reader over a live WAL directory.
+
+    Unlike :func:`replay_wal` (a one-shot crash-recovery scan), the
+    reader *tails* the log: it reads every complete record from a given
+    :class:`WALPosition`, follows rotation across segment files
+    (sequence gaps included — truncation never reuses a sequence), stops
+    cleanly at an incomplete record at the very tail (an append may be
+    in flight; call :meth:`read` again later), and detects when its
+    position has been truncated away underneath it.
+
+    The reader holds no file handles between calls and keeps no state of
+    its own — the position returned by :meth:`read` is the only cursor,
+    so it can be persisted and handed to a different reader (or a
+    different process) to resume.
+    """
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+
+    def read(
+        self,
+        position: WALPosition,
+        *,
+        max_records: Optional[int] = None,
+        max_bytes: Optional[int] = None,
+    ) -> tuple[list[WALRecord], WALPosition]:
+        """All complete records from ``position``; returns ``(records,
+        resume_position)``.
+
+        Raises:
+            WALTruncatedError: ``position`` points below the oldest
+                surviving record (the caller must re-bootstrap).
+            WALStreamError: a torn or checksum-failing record below the
+                tail — real corruption, not an in-flight append.
+        """
+        records: list[WALRecord] = []
+        pos = position
+        segments = segment_paths(self.directory)
+        if not segments:
+            # Nothing on disk.  A position at a segment start is simply
+            # "nothing to read yet"; mid-segment, the bytes below it are
+            # gone and the caller's history with them.
+            if pos.offset != 0:
+                raise WALTruncatedError(
+                    f"position {pos} points into a deleted segment"
+                )
+            return records, pos
+        by_seq = {_segment_seq(p): p for p in segments}
+        first_seq = min(by_seq)
+        last_seq = max(by_seq)
+        if pos.segment < first_seq:
+            raise WALTruncatedError(
+                f"position {pos} precedes the oldest segment "
+                f"{first_seq} (WAL was truncated; re-bootstrap)"
+            )
+        if pos.segment > last_seq:
+            if pos.offset == 0:
+                return records, pos  # next segment not created yet
+            raise WALTruncatedError(
+                f"position {pos} is beyond the newest segment {last_seq}"
+            )
+        if pos.segment not in by_seq:
+            raise WALTruncatedError(
+                f"segment {pos.segment} was deleted but newer segments "
+                f"survive (WAL was truncated; re-bootstrap)"
+            )
+        ordered = sorted(s for s in by_seq if s >= pos.segment)
+        bytes_read = 0
+        for idx, seq in enumerate(ordered):
+            data = by_seq[seq].read_bytes()
+            n = len(data)
+            offset = pos.offset if seq == pos.segment else 0
+            if offset > n:
+                raise WALTruncatedError(
+                    f"position {pos} is beyond the end of segment {seq} "
+                    f"({n} bytes; it was repaired or rewritten)"
+                )
+            is_last = idx == len(ordered) - 1
+            while offset < n:
+                if max_records is not None and len(records) >= max_records:
+                    return records, pos
+                if max_bytes is not None and bytes_read >= max_bytes:
+                    return records, pos
+                if offset + _HEADER.size > n:
+                    if is_last:
+                        return records, pos  # append in flight
+                    raise WALStreamError(
+                        f"torn record at {seq}:{offset} below the tail"
+                    )
+                length, crc = _HEADER.unpack_from(data, offset)
+                start = offset + _HEADER.size
+                end = start + length
+                if end > n:
+                    if is_last:
+                        return records, pos  # append in flight
+                    raise WALStreamError(
+                        f"torn record at {seq}:{offset} below the tail"
+                    )
+                payload = data[start:end]
+                if zlib.crc32(payload) != crc:
+                    raise WALStreamError(
+                        f"checksum failure at {seq}:{offset}"
+                    )
+                record = WALRecord(
+                    position=WALPosition(seq, offset),
+                    next_position=WALPosition(seq, end),
+                    payload=payload,
+                    crc=crc,
+                )
+                records.append(record)
+                pos = record.next_position
+                bytes_read += end - offset
+                offset = end
+            if not is_last:
+                # Segment fully consumed and a newer one exists, so this
+                # one is closed for good: advance the cursor past it.
+                pos = WALPosition(ordered[idx + 1], 0)
+        return records, pos
+
+    def bytes_behind(self, position: WALPosition) -> int:
+        """Bytes on disk at or after ``position`` (replication lag).
+
+        Best-effort: segments may rotate underneath the stat calls, so
+        treat the result as a gauge, not an exact count.
+        """
+        behind = 0
+        for seg in segment_paths(self.directory):
+            seq = _segment_seq(seg)
+            if seq < position.segment:
+                continue
+            size = seg.stat().st_size
+            if seq == position.segment:
+                behind += max(0, size - position.offset)
+            else:
+                behind += size
+        return behind
+
+
 class WriteAheadLog:
     """Appender over a WAL directory.
 
@@ -285,6 +497,25 @@ class WriteAheadLog:
     def log_insert_many(self, items: list[tuple[Key, Any]]) -> None:
         """Log a batched upsert as one record (one fsync per batch)."""
         self._append((OP_INSERT_MANY, items))
+
+    def log_epoch(self, epoch: int) -> None:
+        """Stamp a replication epoch marker into the record stream.
+
+        Carries no tree data; recovery skips it, replicas use it to
+        track which primary's tenure the following records belong to.
+        """
+        self._append((OP_EPOCH, int(epoch)))
+
+    def tail_position(self) -> WALPosition:
+        """Position one past the last appended byte.
+
+        Records appended after this call land at or after the returned
+        position; a reader that has caught up to it has seen everything.
+        """
+        with self._lock:
+            if self._fh is None:
+                return WALPosition(self._seq, 0)
+            return WALPosition(self._seq - 1, self._active_size)
 
     def _append(self, op: tuple) -> None:
         payload = _encode(op)

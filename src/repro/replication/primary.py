@@ -1,0 +1,383 @@
+"""Primary: a :class:`~repro.core.durable.DurableTree` that ships its WAL.
+
+The primary owns the authoritative copy of the index.  Every mutation is
+made durable locally (log-then-apply, exactly as ``DurableTree`` alone)
+and the resulting WAL is exposed to replicas as a *stream*:
+
+* :meth:`Primary.snapshot_payload` serves the latest checkpoint snapshot
+  plus the WAL position it corresponds to (bootstrap);
+* :meth:`Primary.fetch_records` serves framed records from any position
+  a replica resumes at, following rotation, and answers ``truncated``
+  when a checkpoint has folded the requested range into the snapshot.
+
+**Epochs and fencing.**  Each primary tenure has an epoch number,
+persisted in an ``EPOCH`` file beside the snapshot and stamped into the
+WAL as an ``OP_EPOCH`` marker record, so the stream itself carries the
+tenure it belongs to.  Before acknowledging any write the primary
+confirms it still holds the current epoch against the
+:class:`~repro.replication.coordinator.EpochRegistry` (the stand-in for
+a lease/consensus service): if the registry is unreachable or reports a
+newer epoch, the write is **rejected** with :class:`FencedError` rather
+than acknowledged — a deposed or partitioned primary fails safe instead
+of silently diverging (split-brain).
+
+**Acknowledgement modes.**  With ``required_acks=0`` a write is
+acknowledged once locally durable (asynchronous replication: a failover
+may lose the tail not yet shipped).  With ``required_acks=k`` the write
+is additionally shipped synchronously and acknowledged only after *k*
+attached replicas have applied it — the mode the chaos harness uses to
+assert that no acknowledged write is ever lost across failovers.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from pathlib import Path
+from typing import Any, Iterable, Optional
+
+from ..core.durable import DurableTree
+from ..core.wal import (
+    WALPosition,
+    WALReader,
+    WALTruncatedError,
+    first_position,
+)
+from ..testing import failpoints
+from .transport import FetchResult, ReplicationError, SnapshotPayload, TransportError
+
+EPOCH_FILENAME = "EPOCH"
+
+
+class FencedError(ReplicationError):
+    """Write rejected: this primary no longer holds the current epoch
+    (or cannot prove it does).  The caller must not treat the write as
+    acknowledged."""
+
+
+class AckQuorumError(ReplicationError):
+    """Write durable locally but not replicated to ``required_acks``
+    replicas; it is **not acknowledged** (it may still surface after a
+    failover that keeps this node's log — surviving is allowed, being
+    relied on is not)."""
+
+    def __init__(self, message: str, *, acks: int, required: int) -> None:
+        super().__init__(message)
+        self.acks = acks
+        self.required = required
+
+
+def read_epoch(directory: Path) -> int:
+    """Epoch persisted in ``directory`` (0 when never written)."""
+    try:
+        return int((Path(directory) / EPOCH_FILENAME).read_text().strip())
+    except (FileNotFoundError, ValueError):
+        return 0
+
+
+def write_epoch(directory: Path, epoch: int) -> None:
+    """Persist ``epoch`` atomically (tmp + replace + fsync)."""
+    path = Path(directory) / EPOCH_FILENAME
+    tmp = path.with_name(path.name + ".tmp")
+    with tmp.open("w") as fh:
+        fh.write(f"{epoch}\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+
+
+class Primary:
+    """Replication-aware facade over a :class:`DurableTree`.
+
+    Args:
+        durable: the locally durable index this node serves.
+        epoch: tenure number; defaults to the persisted ``EPOCH`` file
+            (or the registry's current epoch, or 1).  Never goes
+            backwards relative to the persisted value.
+        registry: epoch registry to confirm leadership against before
+            each acknowledgement; ``None`` runs unfenced (single-node).
+        node_id: this node's identity at the registry.
+        required_acks: replicas that must apply a write before it is
+            acknowledged (0 = asynchronous replication).
+    """
+
+    def __init__(
+        self,
+        durable: DurableTree,
+        *,
+        epoch: Optional[int] = None,
+        registry=None,
+        node_id: str = "primary",
+        required_acks: int = 0,
+    ) -> None:
+        self.durable = durable
+        self.registry = registry
+        self.node_id = node_id
+        self.required_acks = required_acks
+        self.alive = True
+        self.fenced = False
+        self.fenced_by: Optional[int] = None
+        self.writes_rejected = 0
+        self.batches_served = 0
+        self.records_served = 0
+        self._replicas: list = []
+        self._meta_lock = threading.Lock()
+        self._reader = WALReader(self.wal.directory)
+        stored = read_epoch(self.directory)
+        if epoch is None:
+            epoch = registry.current() if registry is not None else max(stored, 1)
+        self.epoch = max(int(epoch), stored)
+        if self.epoch != stored:
+            write_epoch(self.directory, self.epoch)
+        # Stream base: the position a bootstrapping replica must stream
+        # from after loading the snapshot this primary serves.
+        base = durable.last_checkpoint_position
+        if base is None:
+            base = first_position(self.wal.directory) or self.wal.tail_position()
+        self._base: WALPosition = base
+        # Stamp the tenure into the stream before any data record.
+        self.wal.log_epoch(self.epoch)
+
+    # -- plumbing ------------------------------------------------------
+
+    @property
+    def wal(self):
+        return self.durable.wal
+
+    @property
+    def directory(self) -> Path:
+        return self.durable.directory
+
+    @property
+    def tree(self):
+        return self.durable.tree
+
+    def tail_position(self) -> WALPosition:
+        return self.wal.tail_position()
+
+    # -- replica management --------------------------------------------
+
+    def attach(self, replica) -> None:
+        """Register a replica as a synchronous-ack target."""
+        if replica not in self._replicas:
+            self._replicas.append(replica)
+
+    def detach(self, replica) -> None:
+        if replica in self._replicas:
+            self._replicas.remove(replica)
+
+    @property
+    def replicas(self) -> tuple:
+        return tuple(self._replicas)
+
+    # -- fencing -------------------------------------------------------
+
+    def fence(self, epoch: int) -> None:
+        """Decree from the coordinator: ``epoch`` has been elected."""
+        if epoch > self.epoch:
+            self.fenced = True
+            self.fenced_by = epoch
+
+    def _check_leadership(self) -> None:
+        if self.fenced:
+            self.writes_rejected += 1
+            raise FencedError(
+                f"{self.node_id} (epoch {self.epoch}) was fenced by "
+                f"epoch {self.fenced_by}"
+            )
+        if self.registry is None:
+            return
+        try:
+            current = self.registry.current_for(self.node_id)
+        except TransportError as exc:
+            # Fail safe: a primary that cannot confirm its lease must
+            # not acknowledge writes (it may already be deposed).
+            self.writes_rejected += 1
+            raise FencedError(
+                f"{self.node_id} cannot confirm epoch {self.epoch}: {exc}"
+            ) from exc
+        if current != self.epoch:
+            self.fenced = True
+            self.fenced_by = current
+            self.writes_rejected += 1
+            raise FencedError(
+                f"{self.node_id} (epoch {self.epoch}) superseded by "
+                f"epoch {current}"
+            )
+
+    # -- writes --------------------------------------------------------
+
+    def insert(self, key, value: Any = None) -> None:
+        """Fenced, locally durable, and (in sync mode) replicated upsert."""
+        self._check_leadership()
+        self.durable.insert(key, value)
+        self._await_acks()
+
+    def __setitem__(self, key, value: Any) -> None:
+        self.insert(key, value)
+
+    def delete(self, key) -> bool:
+        self._check_leadership()
+        existed = self.durable.delete(key)
+        self._await_acks()
+        return existed
+
+    def insert_many(self, items: Iterable[tuple]) -> int:
+        self._check_leadership()
+        added = self.durable.insert_many(items)
+        self._await_acks()
+        return added
+
+    def _await_acks(self) -> None:
+        if self.required_acks <= 0:
+            return
+        target = self.wal.tail_position()
+        acks = 0
+        for replica in list(self._replicas):
+            try:
+                if replica.epoch != self.epoch:
+                    # The replica's cursor belongs to a different tenure;
+                    # positions are not comparable across primaries, so a
+                    # catch_up early-exit would be meaningless.  Force a
+                    # poll — it re-bootstraps into this tenure (or raises
+                    # StaleEpochError when *we* are the deposed one).
+                    replica.poll()
+                    if replica.epoch != self.epoch:
+                        continue
+                replica.catch_up(target)
+                acks += 1
+            except (TransportError, ReplicationError, failpoints.FailpointError):
+                continue
+            if acks >= self.required_acks:
+                return
+        raise AckQuorumError(
+            f"write durable locally but replicated to {acks}/"
+            f"{self.required_acks} required replicas",
+            acks=acks,
+            required=self.required_acks,
+        )
+
+    # -- reads (delegation) --------------------------------------------
+
+    def get(self, key, default: Any = None) -> Any:
+        return self.durable.get(key, default)
+
+    def __getitem__(self, key) -> Any:
+        return self.durable[key]
+
+    def __contains__(self, key) -> bool:
+        return key in self.durable
+
+    def get_many(self, keys, default: Any = None):
+        return self.durable.get_many(keys, default)
+
+    def range_query(self, start, end):
+        return self.durable.range_query(start, end)
+
+    def items(self):
+        return self.durable.items()
+
+    def __len__(self) -> int:
+        return len(self.durable)
+
+    def check(self, check_min_fill: bool = False):
+        return self.durable.check(check_min_fill=check_min_fill)
+
+    def scrub(self):
+        return self.durable.scrub()
+
+    # -- serving the stream --------------------------------------------
+
+    def snapshot_payload(self) -> SnapshotPayload:
+        """Bootstrap payload: snapshot bytes + the stream base position.
+
+        Consistent pair: the base only moves at :meth:`checkpoint`,
+        which replaces the snapshot and updates the base under the same
+        lock this read takes.
+        """
+        with self._meta_lock:
+            base = self._base
+            snap = self.durable.snapshot_path
+            data = snap.read_bytes() if snap.exists() else None
+        return SnapshotPayload(data=data, base=base, epoch=self.epoch)
+
+    def fetch_records(
+        self,
+        position: WALPosition,
+        *,
+        max_records: int = 512,
+        max_bytes: int = 1 << 20,
+    ) -> FetchResult:
+        """Serve records from ``position``; ``truncated`` when the
+        position falls outside the retained WAL window."""
+        failpoints.fire("repl.ship_record")
+        with self._meta_lock:
+            base = self._base
+        tail = self.wal.tail_position()
+        if position < base or position > tail:
+            return FetchResult(
+                records=[], position=position, epoch=self.epoch,
+                tail=tail, truncated=True,
+            )
+        try:
+            records, resume = self._reader.read(
+                position, max_records=max_records, max_bytes=max_bytes
+            )
+        except WALTruncatedError:
+            # position == base whose segment a checkpoint deleted:
+            # nothing exists between the base and the earliest surviving
+            # byte, so skip the cursor ahead rather than re-bootstrap.
+            restart = first_position(self.wal.directory)
+            if restart is None:
+                # Truncate emptied the directory and no append has
+                # recreated a segment yet: everything at or below the
+                # base is in the snapshot, so the cursor jumps straight
+                # to the tail.
+                return FetchResult(
+                    records=[], position=tail, epoch=self.epoch,
+                    tail=tail, lag_bytes=0, truncated=False,
+                )
+            if restart < position:
+                return FetchResult(
+                    records=[], position=position, epoch=self.epoch,
+                    tail=tail, truncated=True,
+                )
+            records, resume = self._reader.read(
+                restart, max_records=max_records, max_bytes=max_bytes
+            )
+        self.batches_served += 1
+        self.records_served += len(records)
+        return FetchResult(
+            records=records,
+            position=resume,
+            epoch=self.epoch,
+            tail=tail,
+            lag_bytes=self._reader.bytes_behind(resume),
+            truncated=False,
+        )
+
+    # -- lifecycle -----------------------------------------------------
+
+    def checkpoint(self) -> int:
+        """Snapshot + WAL truncate, then advance the stream base."""
+        count = self.durable.checkpoint()
+        with self._meta_lock:
+            self._base = self.durable.last_checkpoint_position
+        return count
+
+    def kill(self) -> None:
+        """Simulate process death: transports refuse, nothing flushes."""
+        self.alive = False
+
+    def close(self) -> None:
+        self.durable.close()
+
+    def __enter__(self) -> "Primary":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if exc_info[0] is not None and issubclass(
+            exc_info[0], failpoints.SimulatedCrash
+        ):
+            return
+        self.close()

@@ -8,6 +8,7 @@ from .failpoints import (
     armed,
     fire,
     hit_count,
+    hit_counts,
     registered,
     reset,
 )
@@ -20,6 +21,7 @@ __all__ = [
     "armed",
     "fire",
     "hit_count",
+    "hit_counts",
     "registered",
     "reset",
 ]

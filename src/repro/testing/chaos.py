@@ -1,0 +1,521 @@
+"""Chaos-soak harness for the replication layer.
+
+Runs a seeded, fully deterministic schedule of writes against a
+primary + N-replica cluster while injecting faults between operations —
+primary kills and partitions, replica kills and restarts, checkpoint
+truncations under the stream, and probabilistic transport drop / delay /
+duplicate chaos — then heals everything, lets the cluster converge, and
+checks the two properties the replication design promises:
+
+1. **No acknowledged write is ever lost.**  The harness keeps a
+   *certainty oracle*: the last op per key is recorded only when the
+   primary of the current epoch acknowledged it (synchronous quorum
+   acks).  A rejected write (``FencedError`` before any state change,
+   or ``AckQuorumError`` after local durability but below quorum) makes
+   the key *uncertain* and drops it from the oracle — surviving is
+   allowed, being relied on is not.  At the end, every certain key must
+   hold its certain value on the final primary.
+2. **Replicas converge byte-for-byte.**  After healing and draining,
+   every replica's ``items()`` must equal the final primary's
+   ``items()``, and the final primary's durability directory must
+   recover to exactly its in-memory state.
+
+The harness *returns* a :class:`ChaosReport` rather than asserting, so
+tests can layer their own expectations (and CI can print the counters
+of a failing seed verbatim).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Type, Union
+
+from ..core.bptree import BPlusTree
+from ..core.config import TreeConfig
+from ..core.durable import DurableTree
+from ..core.quit_tree import QuITTree
+from ..replication import (
+    AckQuorumError,
+    EpochRegistry,
+    FailoverCoordinator,
+    FailoverQuorumError,
+    FencedError,
+    InProcessTransport,
+    Primary,
+    Replica,
+    TransportChaos,
+    TransportError,
+)
+from . import failpoints
+
+
+@dataclass
+class ChaosConfig:
+    """One soak schedule.  Everything is derived from ``seed``."""
+
+    seed: int = 0
+    ops: int = 1000
+    n_replicas: int = 3
+    #: replicas that must apply a write before it is acknowledged;
+    #: ``None`` means a majority of the replica set (the setting under
+    #: which most-caught-up election provably preserves acked writes).
+    required_acks: Optional[int] = None
+    failure_threshold: int = 2
+    #: per-op probability that a fault event fires before the op.
+    event_probability: float = 0.03
+    drop_probability: float = 0.08
+    delay_probability: float = 0.08
+    duplicate_probability: float = 0.08
+    key_space: int = 400
+    batch_max: int = 12
+    checkpoint_every: int = 150
+    fsync: str = "none"
+    leaf_capacity: int = 8
+    segment_bytes: int = 2048
+    tree_class: Type[BPlusTree] = QuITTree
+
+    def majority(self) -> int:
+        return self.n_replicas // 2 + 1
+
+
+@dataclass
+class ChaosReport:
+    """Counters and verdicts from one soak run."""
+
+    seed: int = 0
+    ops: int = 0
+    acked: int = 0
+    fenced_rejects: int = 0
+    ack_failures: int = 0
+    unavailable: int = 0
+    failovers: int = 0
+    quorum_refusals: int = 0
+    primary_kills: int = 0
+    primary_restarts: int = 0
+    replica_kills: int = 0
+    replica_restarts: int = 0
+    partitions: int = 0
+    heals: int = 0
+    checkpoints: int = 0
+    rejoins: int = 0
+    bootstraps: int = 0
+    transport_drops: int = 0
+    transport_delays: int = 0
+    transport_duplicates: int = 0
+    final_epoch: int = 0
+    certain_keys: int = 0
+    final_entries: int = 0
+    lost_writes: list = field(default_factory=list)
+    divergent_replicas: list = field(default_factory=list)
+    invariant_violations: list = field(default_factory=list)
+    recovered_matches: bool = True
+    converged: bool = False
+
+    @property
+    def ok(self) -> bool:
+        """Zero acknowledged-write loss and full convergence."""
+        return (
+            not self.lost_writes
+            and not self.divergent_replicas
+            and not self.invariant_violations
+            and self.recovered_matches
+            and self.converged
+        )
+
+    def summary(self) -> str:
+        verdict = "OK" if self.ok else "FAILED"
+        return (
+            f"seed={self.seed} {verdict}: {self.acked}/{self.ops} acked, "
+            f"{self.failovers} failovers (epoch {self.final_epoch}), "
+            f"{self.primary_kills}+{self.replica_kills} kills, "
+            f"{self.partitions} partitions, {self.bootstraps} bootstraps, "
+            f"{self.transport_drops}/{self.transport_delays}/"
+            f"{self.transport_duplicates} drop/delay/dup, "
+            f"{len(self.lost_writes)} lost, "
+            f"{len(self.divergent_replicas)} divergent, "
+            f"{self.final_entries} entries"
+        )
+
+
+class ChaosSoak:
+    """Build a cluster under ``root`` and run one seeded schedule."""
+
+    def __init__(self, root: Union[str, Path], config: ChaosConfig) -> None:
+        self.root = Path(root)
+        self.config = config
+        self.rng = random.Random(config.seed)
+        self.report = ChaosReport(seed=config.seed)
+        self._node_seq = 0
+        self._chaos_seq = 0
+        self._transports: list[InProcessTransport] = []
+        self._partitioned_links: list[InProcessTransport] = []
+        self._partitioned_node: Optional[str] = None
+        self._retired = 0
+        cfg = config
+        self.tree_config = TreeConfig(
+            leaf_capacity=cfg.leaf_capacity,
+            internal_capacity=cfg.leaf_capacity,
+        )
+        self.registry = EpochRegistry()
+        self.required_acks = (
+            cfg.required_acks
+            if cfg.required_acks is not None
+            else cfg.majority()
+        )
+        primary = Primary(
+            self._new_durable("node0"),
+            registry=self.registry,
+            node_id="node0",
+            required_acks=self.required_acks,
+        )
+        replicas = []
+        for i in range(cfg.n_replicas):
+            replica = Replica(
+                self.root / f"replica{i}",
+                self._transport(primary),
+                tree_class=cfg.tree_class,
+                config=self.tree_config,
+                fsync="none",
+                name=f"replica{i}",
+            )
+            replica.bootstrap()
+            primary.attach(replica)
+            replicas.append(replica)
+        self.coordinator = FailoverCoordinator(
+            primary,
+            self._transport(primary),
+            replicas,
+            self.registry,
+            transport_factory=self._transport,
+            failure_threshold=cfg.failure_threshold,
+        )
+
+    # -- plumbing ------------------------------------------------------
+
+    def _new_durable(self, name: str) -> DurableTree:
+        cfg = self.config
+        return DurableTree(
+            cfg.tree_class(self.tree_config),
+            self.root / name,
+            fsync=cfg.fsync,
+            segment_bytes=cfg.segment_bytes,
+        )
+
+    def _transport(self, primary: Primary) -> InProcessTransport:
+        cfg = self.config
+        self._chaos_seq += 1
+        chaos = TransportChaos(
+            drop_probability=cfg.drop_probability,
+            delay_probability=cfg.delay_probability,
+            duplicate_probability=cfg.duplicate_probability,
+            seed=cfg.seed * 7919 + self._chaos_seq,
+        )
+        transport = InProcessTransport(primary, chaos=chaos)
+        self._transports.append(transport)
+        return transport
+
+    @property
+    def primary(self) -> Primary:
+        return self.coordinator.primary
+
+    def _live_links(self) -> list[InProcessTransport]:
+        links = [self.coordinator.primary_transport]
+        links += [
+            r.transport
+            for r in self.coordinator.replicas
+            if isinstance(r.transport, InProcessTransport)
+            and r.transport.primary is self.primary
+        ]
+        return links
+
+    # -- fault events --------------------------------------------------
+
+    def _event(self) -> None:
+        roll = self.rng.random()
+        if roll < 0.22:
+            self._partition_primary()
+        elif roll < 0.44:
+            self._heal()
+        elif roll < 0.60:
+            self._kill_replica()
+        elif roll < 0.78:
+            self._restart_replica()
+        elif roll < 0.88:
+            self._kill_primary()
+        else:
+            self._rejoin_retired()
+
+    def _partition_primary(self) -> None:
+        if self._partitioned_node is not None or not self.primary.alive:
+            return
+        for link in self._live_links():
+            link.partition()
+            self._partitioned_links.append(link)
+        self._partitioned_node = self.primary.node_id
+        self.registry.partition(self.primary.node_id)
+        self.report.partitions += 1
+
+    def _heal(self) -> None:
+        if self._partitioned_node is None:
+            return
+        for link in self._partitioned_links:
+            link.heal()
+        self._partitioned_links.clear()
+        self.registry.heal_all()
+        self._partitioned_node = None
+        self.report.heals += 1
+
+    def _kill_primary(self) -> None:
+        if not self.primary.alive:
+            return
+        self.primary.kill()
+        self.report.primary_kills += 1
+        self._retired += 1
+
+    def _kill_replica(self) -> None:
+        alive = [r for r in self.coordinator.replicas if r.alive]
+        # Never drop below the election quorum: a real deployment sizes
+        # its replica set so this cannot happen; the harness's job is
+        # write-loss hunting, not availability-math torture.
+        if len(alive) <= self.coordinator.election_quorum:
+            return
+        self.rng.choice(alive).kill()
+        self.report.replica_kills += 1
+
+    def _restart_replica(self) -> None:
+        dead = [r for r in self.coordinator.replicas if not r.alive]
+        if not dead:
+            return
+        replica = self.rng.choice(dead)
+        replica.attach(self._transport(self.primary))
+        try:
+            replica.resume()
+        except Exception:
+            try:
+                replica.bootstrap()
+            except Exception:
+                replica.kill()
+                return
+        # Safe to attach even with a stale-tenure cursor: the primary's
+        # ack loop refuses cross-epoch positions until the replica's
+        # first poll has re-bootstrapped it into the current tenure.
+        self.primary.attach(replica)
+        self.report.replica_restarts += 1
+
+    def _rejoin_retired(self) -> None:
+        if self._retired == 0 or not self.primary.alive:
+            return
+        if len(self.coordinator.replicas) >= self.config.n_replicas + 2:
+            return
+        self._retired -= 1
+        self._node_seq += 1
+        name = f"rejoin{self._node_seq}"
+        replica = Replica(
+            self.root / name,
+            self._transport(self.primary),
+            tree_class=self.config.tree_class,
+            config=self.tree_config,
+            fsync="none",
+            name=name,
+        )
+        try:
+            replica.bootstrap()
+        except Exception:
+            return
+        self.coordinator.add_replica(replica)
+        self.report.rejoins += 1
+
+    # -- the schedule --------------------------------------------------
+
+    def run(self) -> ChaosReport:
+        cfg = self.config
+        report = self.report
+        certain: dict = {}
+        for step in range(cfg.ops):
+            if self.rng.random() < cfg.event_probability:
+                self._event()
+            if step and step % cfg.checkpoint_every == 0 \
+                    and self.primary.alive:
+                try:
+                    self.primary.checkpoint()
+                    report.checkpoints += 1
+                except FencedError:
+                    pass
+            try:
+                promotion = self.coordinator.tick()
+            except FailoverQuorumError:
+                promotion = None
+                report.quorum_refusals += 1
+            if promotion is not None:
+                report.failovers += 1
+                # The deposed node leaves the follower pool (the winner
+                # became primary); let a replacement node join later so
+                # repeated failovers do not drain the cluster.
+                self._retired += 1
+            report.ops += 1
+            key = self.rng.randrange(cfg.key_space)
+            value = step
+            roll = self.rng.random()
+            if not self.primary.alive:
+                report.unavailable += 1
+                continue
+            try:
+                if roll < 0.60:
+                    self.primary.insert(key, value)
+                    certain[key] = ("present", value)
+                elif roll < 0.75:
+                    self.primary.delete(key)
+                    certain[key] = ("absent", None)
+                else:
+                    batch = [
+                        ((key + j) % cfg.key_space, value)
+                        for j in range(
+                            1 + self.rng.randrange(cfg.batch_max)
+                        )
+                    ]
+                    self.primary.insert_many(batch)
+                    for k, v in batch:
+                        certain[k] = ("present", v)
+                report.acked += 1
+            except FencedError:
+                # Rejected before any state change: the oracle entry for
+                # this key is still exactly right.
+                report.fenced_rejects += 1
+            except AckQuorumError:
+                # Locally durable but below quorum: the key's fate now
+                # depends on which node wins a future election.
+                report.ack_failures += 1
+                if roll < 0.75:
+                    certain.pop(key, None)
+                else:
+                    for k, _ in batch:
+                        certain.pop(k, None)
+            except TransportError:
+                report.unavailable += 1
+        self._finish(certain)
+        return report
+
+    def _restart_primary(self) -> None:
+        """Operator restart of a dead primary on its own node (the
+        no-electable-replicas endgame: the data is on its disk)."""
+        old = self.coordinator.primary
+        old.close()  # flush: an in-process restart is a graceful one
+        durable, _ = DurableTree.recover(
+            old.directory,
+            self.config.tree_class,
+            self.tree_config,
+            fsync=self.config.fsync,
+            segment_bytes=self.config.segment_bytes,
+        )
+        self.coordinator.primary = Primary(
+            durable,
+            registry=self.registry,
+            node_id=old.node_id,
+            required_acks=self.required_acks,
+        )
+        self.coordinator.primary_transport = self._transport(
+            self.coordinator.primary
+        )
+        self.report.primary_restarts += 1
+
+    # -- convergence and verdicts --------------------------------------
+
+    def _finish(self, certain: dict) -> None:
+        report = self.report
+        cfg = self.config
+        self._heal()
+        # Revive every dead replica from its own disk first (a local
+        # operation) so the election below has its full candidate set.
+        needs_bootstrap = []
+        for replica in self.coordinator.replicas:
+            if not replica.alive:
+                try:
+                    replica.resume()
+                    report.replica_restarts += 1
+                except Exception:
+                    replica.kill()
+                    needs_bootstrap.append(replica)
+        if not self.primary.alive:
+            try:
+                self.coordinator.failover()
+                report.failovers += 1
+            except FailoverQuorumError:
+                self._restart_primary()
+        for replica in needs_bootstrap:
+            replica.alive = True
+            replica.attach(self._transport(self.primary))
+            replica.bootstrap()
+        # Quiet, direct links to the live primary for the final drain.
+        for replica in self.coordinator.replicas:
+            transport = InProcessTransport(self.primary)
+            replica.attach(transport)
+            self.primary.attach(replica)
+            if replica.epoch != self.primary.epoch:
+                # Cross-tenure cursor: positions are not comparable, so
+                # rebuild instead of letting catch_up compare them.
+                replica.bootstrap()
+        tail = self.primary.tail_position()
+        for replica in self.coordinator.replicas:
+            replica.catch_up(tail, max_rounds=64)
+        # Tally transport chaos that actually fired, across every link
+        # the run ever created (links are swapped on restarts/failovers).
+        for transport in self._transports:
+            report.transport_drops += transport.drops
+            report.transport_delays += transport.delays
+            report.transport_duplicates += transport.duplicates
+        for replica in self.coordinator.replicas:
+            report.bootstraps += replica.bootstraps
+        report.final_epoch = self.registry.current()
+        report.certain_keys = len(certain)
+        primary_items = list(self.primary.items())
+        report.final_entries = len(primary_items)
+        state = dict(primary_items)
+        for key, (kind, value) in sorted(certain.items()):
+            if kind == "present":
+                if state.get(key, _MISSING) != value:
+                    report.lost_writes.append(
+                        (key, value, state.get(key, None))
+                    )
+            else:
+                if key in state:
+                    report.lost_writes.append((key, None, state[key]))
+        for replica in self.coordinator.replicas:
+            if replica.items() != primary_items:
+                report.divergent_replicas.append(replica.name)
+            violations = replica.check(check_min_fill=False)
+            if violations:
+                report.invariant_violations.append(
+                    (replica.name, violations)
+                )
+        violations = self.primary.check(check_min_fill=False)
+        if violations:
+            report.invariant_violations.append(
+                (self.primary.node_id, violations)
+            )
+        report.converged = not report.divergent_replicas
+        # Finally: the winning primary's directory must itself recover
+        # to exactly the served state (the promoted node is a real
+        # durability root, not just a cache).
+        self.primary.close()
+        recovered, _ = DurableTree.recover(
+            self.primary.directory, cfg.tree_class, self.tree_config
+        )
+        report.recovered_matches = (
+            list(recovered.items()) == primary_items
+        )
+        recovered.close()
+        for replica in self.coordinator.replicas:
+            replica.close()
+
+
+_MISSING = object()
+
+
+def run_soak(
+    root: Union[str, Path], config: Optional[ChaosConfig] = None
+) -> ChaosReport:
+    """Convenience wrapper: build, run, and report one soak schedule."""
+    failpoints.reset()
+    return ChaosSoak(root, config or ChaosConfig()).run()

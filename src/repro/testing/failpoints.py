@@ -51,6 +51,20 @@ KNOWN_FAILPOINTS: tuple[str, ...] = (
     "snapshot.after_replace",
     "checkpoint.before_truncate",
     "checkpoint.after_truncate",
+    # Replication layer (repro.replication): primary serving side,
+    # replica apply side, coordinator decisions, and the in-process
+    # transport's fault-injection hooks.  A "raise" at a transport site
+    # models exactly a dropped/failed network call — the replication
+    # code handles FailpointError as it would a TransportError.
+    "repl.snapshot_fetch",
+    "repl.ship_record",
+    "repl.apply_record",
+    "repl.promote",
+    "repl.fence",
+    "repl.health_check",
+    "repl.transport.drop",
+    "repl.transport.delay",
+    "repl.transport.reorder",
 )
 
 _KNOWN = frozenset(KNOWN_FAILPOINTS)
@@ -161,6 +175,17 @@ def armed() -> tuple[str, ...]:
     """Names currently armed (diagnostics)."""
     with _lock:
         return tuple(_active)
+
+
+def hit_counts() -> dict[str, int]:
+    """Consistent snapshot of every hit counter (multi-thread safe).
+
+    Reading counters one ``hit_count`` call at a time from a monitoring
+    thread can interleave with concurrent ``fire`` calls; this returns
+    all of them under one lock acquisition.
+    """
+    with _lock:
+        return dict(_hit_counts)
 
 
 def hit_count(name: str) -> int:

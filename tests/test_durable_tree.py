@@ -450,3 +450,65 @@ class TestDurableExit:
                 raise SimulatedCrash("simulated crash")
         assert t.wal._fh is not None  # a dead process flushes nothing
         t.wal._fh.close()
+
+class TestMultiSegmentTornMiddleRecovery:
+    """Satellite: recovery spanning several rotated segments where the
+    torn record sits in a *middle* segment — replay must stop there,
+    drop the later segments' records, and repair_wal must leave a log
+    that accepts (and preserves) post-repair appends."""
+
+    def build(self, tmp_path, n=400):
+        t = DurableTree(
+            QuITTree(CFG), tmp_path, fsync="none", segment_bytes=1024
+        )
+        for i in range(n):
+            t.insert(i, str(i))
+        t.close()
+        segs = segment_paths(tmp_path / WAL_DIRNAME)
+        assert len(segs) >= 3, "workload must span >= 3 segments"
+        return segs
+
+    def test_torn_middle_segment_recovers_prefix(self, tmp_path):
+        from repro.core.wal import repair_wal
+
+        segs = self.build(tmp_path)
+        middle = segs[len(segs) // 2]
+        data = middle.read_bytes()
+        middle.write_bytes(data[:-5])  # torn record mid-log
+        recovered, report = DurableTree.recover(tmp_path, QuITTree)
+        assert report.truncated_tail
+        assert report.tail_bytes_dropped > 0
+        # Everything before the tear replayed; everything after it is
+        # gone, including the intact later segments.
+        keys = [k for k, _ in recovered.items()]
+        assert keys == list(range(len(keys)))
+        assert 0 < len(keys) < 400
+        assert recovered.check(check_min_fill=False) == []
+        recovered.close()
+
+    def test_repair_then_append_then_recover_again(self, tmp_path):
+        from repro.core.wal import repair_wal, replay_wal
+
+        segs = self.build(tmp_path)
+        middle = segs[len(segs) // 2]
+        middle.write_bytes(middle.read_bytes()[:-5])
+        wal_dir = tmp_path / WAL_DIRNAME
+        res = replay_wal(wal_dir)
+        repair_wal(wal_dir, res)
+        # The damaged segment is trimmed to its last valid record and
+        # the later segments are deleted.
+        remaining = segment_paths(wal_dir)
+        assert remaining[-1] == middle
+        assert middle.stat().st_size < 1024
+        # First recovery after repair is clean, and new writes made
+        # through it survive a *second* recovery.
+        t, report = DurableTree.recover(tmp_path, QuITTree)
+        assert report.clean
+        base = len(t)
+        t.insert(9999, "post-repair")
+        t.close()
+        t2, report2 = DurableTree.recover(tmp_path, QuITTree)
+        assert report2.clean
+        assert t2.get(9999) == "post-repair"
+        assert len(t2) == base + 1
+        t2.close()

@@ -113,3 +113,121 @@ class TestFiring:
         # The inactive fast path stays a single dict check; validation
         # only runs while some failpoint is armed (i.e. under test).
         failpoints.fire("wal.renamed_typo_site")
+
+class TestReplicationSites:
+    def test_replication_failpoints_are_registered(self):
+        for name in (
+            "repl.snapshot_fetch",
+            "repl.ship_record",
+            "repl.apply_record",
+            "repl.promote",
+            "repl.fence",
+            "repl.health_check",
+            "repl.transport.drop",
+            "repl.transport.delay",
+            "repl.transport.reorder",
+        ):
+            assert name in KNOWN_FAILPOINTS
+
+    def test_hit_counts_snapshot(self):
+        failpoints.reset()
+        with failpoints.active(
+            "repl.ship_record", mode="raise", hits_before=10**9
+        ):
+            failpoints.fire("repl.ship_record")
+            failpoints.fire("repl.apply_record")
+            counts = failpoints.hit_counts()
+        assert counts["repl.ship_record"] == 1
+        assert counts["repl.apply_record"] == 1
+        # The snapshot is detached from live state.
+        counts["repl.ship_record"] = 999
+        failpoints.reset()
+        assert failpoints.hit_counts() == {}
+
+
+class TestThreadSafety:
+    """Satellite: counters and arming race-free under concurrent fire()
+    from many threads (the concurrency layer fires these sites)."""
+
+    def test_concurrent_fires_count_exactly(self):
+        import threading
+
+        failpoints.reset()
+        n_threads, per_thread = 8, 500
+        start = threading.Barrier(n_threads)
+
+        def worker():
+            start.wait()
+            for _ in range(per_thread):
+                failpoints.fire("repl.apply_record")
+
+        with failpoints.active(
+            "repl.apply_record", mode="raise", hits_before=10**9
+        ):
+            threads = [
+                threading.Thread(target=worker) for _ in range(n_threads)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert failpoints.hit_count("repl.apply_record") == (
+                n_threads * per_thread
+            )
+
+    def test_concurrent_hits_before_fires_exactly_once_each_window(self):
+        import threading
+
+        failpoints.reset()
+        n_threads, per_thread = 8, 200
+        total = n_threads * per_thread
+        errors = []
+        start = threading.Barrier(n_threads)
+
+        def worker():
+            start.wait()
+            for _ in range(per_thread):
+                try:
+                    failpoints.fire("repl.ship_record")
+                except FailpointError:
+                    errors.append(1)
+
+        with failpoints.active(
+            "repl.ship_record", mode="raise", hits_before=total // 2
+        ) as state:
+            threads = [
+                threading.Thread(target=worker) for _ in range(n_threads)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        # Every hit past the threshold raised; none lost to a race.
+        assert len(errors) == total - total // 2
+        assert state.fired == len(errors)
+
+    def test_concurrent_arm_disarm_with_firing_threads(self):
+        import threading
+
+        failpoints.reset()
+        stop = threading.Event()
+
+        def firer():
+            while not stop.is_set():
+                try:
+                    failpoints.fire("repl.health_check")
+                except FailpointError:
+                    pass
+
+        threads = [threading.Thread(target=firer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        try:
+            for _ in range(50):
+                with failpoints.active("repl.health_check", mode="raise"):
+                    pass
+        finally:
+            stop.set()
+            for t in threads:
+                t.join()
+        assert failpoints.armed() == ()

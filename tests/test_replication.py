@@ -1,0 +1,466 @@
+"""Replication layer: streaming, replicas, acks, fencing, failover."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import DurableTree, QuITTree, TreeConfig
+from repro.core.durable import SNAPSHOT_NAME
+from repro.core.wal import WALPosition
+from repro.replication import (
+    AckQuorumError,
+    CURSOR_FILENAME,
+    EpochRegistry,
+    FailoverCoordinator,
+    FailoverQuorumError,
+    FencedError,
+    InProcessTransport,
+    Primary,
+    Replica,
+    ReplicaState,
+    ReplicationError,
+    StaleEpochError,
+    TransportChaos,
+    read_epoch,
+)
+from repro.testing import FailpointError, SimulatedCrash, failpoints
+
+CONFIG = TreeConfig(leaf_capacity=8, internal_capacity=8)
+
+
+def make_primary(tmp_path, name="node0", **kwargs):
+    durable = DurableTree(
+        QuITTree(CONFIG), tmp_path / name, fsync="none",
+        segment_bytes=2048,
+    )
+    return Primary(durable, node_id=name, **kwargs)
+
+
+def make_replica(tmp_path, primary, name="replica0", chaos=None):
+    replica = Replica(
+        tmp_path / name,
+        InProcessTransport(primary, chaos=chaos),
+        tree_class=QuITTree,
+        config=CONFIG,
+        name=name,
+    )
+    replica.bootstrap()
+    return replica
+
+
+class TestPrimaryStream:
+    def test_snapshot_payload_before_any_checkpoint(self, tmp_path):
+        primary = make_primary(tmp_path)
+        payload = primary.snapshot_payload()
+        assert payload.data is None
+        assert payload.epoch == 1
+
+    def test_fetch_records_streams_all_op_kinds(self, tmp_path):
+        primary = make_primary(tmp_path)
+        primary.insert(1, "one")
+        primary.delete(1)
+        primary.insert_many([(2, "two"), (3, "three")])
+        payload = primary.snapshot_payload()
+        result = primary.fetch_records(payload.base)
+        ops = [r.op for r in result.records]
+        # The first record is the tenure's epoch marker.
+        assert ops[0] == ("e", 1)
+        assert ("i", 1, "one") in ops
+        assert ("d", 1) in ops
+        assert ("m", [(2, "two"), (3, "three")]) in ops
+        assert not result.truncated
+        assert result.position == primary.tail_position()
+        assert result.lag_bytes == 0
+
+    def test_fetch_below_base_reports_truncated(self, tmp_path):
+        primary = make_primary(tmp_path)
+        for i in range(50):
+            primary.insert(i, i)
+        primary.checkpoint()
+        stale = WALPosition(0, 0)
+        result = primary.fetch_records(stale)
+        assert result.truncated
+
+    def test_fetch_at_base_with_empty_wal_jumps_to_tail(self, tmp_path):
+        primary = make_primary(tmp_path)
+        for i in range(10):
+            primary.insert(i, i)
+        primary.checkpoint()
+        base = primary.snapshot_payload().base
+        result = primary.fetch_records(base)
+        assert not result.truncated
+        assert result.records == []
+        assert result.position >= base
+
+    def test_epoch_marker_precedes_data(self, tmp_path):
+        primary = make_primary(tmp_path, epoch=7)
+        primary.insert(1, 1)
+        result = primary.fetch_records(primary.snapshot_payload().base)
+        assert result.records[0].op == ("e", 7)
+        assert read_epoch(primary.directory) == 7
+
+
+class TestReplica:
+    def test_bootstrap_and_stream_converge(self, tmp_path):
+        primary = make_primary(tmp_path)
+        for i in range(100):
+            primary.insert(i, i * 2)
+        primary.checkpoint()  # snapshot half the state
+        for i in range(100, 200):
+            primary.insert(i, i * 2)
+        replica = make_replica(tmp_path, primary)
+        replica.catch_up(primary.tail_position())
+        assert replica.items() == list(primary.items())
+        assert replica.state is ReplicaState.FOLLOWING
+        assert replica.lag_bytes == 0
+
+    def test_replica_applies_deletes_and_batches(self, tmp_path):
+        primary = make_primary(tmp_path)
+        replica = make_replica(tmp_path, primary)
+        primary.insert_many([(i, i) for i in range(50)])
+        primary.delete(7)
+        primary.delete(13)
+        replica.catch_up(primary.tail_position())
+        assert replica.get(7) is None
+        assert replica.get(8) == 8
+        assert len(replica) == 48
+
+    def test_duplicate_delivery_is_deduplicated(self, tmp_path):
+        primary = make_primary(tmp_path)
+        chaos = TransportChaos(duplicate_probability=0.6, seed=3)
+        replica = make_replica(tmp_path, primary, chaos=chaos)
+        for phase in range(4):
+            primary.insert_many(
+                [(phase * 30 + i, phase) for i in range(30)]
+            )
+            replica.catch_up(primary.tail_position(), max_rounds=128)
+        assert replica.items() == list(primary.items())
+        assert replica.transport.duplicates > 0
+        assert replica.duplicates_skipped > 0
+
+    def test_crc_tamper_is_rejected(self, tmp_path):
+        class TamperingTransport(InProcessTransport):
+            def fetch_records(self, position, **kwargs):
+                result = super().fetch_records(position, **kwargs)
+                result.records[:] = [
+                    r.__class__(
+                        position=r.position,
+                        next_position=r.next_position,
+                        payload=r.payload,
+                        crc=r.crc ^ 0xDEAD,
+                    )
+                    for r in result.records
+                ]
+                return result
+
+        primary = make_primary(tmp_path)
+        replica = Replica(
+            tmp_path / "tampered", TamperingTransport(primary),
+            tree_class=QuITTree, config=CONFIG, name="tampered",
+        )
+        replica.bootstrap()
+        primary.insert(1, "clean")
+        with pytest.raises(ReplicationError, match="CRC"):
+            replica.poll()
+        assert replica.crc_failures == 1
+        assert replica.get(1) is None  # nothing was applied
+
+    def test_replica_is_locally_durable(self, tmp_path):
+        primary = make_primary(tmp_path)
+        for i in range(80):
+            primary.insert(i, str(i))
+        primary.checkpoint()
+        for i in range(80, 120):
+            primary.insert(i, str(i))
+        replica = make_replica(tmp_path, primary)
+        replica.catch_up(primary.tail_position())
+        expected = replica.items()
+        replica.close()
+        recovered, report = DurableTree.recover(
+            replica.directory, QuITTree, CONFIG
+        )
+        assert list(recovered.items()) == expected
+        recovered.close()
+
+    def test_resume_continues_from_cursor(self, tmp_path):
+        primary = make_primary(tmp_path)
+        replica = make_replica(tmp_path, primary)
+        for i in range(40):
+            primary.insert(i, i)
+        replica.catch_up(primary.tail_position())
+        cursor_before = replica.position
+        replica.kill()
+        for i in range(40, 80):
+            primary.insert(i, i)
+        replica.resume()
+        assert replica.position == cursor_before
+        assert (replica.directory / CURSOR_FILENAME).exists()
+        replica.catch_up(primary.tail_position())
+        assert replica.items() == list(primary.items())
+
+    def test_rebootstrap_after_checkpoint_truncation(self, tmp_path):
+        primary = make_primary(tmp_path)
+        replica = make_replica(tmp_path, primary)
+        replica.catch_up(primary.tail_position())
+        # Push the replica's cursor far behind a checkpoint: rotation is
+        # forced by tiny segment_bytes, and checkpoint() truncates.
+        for i in range(300):
+            primary.insert(i, i)
+        primary.checkpoint()
+        for i in range(300, 320):
+            primary.insert(i, i)
+        replica.catch_up(primary.tail_position(), max_rounds=32)
+        assert replica.bootstraps >= 2  # initial + truncation recovery
+        assert replica.items() == list(primary.items())
+
+
+class TestSyncAcks:
+    def test_sync_ack_waits_for_replica(self, tmp_path):
+        primary = make_primary(tmp_path, required_acks=1)
+        replica = make_replica(tmp_path, primary)
+        primary.attach(replica)
+        primary.insert(1, "acked")
+        # The ack implies the replica already applied it.
+        assert replica.get(1) == "acked"
+
+    def test_ack_quorum_failure_raises(self, tmp_path):
+        primary = make_primary(tmp_path, required_acks=1)
+        replica = make_replica(tmp_path, primary)
+        primary.attach(replica)
+        replica.kill()
+        with pytest.raises(AckQuorumError) as exc_info:
+            primary.insert(2, "unacked")
+        assert exc_info.value.acks == 0
+        assert exc_info.value.required == 1
+        # The write is locally durable (it may survive) — it is just
+        # not acknowledged.
+        assert primary.get(2) == "unacked"
+
+    def test_stale_tenure_replica_does_not_count_as_ack(self, tmp_path):
+        primary = make_primary(tmp_path, required_acks=1)
+        replica = make_replica(tmp_path, primary)
+        # Simulate a cursor from a different tenure with an inflated
+        # position: it must not satisfy the quorum via the early-exit.
+        replica.epoch = primary.epoch + 5
+        replica.position = WALPosition(999, 0)
+        replica.kill()
+        primary.attach(replica)
+        with pytest.raises(AckQuorumError):
+            primary.insert(1, 1)
+
+
+class TestFencing:
+    def test_registry_bump_fences_old_primary(self, tmp_path):
+        registry = EpochRegistry()
+        primary = make_primary(tmp_path, registry=registry)
+        primary.insert(1, 1)
+        registry.bump()
+        with pytest.raises(FencedError):
+            primary.insert(2, 2)
+        assert primary.fenced
+        assert primary.writes_rejected == 1
+        # The rejected write never reached the durable tree.
+        assert primary.get(2) is None
+
+    def test_partitioned_primary_fails_safe(self, tmp_path):
+        registry = EpochRegistry()
+        primary = make_primary(tmp_path, registry=registry)
+        registry.partition(primary.node_id)
+        with pytest.raises(FencedError):
+            primary.insert(1, 1)
+        registry.heal(primary.node_id)
+        primary.insert(1, 1)  # reachable again, still epoch holder
+
+    def test_fence_decree(self, tmp_path):
+        primary = make_primary(tmp_path)
+        transport = InProcessTransport(primary)
+        transport.fence(5)
+        with pytest.raises(FencedError):
+            primary.insert(1, 1)
+        assert primary.fenced_by == 5
+
+    def test_replica_rejects_deposed_primary_stream(self, tmp_path):
+        registry = EpochRegistry()
+        old = make_primary(tmp_path, name="old", registry=registry)
+        replica = make_replica(tmp_path, old)
+        old.insert(1, 1)
+        replica.catch_up(old.tail_position())
+        # A new tenure starts elsewhere; this replica learns of it.
+        replica.epoch = registry.bump()
+        with pytest.raises(StaleEpochError):
+            replica.poll()
+        assert replica.stale_epoch_rejects == 1
+
+
+class TestFailover:
+    def build_cluster(self, tmp_path, n_replicas=2, required_acks=0):
+        registry = EpochRegistry()
+        primary = make_primary(
+            tmp_path, registry=registry, required_acks=required_acks
+        )
+        replicas = [
+            make_replica(tmp_path, primary, name=f"replica{i}")
+            for i in range(n_replicas)
+        ]
+        for replica in replicas:
+            primary.attach(replica)
+        coordinator = FailoverCoordinator(
+            primary,
+            InProcessTransport(primary),
+            replicas,
+            registry,
+            transport_factory=InProcessTransport,
+            failure_threshold=2,
+        )
+        return registry, primary, replicas, coordinator
+
+    def test_tick_promotes_after_threshold(self, tmp_path):
+        registry, primary, replicas, coord = self.build_cluster(tmp_path)
+        for i in range(60):
+            primary.insert(i, i)
+        for replica in replicas:
+            replica.catch_up(primary.tail_position())
+        primary.kill()
+        assert coord.tick() is None  # strike 1
+        report = coord.tick()  # strike 2 -> failover
+        assert report is not None
+        assert report.new_epoch == 2
+        assert coord.primary is not primary
+        assert coord.primary.epoch == 2
+        assert list(coord.primary.items()) == [(i, i) for i in range(60)]
+        # Promotion scrubbed the winner (report carries the numbers).
+        assert report.scrub_repairs >= 0
+        assert coord.primary.node_id == report.new_node
+
+    def test_most_caught_up_replica_wins(self, tmp_path):
+        registry, primary, replicas, coord = self.build_cluster(
+            tmp_path, n_replicas=2
+        )
+        for i in range(30):
+            primary.insert(i, i)
+        replicas[0].catch_up(primary.tail_position())
+        # replica1 lags: it never polls.
+        primary.kill()
+        coord.tick()
+        report = coord.tick()
+        assert report.new_node == "replica0"
+
+    def test_failover_repoints_remaining_replicas(self, tmp_path):
+        registry, primary, replicas, coord = self.build_cluster(tmp_path)
+        for i in range(40):
+            primary.insert(i, i)
+        for replica in replicas:
+            replica.catch_up(primary.tail_position())
+        primary.kill()
+        coord.tick()
+        report = coord.tick()
+        assert report.rebootstrapped == 1
+        survivor = coord.replicas[0]
+        coord.primary.insert(1000, "after")
+        survivor.catch_up(coord.primary.tail_position())
+        assert survivor.get(1000) == "after"
+        assert survivor.epoch == coord.primary.epoch
+
+    def test_quorum_refusal(self, tmp_path):
+        registry, primary, replicas, coord = self.build_cluster(
+            tmp_path, n_replicas=2
+        )
+        primary.kill()
+        for replica in replicas:
+            replica.kill()
+        coord.tick()
+        with pytest.raises(FailoverQuorumError):
+            coord.tick()
+
+    def test_old_primary_writes_rejected_after_partition(self, tmp_path):
+        """Acceptance: the fenced old primary's post-partition writes
+        are provably rejected, during the partition and after it heals."""
+        registry, primary, replicas, coord = self.build_cluster(tmp_path)
+        primary.insert(1, "before")
+        for replica in replicas:
+            replica.catch_up(primary.tail_position())
+        # Partition the primary from the registry and its replicas.
+        registry.partition(primary.node_id)
+        coord.primary_transport.partition()
+        with pytest.raises(FencedError):
+            primary.insert(2, "during-partition")
+        coord.tick()
+        report = coord.tick()
+        assert report is not None
+        new_primary = coord.primary
+        new_primary.insert(3, "new-tenure")
+        # Heal: the old primary is reachable again but deposed.
+        registry.heal(primary.node_id)
+        with pytest.raises(FencedError):
+            primary.insert(4, "after-heal")
+        assert primary.fenced
+        # Neither rejected write exists anywhere.
+        assert primary.get(2) is None and primary.get(4) is None
+        assert new_primary.get(2) is None and new_primary.get(4) is None
+        assert new_primary.get(3) == "new-tenure"
+
+    def test_status_snapshot(self, tmp_path):
+        registry, primary, replicas, coord = self.build_cluster(tmp_path)
+        status = coord.status()
+        assert status.primary == "node0"
+        assert status.epoch == 1
+        assert len(status.replicas) == 2
+        assert all(r["alive"] for r in status.replicas)
+
+
+class TestReplicationFailpoints:
+    def test_ship_record_failure_breaks_fetch(self, tmp_path):
+        primary = make_primary(tmp_path)
+        replica = make_replica(tmp_path, primary)
+        primary.insert(1, 1)
+        with failpoints.active("repl.ship_record", mode="raise"):
+            with pytest.raises(FailpointError):
+                replica.poll()
+        replica.catch_up(primary.tail_position())
+        assert replica.get(1) == 1
+
+    def test_snapshot_fetch_failure_breaks_bootstrap(self, tmp_path):
+        primary = make_primary(tmp_path)
+        replica = Replica(
+            tmp_path / "r", InProcessTransport(primary),
+            tree_class=QuITTree, config=CONFIG,
+        )
+        with failpoints.active("repl.snapshot_fetch", mode="raise"):
+            with pytest.raises(FailpointError):
+                replica.bootstrap()
+        replica.bootstrap()
+        assert replica.state is ReplicaState.FOLLOWING
+
+    def test_apply_record_crash_is_recoverable(self, tmp_path):
+        primary = make_primary(tmp_path)
+        replica = make_replica(tmp_path, primary)
+        primary.insert(1, 1)
+        with failpoints.active("repl.apply_record", mode="crash"):
+            with pytest.raises(SimulatedCrash):
+                replica.poll()
+        # The "crashed" replica restarts from its own disk.
+        replica.kill()
+        replica.resume()
+        replica.catch_up(primary.tail_position())
+        assert replica.get(1) == 1
+
+    def test_transport_drop_failpoint(self, tmp_path):
+        primary = make_primary(tmp_path)
+        replica = make_replica(tmp_path, primary)
+        with failpoints.active("repl.transport.drop", mode="raise"):
+            with pytest.raises(FailpointError):
+                replica.poll()
+        assert failpoints.hit_count("repl.transport.drop") == 1
+
+    def test_promote_failpoint_aborts_failover(self, tmp_path):
+        registry = EpochRegistry()
+        primary = make_primary(tmp_path, registry=registry)
+        replica = make_replica(tmp_path, primary)
+        coord = FailoverCoordinator(
+            primary, InProcessTransport(primary), [replica], registry,
+            transport_factory=InProcessTransport, failure_threshold=1,
+        )
+        primary.kill()
+        with failpoints.active("repl.promote", mode="raise"):
+            with pytest.raises(FailpointError):
+                coord.tick()

@@ -2,6 +2,7 @@
 damaged-log edge case replay must tolerate."""
 
 import struct
+from pathlib import Path
 import zlib
 
 import pytest
@@ -286,3 +287,183 @@ class TestContextManagerExit:
                 raise SimulatedCrash("simulated crash")
         assert wal._fh is not None  # a dead process flushes nothing
         wal._fh.close()
+
+class TestWALReader:
+    """Streaming reads for replication: resume cursors, rotation,
+    tailing semantics, truncation detection."""
+
+    def read_all(self, wal_dir, position=None):
+        from repro.core.wal import WALPosition, WALReader
+
+        reader = WALReader(wal_dir)
+        return reader.read(position or WALPosition(1, 0))
+
+    def test_reads_records_with_positions(self, wal_dir):
+        from repro.core.wal import WALPosition, WALReader
+
+        with WriteAheadLog(wal_dir) as wal:
+            fill(wal, 5)
+        records, resume = WALReader(wal_dir).read(WALPosition(1, 0))
+        assert len(records) == 5
+        assert [r.op for r in records] == replay_wal(wal_dir).ops
+        assert all(r.verify() for r in records)
+        # Positions chain: each record starts where the previous ended.
+        for a, b in zip(records, records[1:]):
+            assert a.next_position == b.position
+        assert resume == records[-1].next_position
+
+    def test_resume_from_mid_stream_position(self, wal_dir):
+        from repro.core.wal import WALPosition, WALReader
+
+        with WriteAheadLog(wal_dir) as wal:
+            fill(wal, 8)
+        reader = WALReader(wal_dir)
+        first, resume = reader.read(WALPosition(1, 0), max_records=3)
+        rest, _ = reader.read(resume)
+        assert len(first) == 3 and len(rest) == 5
+        ops = [r.op for r in first + rest]
+        assert ops == replay_wal(wal_dir).ops
+
+    def test_read_follows_rotation(self, wal_dir):
+        from repro.core.wal import WALPosition, WALReader
+
+        with WriteAheadLog(wal_dir, segment_bytes=128) as wal:
+            fill(wal, 30)
+        assert len(segment_paths(wal_dir)) >= 3
+        reader = WALReader(wal_dir)
+        records = []
+        pos = WALPosition(1, 0)
+        while True:
+            batch, pos = reader.read(pos, max_records=4)
+            if not batch:
+                break
+            records.extend(batch)
+        assert [r.op for r in records] == replay_wal(wal_dir).ops
+
+    def test_inflight_tail_returns_cleanly(self, wal_dir):
+        """An incomplete record at the tail of the *last* segment is an
+        append in flight, not damage: the reader stops before it."""
+        from repro.core.wal import WALPosition, WALReader
+
+        with WriteAheadLog(wal_dir) as wal:
+            fill(wal, 3)
+        (seg,) = segment_paths(wal_dir)
+        with seg.open("ab") as fh:
+            fh.write(b"\x99\x00\x00\x00")  # half a header
+        records, resume = WALReader(wal_dir).read(WALPosition(1, 0))
+        assert len(records) == 3
+        assert resume == records[-1].next_position  # stops before it
+
+    def test_torn_tail_in_nonlast_segment_is_an_error(self, wal_dir):
+        from repro.core.wal import WALPosition, WALReader, WALStreamError
+
+        with WriteAheadLog(wal_dir, segment_bytes=128) as wal:
+            fill(wal, 30)
+        segs = segment_paths(wal_dir)
+        assert len(segs) >= 3
+        data = segs[0].read_bytes()
+        segs[0].write_bytes(data[:-3])
+        with pytest.raises(WALStreamError):
+            WALReader(wal_dir).read(WALPosition(1, 0))
+
+    def test_corrupt_record_is_a_stream_error(self, wal_dir):
+        from repro.core.wal import WALPosition, WALReader, WALStreamError
+
+        with WriteAheadLog(wal_dir) as wal:
+            fill(wal, 5)
+        (seg,) = segment_paths(wal_dir)
+        data = bytearray(seg.read_bytes())
+        data[10] ^= 0x01
+        seg.write_bytes(bytes(data))
+        # CRC damage below the tail must never be served as data.
+        with pytest.raises(WALStreamError):
+            WALReader(wal_dir).read(WALPosition(1, 0))
+
+    def test_position_below_first_segment_is_truncated(self, wal_dir):
+        from repro.core.wal import (
+            WALPosition,
+            WALReader,
+            WALTruncatedError,
+        )
+
+        with WriteAheadLog(wal_dir, segment_bytes=128) as wal:
+            fill(wal, 30)
+        segs = segment_paths(wal_dir)
+        segs[0].unlink()  # a checkpoint reclaimed the oldest segment
+        with pytest.raises(WALTruncatedError):
+            WALReader(wal_dir).read(WALPosition(1, 0))
+
+    def test_position_at_tail_returns_empty(self, wal_dir):
+        from repro.core.wal import WALReader
+
+        wal = WriteAheadLog(wal_dir)
+        fill(wal, 4)
+        tail = wal.tail_position()
+        records, resume = WALReader(wal_dir).read(tail)
+        assert records == [] and resume == tail
+        wal.close()
+
+    def test_bytes_behind(self, wal_dir):
+        from repro.core.wal import WALPosition, WALReader
+
+        with WriteAheadLog(wal_dir, segment_bytes=128) as wal:
+            fill(wal, 30)
+        reader = WALReader(wal_dir)
+        total = sum(s.stat().st_size for s in segment_paths(wal_dir))
+        assert reader.bytes_behind(WALPosition(1, 0)) == total
+        _, resume = reader.read(WALPosition(1, 0))
+        assert reader.bytes_behind(resume) == 0
+
+    def test_first_position(self, wal_dir):
+        from repro.core.wal import WALPosition, first_position
+
+        assert first_position(wal_dir) is None
+        with WriteAheadLog(wal_dir, segment_bytes=128) as wal:
+            fill(wal, 30)
+        assert first_position(wal_dir) == WALPosition(1, 0)
+        segment_paths(wal_dir)[0].unlink()
+        assert first_position(wal_dir).segment > 1
+
+
+class TestDirectoryFsync:
+    """Satellite regression: segment create/unlink/rewrite must be
+    followed by an fsync of the WAL directory itself, or the *names*
+    can vanish in a crash even though the data was synced."""
+
+    def _spy(self, monkeypatch):
+        import repro.core.wal as wal_mod
+
+        calls = []
+        real = wal_mod._fsync_dir
+
+        def spy(directory):
+            calls.append(Path(directory))
+            real(directory)
+
+        monkeypatch.setattr(wal_mod, "_fsync_dir", spy)
+        return calls
+
+    def test_truncate_fsyncs_directory(self, wal_dir, monkeypatch):
+        wal = WriteAheadLog(wal_dir, segment_bytes=128)
+        fill(wal, 30)
+        calls = self._spy(monkeypatch)
+        wal.truncate()
+        assert wal_dir in calls
+        wal.close()
+
+    def test_repair_fsyncs_directory(self, wal_dir, monkeypatch):
+        with WriteAheadLog(wal_dir) as wal:
+            fill(wal, 10)
+        (seg,) = segment_paths(wal_dir)
+        seg.write_bytes(seg.read_bytes()[:-3])
+        res = replay_wal(wal_dir)
+        calls = self._spy(monkeypatch)
+        repair_wal(wal_dir, res)
+        assert wal_dir in calls
+
+    def test_rotation_fsyncs_directory(self, wal_dir, monkeypatch):
+        wal = WriteAheadLog(wal_dir, segment_bytes=128)
+        calls = self._spy(monkeypatch)
+        fill(wal, 30)
+        assert wal_dir in calls  # every new segment name made durable
+        wal.close()
