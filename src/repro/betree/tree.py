@@ -21,9 +21,25 @@ from __future__ import annotations
 
 from bisect import bisect_left, bisect_right, insort
 from dataclasses import dataclass, field
-from typing import Any, Iterator, Optional, Union
+from typing import Any, Iterable, Iterator, Optional, Union
 
+from ..core.bptree import TreeInvariantError
 from ..core.node import Key
+
+
+def _require(
+    cond: bool, message: str, errors: Optional[list] = None
+) -> None:
+    """Invariant check that survives ``python -O`` (unlike ``assert``).
+
+    With ``errors`` provided the violation is collected instead of
+    raised, so :meth:`BeTree.check` can survey every problem at once.
+    """
+    if cond:
+        return
+    if errors is None:
+        raise TreeInvariantError(message)
+    errors.append(message)
 
 #: Message operations.
 _PUT = "put"
@@ -135,6 +151,18 @@ class BeTree:
         existed without paying a lookup — the classic Bε-tree trade.
         """
         self._enqueue(key, (_DEL, None))
+
+    def insert_many(self, items: Iterable[tuple[Key, Any]]) -> int:
+        """Batched upsert: each item becomes a message, so the batch is
+        absorbed at buffer speed anyway — the method exists for surface
+        parity with the B+-tree variants.  Returns the number of items
+        enqueued (message semantics hide the net size delta without a
+        read, the classic Bε-tree trade)."""
+        count = 0
+        for key, value in items:
+            self.insert(key, value)
+            count += 1
+        return count
 
     def _enqueue(self, key: Key, message: tuple[str, Any]) -> None:
         self.stats.messages_enqueued += 1
@@ -475,10 +503,13 @@ class BeTree:
             h += 1
         return h
 
-    def validate(self) -> None:
+    def validate(self, errors: Optional[list] = None) -> None:
         """Structural invariants: sorted pivots/leaves, buffer keys within
-        subtree ranges, leaf chain in global order."""
-        self._validate_node(self._root, None, None)
+        subtree ranges, leaf chain in global order.
+
+        Raises :class:`TreeInvariantError` at the first violation, or
+        collects every violation into ``errors`` when provided."""
+        self._validate_node(self._root, None, None, errors)
         # Leaf chain strictly ascends.
         leaves: list[_Leaf] = []
         stack: list[_Node] = [self._root]
@@ -489,32 +520,88 @@ class BeTree:
             else:
                 stack.extend(node.children)
         flat = [k for leaf in leaves for k in sorted(leaf.keys)]
-        assert sorted(flat) == sorted(set(flat)), "duplicate leaf keys"
+        _require(sorted(flat) == sorted(set(flat)), "duplicate leaf keys", errors)
+
+    def check(self, check_min_fill: bool = False) -> list:
+        """Non-raising validation: the list of violated invariants.
+
+        Mirrors :meth:`repro.core.bptree.BPlusTree.check` so harnesses
+        can diagnose any variant uniformly.  ``check_min_fill`` is
+        accepted for signature parity; a Bε-tree has no min-fill
+        invariant (buffers absorb deletes), so it is ignored.
+        """
+        errors: list = []
+        self.validate(errors)
+        return errors
+
+    def scrub(self):
+        """Post-recovery hygiene pass, mirroring
+        :meth:`repro.core.bptree.BPlusTree.scrub`.
+
+        The Bε-tree keeps no fast-path pointers or leaf chain, so there
+        is nothing repairable-by-reset; the scrub drains every buffer
+        (checkpoint) and reports structural damage, which scrubbing
+        cannot repair, as issues for :meth:`check`-style triage.
+        """
+        from ..core.stats import ScrubReport
+
+        self.flush_all()
+        report = ScrubReport(variant=self.name)
+        report.issues.extend(self.check())
+        return report
 
     def _validate_node(
-        self, node: _Node, low: Optional[Key], high: Optional[Key]
+        self,
+        node: _Node,
+        low: Optional[Key],
+        high: Optional[Key],
+        errors: Optional[list] = None,
     ) -> None:
         if node.is_leaf:
-            assert node.keys == sorted(set(node.keys)), "unsorted leaf"
+            _require(node.keys == sorted(set(node.keys)), "unsorted leaf", errors)
             for k in node.keys:
-                assert low is None or k >= low
-                assert high is None or k < high
-            assert len(node.keys) <= self.config.leaf_capacity
+                _require(
+                    low is None or k >= low, "leaf key below subtree low", errors
+                )
+                _require(
+                    high is None or k < high, "leaf key above subtree high", errors
+                )
+            _require(
+                len(node.keys) <= self.config.leaf_capacity,
+                "leaf over capacity",
+                errors,
+            )
             return
-        assert node.pivots == sorted(set(node.pivots)), "unsorted pivots"
-        assert len(node.children) == len(node.pivots) + 1
+        _require(
+            node.pivots == sorted(set(node.pivots)), "unsorted pivots", errors
+        )
+        _require(
+            len(node.children) == len(node.pivots) + 1,
+            "children/pivots arity mismatch",
+            errors,
+        )
         # Fan-out may transiently exceed the target between flushes
         # (a node is repaired by the next flush that reaches it).
-        assert len(node.children) <= self.config.fanout + 4
+        _require(
+            len(node.children) <= self.config.fanout + 4,
+            "fan-out exceeds repair slack",
+            errors,
+        )
         for key in node.buffer:
-            assert low is None or key >= low
-            assert high is None or key < high
+            _require(
+                low is None or key >= low, "buffered key below subtree low", errors
+            )
+            _require(
+                high is None or key < high,
+                "buffered key above subtree high",
+                errors,
+            )
         for i, child in enumerate(node.children):
             child_low = node.pivots[i - 1] if i > 0 else low
             child_high = (
                 node.pivots[i] if i < len(node.pivots) else high
             )
-            self._validate_node(child, child_low, child_high)
+            self._validate_node(child, child_low, child_high, errors)
 
 
 class _PastEnd:

@@ -1,6 +1,8 @@
 """Concurrency control (§4.5): reader-writer locks, thread-safe tree
-wrappers, and the contention model behind the Fig. 13 curves."""
+wrappers, the runtime lock sanitizer (``QUIT_SANITIZE=1``), and the
+contention model behind the Fig. 13 curves."""
 
+from . import sanitizer
 from .concurrent_tree import ConcurrentTree
 from .locks import RWLock, StripedLocks
 from .model import (
@@ -15,6 +17,7 @@ __all__ = [
     "ConcurrentTree",
     "RWLock",
     "StripedLocks",
+    "sanitizer",
     "OperationProfile",
     "insert_profile",
     "lookup_profile",

@@ -3,33 +3,54 @@
 A classic writer-preferring RW lock built on a condition variable:
 any number of readers proceed together; a writer waits for readers to
 drain and blocks new readers while waiting, preventing writer starvation.
+
+Both primitives take an optional ``name``: a named lock constructed
+while the sanitizer is enabled (``QUIT_SANITIZE=1`` or
+:func:`repro.concurrency.sanitizer.enable`) reports every acquisition
+to the lock-order auditor; unnamed or unsanitized locks pay nothing.
+The canonical names and their required order live in
+:data:`repro.concurrency.sanitizer.LOCK_ORDER`.
 """
 
 from __future__ import annotations
 
 import threading
 from contextlib import contextmanager
-from typing import Iterator
+from typing import Iterator, Optional
+
+from . import sanitizer
+from .sanitizer import LockLike
 
 
 class RWLock:
     """Writer-preferring reader-writer lock."""
 
-    def __init__(self) -> None:
+    def __init__(self, name: Optional[str] = None) -> None:
         self._cond = threading.Condition()
         self._readers = 0
         self._writer = False
         self._writers_waiting = 0
+        # Audit only when the sanitizer was on at construction time, so
+        # the disabled path stays a None check per acquisition.
+        self._audit: Optional[str] = (
+            name if (name is not None and sanitizer.enabled()) else None
+        )
 
     def acquire_read(self) -> None:
         """Block until shared (read) access is granted."""
+        if self._audit is not None:
+            sanitizer.before_acquire(self._audit)
         with self._cond:
             while self._writer or self._writers_waiting:
                 self._cond.wait()
             self._readers += 1
+        if self._audit is not None:
+            sanitizer.after_acquire(self._audit)
 
     def release_read(self) -> None:
         """Release shared access."""
+        if self._audit is not None:
+            sanitizer.on_release(self._audit)
         with self._cond:
             self._readers -= 1
             if self._readers == 0:
@@ -37,6 +58,8 @@ class RWLock:
 
     def acquire_write(self) -> None:
         """Block until exclusive (write) access is granted."""
+        if self._audit is not None:
+            sanitizer.before_acquire(self._audit)
         with self._cond:
             self._writers_waiting += 1
             try:
@@ -45,9 +68,13 @@ class RWLock:
                 self._writer = True
             finally:
                 self._writers_waiting -= 1
+        if self._audit is not None:
+            sanitizer.after_acquire(self._audit)
 
     def release_write(self) -> None:
         """Release exclusive access."""
+        if self._audit is not None:
+            sanitizer.on_release(self._audit)
         with self._cond:
             self._writer = False
             self._cond.notify_all()
@@ -77,15 +104,27 @@ class StripedLocks:
     Per-node locks without per-node allocations: node ids map onto
     ``n_stripes`` mutexes.  Two different nodes may share a stripe, which
     only costs spurious contention, never correctness.
+
+    All stripes share one sanitizer name: no code path may ever nest two
+    stripes (there is no defined stripe order), so under the sanitizer a
+    stripe-inside-stripe acquisition surfaces as a self-reacquisition.
     """
 
-    def __init__(self, n_stripes: int = 64) -> None:
+    def __init__(
+        self, n_stripes: int = 64, name: Optional[str] = None
+    ) -> None:
         if n_stripes < 1:
             raise ValueError(f"n_stripes must be >= 1, got {n_stripes}")
-        self._locks = [threading.Lock() for _ in range(n_stripes)]
+        self._locks: list[LockLike]
+        if name is not None and sanitizer.enabled():
+            self._locks = [
+                sanitizer.SanitizedLock(name) for _ in range(n_stripes)
+            ]
+        else:
+            self._locks = [threading.Lock() for _ in range(n_stripes)]
         self.n_stripes = n_stripes
 
-    def lock_for(self, node_id: int) -> threading.Lock:
+    def lock_for(self, node_id: int) -> LockLike:
         """The stripe mutex owning ``node_id``."""
         return self._locks[node_id % self.n_stripes]
 

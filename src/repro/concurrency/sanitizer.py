@@ -1,0 +1,343 @@
+"""Runtime lock sanitizer: order-inversion and fsync-hazard detection.
+
+The repo's one confirmed production-grade bug so far — the
+lost-acknowledged-write race between ``DurableTree.checkpoint`` and
+in-flight mutations — was a lock-discipline error.  This module makes
+that class of bug *observable at runtime*: when enabled (environment
+variable ``QUIT_SANITIZE=1``, or :func:`enable` before the locks are
+constructed), every named lock in the package records per-thread
+acquisition stacks and feeds a global lock-order graph.
+
+What it detects:
+
+* **lock-order inversions** — acquiring lock *B* while holding *A*
+  after some thread has ever acquired *A* while holding *B* (the
+  classic deadlock recipe), and any acquisition that contradicts the
+  canonical :data:`LOCK_ORDER`;
+* **self-reacquisition** — taking a named lock the current thread
+  already holds (none of the package's locks are reentrant; for the
+  striped leaf pool this also catches unordered stripe-stripe nesting);
+* **fsync-under-lock hazards** — reaching an ``fsync`` call site while
+  holding one of the *short-critical-section* locks
+  (:data:`FSYNC_UNSAFE`).  Coarse gates (``durable.gate``,
+  ``concurrent.structure``, ``repl.replica``, ``wal.append``) are
+  *designed* to be held across fsync — that is what makes
+  log-then-apply atomic against checkpoints — but the metadata mutex
+  and leaf stripes exist precisely to stay microseconds-short, and an
+  fsync under them would stall every reader for a disk flush.
+
+Violations are recorded, not raised: a sanitizer that throws from
+inside a lock acquisition would alter the very interleavings it is
+auditing.  Test suites drain them via :func:`take_violations` (the
+shared conftest asserts the drain is empty after every test when the
+sanitizer is on).
+
+This module deliberately imports nothing from the rest of the package
+so that ``repro.concurrency.locks`` (and through it ``repro.core``)
+can depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+import _thread
+import os
+import threading
+import traceback
+from dataclasses import dataclass
+from typing import Union
+
+#: Canonical lock-acquisition order, outermost first.  A thread holding
+#: a lock may only acquire locks that appear *later* in this list.  The
+#: static analyzer (``repro.lint`` rule ``lock-discipline``) checks the same
+#: table against the AST, so the documented discipline, the runtime
+#: sanitizer, and ``quit-check`` can never drift apart.
+LOCK_ORDER: tuple[str, ...] = (
+    "repl.replica",        # Replica._lock: held around apply + cursor persist
+    "repl.primary.meta",   # Primary._meta_lock: snapshot/base consistency
+    "durable.gate",        # DurableTree._gate: log+apply vs checkpoint
+    "concurrent.structure",  # ConcurrentTree._structure: structural RW lock
+    "concurrent.leaf",     # ConcurrentTree._leaf_locks: striped leaf mutexes
+    "concurrent.meta",     # ConcurrentTree._meta: fast-path admission mutex
+    "wal.append",          # WriteAheadLog._lock: append/rotate/truncate
+    "repl.epoch",          # EpochRegistry._lock: epoch counter
+    "failpoints",          # testing.failpoints._lock: innermost everywhere
+)
+
+_RANK: dict[str, int] = {name: i for i, name in enumerate(LOCK_ORDER)}
+
+#: Locks that must never be held across an ``fsync``: they guard
+#: short critical sections on hot paths.  The coarse-grained gates are
+#: intentionally absent — holding them across the WAL/snapshot fsync is
+#: the durability design, not a hazard.
+FSYNC_UNSAFE: frozenset[str] = frozenset(
+    {"concurrent.leaf", "concurrent.meta", "repl.primary.meta", "repl.epoch"}
+)
+
+
+@dataclass
+class Violation:
+    """One detected lock-discipline violation.
+
+    Attributes:
+        kind: ``"order-inversion"``, ``"rank-inversion"``,
+            ``"self-reacquire"``, or ``"fsync-under-lock"``.
+        message: human-readable description.
+        held: locks the offending thread held, outermost first.
+        stack: formatted acquisition stack at the violation site.
+        other_stack: for graph inversions, the stack of the earlier,
+            opposite-order acquisition.
+    """
+
+    kind: str
+    message: str
+    held: tuple[str, ...] = ()
+    stack: str = ""
+    other_stack: str = ""
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"[{self.kind}] {self.message}"
+
+
+def _env_enabled() -> bool:
+    return os.environ.get("QUIT_SANITIZE", "").strip() not in ("", "0")
+
+
+_enabled: bool = _env_enabled()
+
+_state_lock = threading.Lock()
+_tls = threading.local()
+#: Observed nesting edges: (outer, inner) -> acquisition stack of the
+#: first time the edge was seen (for inversion reports).
+_edges: dict[tuple[str, str], str] = {}
+_violations: list[Violation] = []
+_acquisitions: int = 0
+_fsync_checks: int = 0
+
+
+def enabled() -> bool:
+    """Whether sanitized locks are being handed out *and* audited."""
+    return _enabled
+
+
+def enable() -> None:
+    """Turn the sanitizer on (call before constructing the locks)."""
+    global _enabled
+    _enabled = True
+
+
+def disable() -> None:
+    """Turn the sanitizer off (already-sanitized locks keep reporting
+    only if re-enabled; fresh factories return plain locks)."""
+    global _enabled
+    _enabled = False
+
+
+def reset() -> None:
+    """Clear the order graph, violations, and counters (test isolation)."""
+    global _acquisitions, _fsync_checks
+    with _state_lock:
+        _edges.clear()
+        _violations.clear()
+        _acquisitions = 0
+        _fsync_checks = 0
+
+
+def _held() -> list[str]:
+    held = getattr(_tls, "held", None)
+    if held is None:
+        held = []
+        _tls.held = held
+    return held
+
+
+def held_locks() -> tuple[str, ...]:
+    """Named locks the calling thread currently holds, outermost first."""
+    return tuple(_held())
+
+
+def violations() -> list[Violation]:
+    """Snapshot of every recorded violation."""
+    with _state_lock:
+        return list(_violations)
+
+
+def take_violations() -> list[Violation]:
+    """Drain: return all recorded violations and clear the list."""
+    with _state_lock:
+        out = list(_violations)
+        _violations.clear()
+        return out
+
+
+def counters() -> dict[str, int]:
+    """Instrumentation volume (sanity check that auditing really ran)."""
+    with _state_lock:
+        return {
+            "acquisitions": _acquisitions,
+            "fsync_checks": _fsync_checks,
+            "edges": len(_edges),
+            "violations": len(_violations),
+        }
+
+
+def _record(violation: Violation) -> None:
+    with _state_lock:
+        _violations.append(violation)
+
+
+def before_acquire(name: str) -> None:
+    """Audit an imminent acquisition of ``name`` by this thread.
+
+    Called *before* blocking on the underlying primitive so an
+    inversion that would deadlock is recorded rather than hung on.
+    """
+    global _acquisitions
+    held = _held()
+    stack = "".join(traceback.format_stack(limit=12)[:-1])
+    with _state_lock:
+        _acquisitions += 1
+    if name in held:
+        _record(
+            Violation(
+                kind="self-reacquire",
+                message=(
+                    f"thread re-acquires {name!r} it already holds "
+                    f"(held: {' -> '.join(held)})"
+                ),
+                held=tuple(held),
+                stack=stack,
+            )
+        )
+    for outer in held:
+        if outer == name:
+            continue
+        rank_outer = _RANK.get(outer)
+        rank_inner = _RANK.get(name)
+        if (
+            rank_outer is not None
+            and rank_inner is not None
+            and rank_outer >= rank_inner
+        ):
+            _record(
+                Violation(
+                    kind="rank-inversion",
+                    message=(
+                        f"acquiring {name!r} while holding {outer!r} "
+                        f"contradicts LOCK_ORDER "
+                        f"({outer} must nest inside {name})"
+                    ),
+                    held=tuple(held),
+                    stack=stack,
+                )
+            )
+        with _state_lock:
+            reverse = _edges.get((name, outer))
+            if reverse is not None and (outer, name) not in _edges:
+                _violations.append(
+                    Violation(
+                        kind="order-inversion",
+                        message=(
+                            f"{outer!r} -> {name!r} inverts the "
+                            f"previously observed order "
+                            f"{name!r} -> {outer!r}"
+                        ),
+                        held=tuple(held),
+                        stack=stack,
+                        other_stack=reverse,
+                    )
+                )
+            _edges.setdefault((outer, name), stack)
+
+
+def after_acquire(name: str) -> None:
+    """Push ``name`` onto the thread's held stack (acquisition won)."""
+    _held().append(name)
+
+
+def on_release(name: str) -> None:
+    """Pop the most recent occurrence of ``name`` from the held stack."""
+    held = _held()
+    for i in range(len(held) - 1, -1, -1):
+        if held[i] == name:
+            del held[i]
+            return
+
+
+def note_fsync(site: str) -> None:
+    """Audit an fsync call site against the locks currently held.
+
+    No-op unless the sanitizer is enabled; instrumented modules guard
+    the call with :func:`enabled` anyway to keep the production path a
+    single module-attribute read.
+    """
+    global _fsync_checks
+    if not _enabled:
+        return
+    with _state_lock:
+        _fsync_checks += 1
+    held = _held()
+    hazardous = [name for name in held if name in FSYNC_UNSAFE]
+    if hazardous:
+        _record(
+            Violation(
+                kind="fsync-under-lock",
+                message=(
+                    f"fsync at {site!r} while holding short-critical-"
+                    f"section lock(s) {', '.join(hazardous)} "
+                    f"(held: {' -> '.join(held)})"
+                ),
+                held=tuple(held),
+                stack="".join(traceback.format_stack(limit=12)[:-1]),
+            )
+        )
+
+
+class SanitizedLock:
+    """A ``threading.Lock`` wrapper that reports to the sanitizer.
+
+    Drop-in for the mutex subset the package uses: ``acquire`` /
+    ``release`` / context manager / ``locked``.
+    """
+
+    __slots__ = ("name", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        before_acquire(self.name)
+        got = self._lock.acquire(blocking, timeout)
+        if got:
+            after_acquire(self.name)
+        return got
+
+    def release(self) -> None:
+        on_release(self.name)
+        self._lock.release()
+
+    def locked(self) -> bool:
+        return self._lock.locked()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SanitizedLock({self.name!r})"
+
+
+#: What the lock factories hand out: a plain mutex in production, a
+#: :class:`SanitizedLock` under ``QUIT_SANITIZE=1``.  (``_thread.LockType``
+#: is the *instance* type of ``threading.Lock()`` — ``threading.Lock``
+#: itself is a factory function, not a type.)
+LockLike = Union["SanitizedLock", _thread.LockType]
+
+
+def make_lock(name: str) -> LockLike:
+    """A mutex for ``name``: sanitized when auditing, plain otherwise."""
+    if _enabled:
+        return SanitizedLock(name)
+    return threading.Lock()

@@ -679,7 +679,10 @@ class BPlusTree:
 
     def _rebalance_internal(self, node: InternalNode) -> None:
         parent = node.parent
-        assert parent is not None
+        if parent is None:
+            raise TreeInvariantError(
+                "_rebalance_internal called on a parentless node"
+            )
         idx = parent.index_of_child(node, self.stats)
         min_fill = self._min_internal_fill()
         left = parent.children[idx - 1] if idx > 0 else None
@@ -1351,7 +1354,8 @@ class BPlusTree:
         recovered tree wants every problem, not the first.
         """
         result = self.validate(check_min_fill=check_min_fill, report=True)
-        assert result is not None
+        if result is None:
+            raise TreeInvariantError("validate(report=True) returned None")
         return result
 
     @staticmethod

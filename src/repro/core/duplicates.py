@@ -20,6 +20,7 @@ from .bptree import BPlusTree
 from .config import TreeConfig
 from .node import Key
 from .quit_tree import QuITTree
+from .stats import ScrubReport, TreeStats
 
 
 class DuplicateKeyIndex:
@@ -52,6 +53,24 @@ class DuplicateKeyIndex:
         """Add one ``(key, value)`` entry; duplicates accumulate."""
         self.tree.insert((key, self._seq), value)
         self._seq += 1
+
+    def insert_many(self, items: Iterable[tuple[Key, Any]]) -> int:
+        """Batched :meth:`insert`: duplicates accumulate per item.
+
+        Discriminators are assigned in iteration order before the batch
+        is handed to the tree's run-carving ``insert_many`` — composite
+        keys preserve the logical stream's near-sortedness, so the fast
+        paths see the same runs a loop of single inserts would.
+        Returns the number of entries added (every item adds one).
+        """
+        batch = []
+        seq = self._seq
+        for key, value in items:
+            batch.append(((key, seq), value))
+            seq += 1
+        self._seq = seq
+        self.tree.insert_many(batch)
+        return len(batch)
 
     def delete_one(self, key: Key) -> bool:
         """Remove the oldest entry for ``key``; False when absent."""
@@ -174,13 +193,24 @@ class DuplicateKeyIndex:
     # ------------------------------------------------------------------
 
     @property
-    def stats(self):
+    def stats(self) -> TreeStats:
         """Underlying tree statistics (fast-insert counters etc.)."""
         return self.tree.stats
 
     def validate(self) -> None:
         """Validate the underlying tree."""
         self.tree.validate(check_min_fill=False)
+
+    def check(self, check_min_fill: bool = False) -> list[str]:
+        """Non-raising validation of the underlying tree (see
+        :meth:`repro.core.bptree.BPlusTree.check`)."""
+        return self.tree.check(check_min_fill=check_min_fill)
+
+    def scrub(self) -> ScrubReport:
+        """Scrub the underlying tree's derived state (fast-path
+        pointers, chain endpoints); see
+        :meth:`repro.core.bptree.BPlusTree.scrub`."""
+        return self.tree.scrub()
 
 
 class _Sentinel:

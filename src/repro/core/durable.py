@@ -139,7 +139,7 @@ class DurableTree:
 
     def __init__(
         self,
-        tree,
+        tree: Any,
         directory: Union[str, Path],
         *,
         fsync: str = "always",
@@ -167,7 +167,7 @@ class DurableTree:
         # while missing from the snapshot.  Separate from any lock in
         # the wrapped tree (the RW locks are not reentrant): concurrent
         # writers still run in parallel under the shared side.
-        self._gate = RWLock()
+        self._gate = RWLock(name="durable.gate")
 
     # ------------------------------------------------------------------
     # Logged mutations
@@ -246,7 +246,7 @@ class DurableTree:
     def stats(self) -> TreeStats:
         return self.tree.stats
 
-    def items(self):
+    def items(self) -> Iterable[tuple[Key, Any]]:
         return self.tree.items()
 
     def validate(self, check_min_fill: bool = False) -> None:
@@ -298,7 +298,7 @@ class DurableTree:
                     return self._checkpoint_inner(base.tree)
             return self._checkpoint_inner(base)
 
-    def _checkpoint_inner(self, snapshot_source) -> int:
+    def _checkpoint_inner(self, snapshot_source: Any) -> int:  # holds: durable.gate
         count = save_tree(snapshot_source, self.snapshot_path, version=2)
         failpoints.fire("checkpoint.before_truncate")
         # Captured before the truncate, under the exclusive gate: the

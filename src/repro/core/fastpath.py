@@ -10,7 +10,7 @@ inherited from :class:`~repro.core.bptree.BPlusTree`.
 from __future__ import annotations
 
 from bisect import bisect_left
-from typing import Any, Optional
+from typing import Any, Iterable, Optional
 
 from .bptree import BPlusTree
 from .config import TreeConfig
@@ -188,7 +188,9 @@ class FastPathTree(BPlusTree):
     def _after_delete(self) -> None:
         self._refresh_fp_bounds()
 
-    def bulk_load(self, items, fill_factor: float = 1.0) -> None:
+    def bulk_load(
+        self, items: Iterable[tuple[Key, Any]], fill_factor: float = 1.0
+    ) -> None:
         """Bulk load, then re-pin the fast path to the new tail leaf."""
         super().bulk_load(items, fill_factor)
         self._fp.leaf = self._tail

@@ -210,7 +210,7 @@ class InternalNode(Node):
         """Index of the child whose range contains ``key``."""
         return bisect_right(self.keys, key)
 
-    def index_of_child(self, child: Node, stats=None) -> int:
+    def index_of_child(self, child: Node, stats: Optional[Any] = None) -> int:
         """Position of ``child`` in this node's child list.
 
         Seeds the search by bisecting on the child's smallest key, so the

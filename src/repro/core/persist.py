@@ -33,8 +33,9 @@ import ast
 import os
 import zlib
 from pathlib import Path
-from typing import Optional, TextIO, Type, Union
+from typing import Any, Optional, TextIO, Type, Union
 
+from ..concurrency import sanitizer
 from ..testing import failpoints
 from .bptree import BPlusTree
 from .config import TreeConfig
@@ -47,7 +48,7 @@ class PersistenceError(ValueError):
     """Raised for unserializable values or malformed/corrupt files."""
 
 
-def _entry_repr(key, value) -> tuple[str, str]:
+def _entry_repr(key: Any, value: Any) -> tuple[str, str]:
     """Validated ``repr`` pair for one entry; raises PersistenceError."""
     key_repr = repr(key)
     value_repr = repr(value)
@@ -104,6 +105,8 @@ def save_tree(
         with tmp.open("w", encoding="utf-8") as fh:
             count = _write_entries(tree, fh, version)
             fh.flush()
+            if sanitizer.enabled():
+                sanitizer.note_fsync("snapshot.tmp")
             os.fsync(fh.fileno())
     except Exception:
         tmp.unlink(missing_ok=True)
@@ -117,6 +120,8 @@ def save_tree(
 
 def _fsync_parent_dir(path: Path) -> None:
     """Make the rename itself durable (best-effort off POSIX)."""
+    if sanitizer.enabled():
+        sanitizer.note_fsync("snapshot.dir")
     try:
         fd = os.open(path.parent, os.O_RDONLY)
     except OSError:  # pragma: no cover - platform dependent

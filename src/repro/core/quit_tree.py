@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from .bptree import TreeInvariantError
 from .node import Key, LeafNode
 from .pole_tree import PoleBPlusTree
 
@@ -144,7 +145,12 @@ class QuITTree(PoleBPlusTree):
         the latter is exactly half full (Fig. 7c), updating the separator
         pivot between the two leaves."""
         take = self.config.leaf_half - prev.size
-        assert 0 < take < pole.size
+        if not 0 < take < pole.size:
+            raise TreeInvariantError(
+                f"redistribution take={take} outside (0, {pole.size}); "
+                "caller must ensure the previous leaf is under half full "
+                "and the pole can cover the deficit"
+            )
         prev.keys.extend(pole.keys[:take])
         prev.values.extend(pole.values[:take])
         del pole.keys[:take]

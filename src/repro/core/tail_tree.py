@@ -17,6 +17,7 @@ from typing import Optional
 
 from .fastpath import FastPathTree
 from .node import Key, LeafNode
+from .stats import ScrubReport
 
 
 class TailBPlusTree(FastPathTree):
@@ -64,7 +65,7 @@ class TailBPlusTree(FastPathTree):
         self._refresh_fp_bounds()
         self._fp.high = None
 
-    def _scrub_extra(self, report) -> bool:
+    def _scrub_extra(self, report: ScrubReport) -> bool:
         # The tail variant's one extra invariant: the pin *is* the tail.
         if self._fp.leaf is not self._tail:
             report.issues.append("fast-path pin is not the tail leaf")

@@ -31,12 +31,12 @@ from __future__ import annotations
 import ast
 import os
 import struct
-import threading
 import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Iterable, Optional, Union
+from typing import IO, Any, Iterable, Optional, Union
 
+from ..concurrency import sanitizer
 from ..testing import failpoints
 from .node import Key
 
@@ -199,6 +199,8 @@ def repair_wal(
     with open(result.corrupt_segment, "r+b") as fh:
         fh.truncate(result.valid_offset)
         fh.flush()
+        if sanitizer.enabled():
+            sanitizer.note_fsync("wal.repair")
         os.fsync(fh.fileno())
     drop = False
     for seg in segment_paths(directory):
@@ -214,6 +216,8 @@ def _fsync_dir(directory: Path) -> None:
 
     Best-effort: not every platform supports opening a directory.
     """
+    if sanitizer.enabled():
+        sanitizer.note_fsync("wal.dir")
     try:
         fd = os.open(directory, os.O_RDONLY)
     except OSError:  # pragma: no cover - platform dependent
@@ -475,7 +479,7 @@ class WriteAheadLog:
         self.bytes_appended = 0
         self.syncs = 0
         self.rotations = 0
-        self._lock = threading.Lock()
+        self._lock = sanitizer.make_lock("wal.append")
         self._fh = None
         self._since_sync = 0
         self._active_size = 0
@@ -541,7 +545,7 @@ class WriteAheadLog:
                     self._sync_locked(fh)
             failpoints.fire("wal.after_append")
 
-    def _rotate_locked(self):
+    def _rotate_locked(self) -> IO[bytes]:
         """Close the active segment (fsynced) and open the next one."""
         if self._fh is not None:
             failpoints.fire("wal.before_rotate")
@@ -561,9 +565,11 @@ class WriteAheadLog:
         _fsync_dir(self.directory)
         return self._fh
 
-    def _sync_locked(self, fh) -> None:
+    def _sync_locked(self, fh: IO[bytes]) -> None:  # holds: wal.append
         fh.flush()
         failpoints.fire("wal.before_fsync")
+        if sanitizer.enabled():
+            sanitizer.note_fsync("wal.segment")
         os.fsync(fh.fileno())
         self.syncs += 1
         self._since_sync = 0

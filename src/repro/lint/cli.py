@@ -1,0 +1,100 @@
+"""``quit-check`` command-line entry point.
+
+Usage::
+
+    quit-check [paths ...]           # default: src/ if it exists, else .
+    quit-check --rule no-bare-assert src/
+    quit-check --list-rules
+    quit-check --format json src/
+
+Exit status: 0 when clean, 1 when findings were reported, 2 on usage
+errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .engine import Project, all_rules, run_rules
+
+
+def _default_paths() -> List[Path]:
+    src = Path("src")
+    return [src] if src.is_dir() else [Path(".")]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="quit-check",
+        description="Repo-aware static analysis for the QuIT tree codebase.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to lint (default: src/ if present, else .)",
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        dest="rules",
+        metavar="NAME",
+        help="run only this rule (repeatable)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list available rules and exit",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.name:20s} {rule.description}")
+        return 0
+
+    paths = list(args.paths) or _default_paths()
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(
+            f"quit-check: no such path: {', '.join(map(str, missing))}",
+            file=sys.stderr,
+        )
+        return 2
+
+    project = Project.from_paths(paths)
+    try:
+        findings = run_rules(project, args.rules)
+    except ValueError as exc:
+        print(f"quit-check: {exc}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        print(json.dumps([f.as_dict() for f in findings], indent=2))
+    else:
+        for finding in findings:
+            print(finding.format())
+        files = len(project.files)
+        print(
+            f"quit-check: {len(findings)} finding(s) in {files} file(s)",
+            file=sys.stderr,
+        )
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

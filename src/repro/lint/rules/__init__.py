@@ -1,0 +1,9 @@
+"""Rule modules — importing this package registers every rule."""
+
+from . import (  # noqa: F401
+    api_parity,
+    bare_assert,
+    failpoint_parity,
+    lock_discipline,
+    stats_parity,
+)

@@ -1,0 +1,127 @@
+"""api-parity: every tree variant / facade exposes the batched surface.
+
+Benchmarks, the chaos harness, and the replication layer all treat the
+tree implementations interchangeably: anything that can ``insert``,
+``get`` and ``range_query`` is expected to also offer the batched and
+maintenance surface — ``insert_many``, ``get_many``, ``range_iter``,
+``scrub``, ``check``.  Read-only facades (they serve ``get`` /
+``range_query`` but refuse writes, e.g. a replica) owe the read-side
+subset.
+
+Classes are detected structurally from the AST; inherited methods are
+resolved by base-*name* lookup across the scanned files (good enough
+for this repo's single-namespace class names, and it keeps the rule
+import-free).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..engine import Finding, Project, register
+
+RULE = "api-parity"
+
+FULL_SURFACE: Tuple[str, ...] = (
+    "insert_many",
+    "get_many",
+    "range_iter",
+    "scrub",
+    "check",
+)
+READONLY_SURFACE: Tuple[str, ...] = ("get_many", "range_iter", "scrub", "check")
+
+# Classes that intentionally sit outside the tree-facade contract even
+# though they quack close to it.
+EXEMPT: FrozenSet[str] = frozenset(
+    {
+        "SortednessBuffer",  # staging buffer, not an index facade
+        "MessageBuffer",  # Bε-tree internal node buffer
+    }
+)
+
+
+class _ClassInfo:
+    __slots__ = ("name", "bases", "methods", "display", "line")
+
+    def __init__(
+        self, name: str, bases: List[str], methods: Set[str], display: str, line: int
+    ) -> None:
+        self.name = name
+        self.bases = bases
+        self.methods = methods
+        self.display = display
+        self.line = line
+
+
+def _base_name(node: ast.expr) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _collect_classes(project: Project) -> Dict[str, _ClassInfo]:
+    classes: Dict[str, _ClassInfo] = {}
+    for src in project.files:
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            methods = {
+                stmt.name
+                for stmt in node.body
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+            bases = [b for b in (_base_name(x) for x in node.bases) if b]
+            # Last definition wins on name collision; the repo keeps
+            # class names unique so this only matters for fixtures.
+            classes[node.name] = _ClassInfo(
+                node.name, bases, methods, src.display, node.lineno
+            )
+    return classes
+
+
+def _resolved_methods(
+    name: str, classes: Dict[str, _ClassInfo], seen: Set[str]
+) -> Set[str]:
+    info = classes.get(name)
+    if info is None or name in seen:
+        return set()
+    seen.add(name)
+    methods = set(info.methods)
+    for base in info.bases:
+        methods |= _resolved_methods(base, classes, seen)
+    return methods
+
+
+@register(
+    RULE,
+    "tree variants/facades must expose insert_many/get_many/range_iter/scrub/check",
+)
+def check(project: Project) -> List[Finding]:
+    classes = _collect_classes(project)
+    findings: List[Finding] = []
+    for info in classes.values():
+        if info.name.startswith("_") or info.name in EXEMPT:
+            continue
+        methods = _resolved_methods(info.name, classes, set())
+        readable = "get" in methods and "range_query" in methods
+        if not readable:
+            continue
+        if "insert" in methods:
+            required, kind = FULL_SURFACE, "tree facade"
+        else:
+            required, kind = READONLY_SURFACE, "read-only facade"
+        missing = [m for m in required if m not in methods]
+        if missing:
+            findings.append(
+                Finding(
+                    RULE,
+                    info.display,
+                    info.line,
+                    f"{kind} {info.name!r} is missing: {', '.join(missing)}",
+                )
+            )
+    return findings

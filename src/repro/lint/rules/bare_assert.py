@@ -1,0 +1,37 @@
+"""no-bare-assert: ``assert`` in shipped code dies under ``python -O``.
+
+The repo runs a ``python -O`` CI leg precisely because invariant checks
+must survive optimisation; an ``assert`` that guards a rebalance
+precondition or a recovery postcondition silently disappears there.
+Shipped code must raise explicitly (``TreeInvariantError``,
+``RuntimeError``, ...).  Test code is exempt — the linter only sees
+what it is pointed at, and the default target is ``src/``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from ..engine import Finding, Project, register
+
+
+@register(
+    "no-bare-assert",
+    "assert statements in shipped code are stripped by `python -O`; raise explicitly",
+)
+def check(project: Project) -> List[Finding]:
+    findings: List[Finding] = []
+    for src in project.files:
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.Assert):
+                findings.append(
+                    Finding(
+                        "no-bare-assert",
+                        src.display,
+                        node.lineno,
+                        "bare `assert` is removed under `python -O`; "
+                        "raise an explicit exception instead",
+                    )
+                )
+    return findings

@@ -1,0 +1,138 @@
+"""failpoint-parity: fire sites and the registry must agree exactly.
+
+``repro.testing.failpoints`` keeps a ``KNOWN_FAILPOINTS`` registry so
+the chaos harness can enumerate every crash site.  Two drift modes rot
+that guarantee:
+
+* a ``failpoints.fire("x")`` call whose name is *not* registered can
+  never be armed — the crash site is untestable;
+* a registered name that is never fired is dead weight — the harness
+  "covers" a site that no longer exists.
+
+Both directions are checked from the AST alone.  Non-literal fire names
+are flagged too, since they defeat static coverage accounting.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Tuple
+
+from ..engine import Finding, Project, register
+
+REGISTRY_NAME = "KNOWN_FAILPOINTS"
+REGISTRY_STEM = "failpoints"
+
+RULE = "failpoint-parity"
+
+
+def _registry_literal(node: ast.AST) -> Optional[List[ast.Constant]]:
+    """String constants inside a tuple/list/set/frozenset(...) literal."""
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else None
+        if name in ("frozenset", "set", "tuple") and node.args:
+            return _registry_literal(node.args[0])
+        return None
+    if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+        out = []
+        for elt in node.elts:
+            if isinstance(elt, ast.Constant) and isinstance(elt.value, str):
+                out.append(elt)
+        return out
+    return None
+
+
+def _find_registry(project: Project) -> Optional[Tuple[str, Dict[str, int]]]:
+    """Locate ``KNOWN_FAILPOINTS`` → (file, {name: lineno})."""
+    for src in project.files:
+        if src.stem != REGISTRY_STEM:
+            continue
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.Assign):
+                targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
+                if REGISTRY_NAME not in targets:
+                    continue
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                if not (
+                    isinstance(node.target, ast.Name)
+                    and node.target.id == REGISTRY_NAME
+                ):
+                    continue
+            else:
+                continue
+            value = node.value
+            if value is None:
+                continue
+            consts = _registry_literal(value)
+            if consts is not None:
+                return src.display, {c.value: c.lineno for c in consts}
+    return None
+
+
+def _iter_fire_calls(project: Project):
+    for src in project.files:
+        if src.stem == REGISTRY_STEM:
+            continue  # the registry module's own plumbing
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr == "fire":
+                yield src, node
+            elif isinstance(func, ast.Name) and func.id == "fire":
+                yield src, node
+
+
+@register(
+    RULE,
+    "every failpoints.fire(name) literal must be registered, and vice versa",
+)
+def check(project: Project) -> List[Finding]:
+    registry = _find_registry(project)
+    if registry is None:
+        # Linting a subtree without the registry: nothing to compare.
+        return []
+    registry_file, registered = registry
+
+    findings: List[Finding] = []
+    fired: Dict[str, bool] = {}
+    for src, call in _iter_fire_calls(project):
+        if not call.args:
+            continue
+        arg = call.args[0]
+        if not (isinstance(arg, ast.Constant) and isinstance(arg.value, str)):
+            findings.append(
+                Finding(
+                    RULE,
+                    src.display,
+                    call.lineno,
+                    "failpoint name is not a string literal; "
+                    "static coverage accounting cannot see it",
+                )
+            )
+            continue
+        name = arg.value
+        fired[name] = True
+        if name not in registered:
+            findings.append(
+                Finding(
+                    RULE,
+                    src.display,
+                    call.lineno,
+                    f'failpoint "{name}" is fired here but not registered '
+                    f"in {REGISTRY_NAME}",
+                )
+            )
+    for name, lineno in registered.items():
+        if name not in fired:
+            findings.append(
+                Finding(
+                    RULE,
+                    registry_file,
+                    lineno,
+                    f'failpoint "{name}" is registered but never fired '
+                    "anywhere in the scanned tree",
+                )
+            )
+    return findings

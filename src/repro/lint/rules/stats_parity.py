@@ -1,0 +1,145 @@
+"""stats-parity: writes to stats objects must hit declared fields.
+
+The stats dataclasses (``TreeStats``, ``BufferStats``, ``FlushStats``,
+``BeTreeStats``, ...) are the contract between the hot paths and the
+benchmark/report layer.  Python happily accepts
+``tree.stats.fast_insert += 1`` even when the field is spelled
+``fast_inserts`` — the typo mints a brand-new attribute and the real
+counter silently stays at zero.  (``slots``-less dataclasses don't
+protect against this.)
+
+The rule collects every class whose name ends in ``Stats`` and unions
+their declared surface: class-body annotations/assignments, ``self.X``
+assignments in their methods, and method/property names.  Then every
+attribute *write* whose receiver looks like a stats object — an
+attribute access ending in ``stats`` (``self.stats``,
+``tree.flush_stats``) or a local alias of one — must name a declared
+field.  Receivers are matched by shape, not type inference, so the
+check is a heuristic; in exchange it needs no imports and runs on
+fixture trees.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set
+
+from ..engine import Finding, Project, register
+
+RULE = "stats-parity"
+SUFFIX = "Stats"
+
+
+def _declared_surface(project: Project) -> Set[str]:
+    fields: Set[str] = set()
+    for src in project.files:
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.ClassDef) or not node.name.endswith(SUFFIX):
+                continue
+            for stmt in node.body:
+                if isinstance(stmt, ast.AnnAssign) and isinstance(
+                    stmt.target, ast.Name
+                ):
+                    fields.add(stmt.target.id)
+                elif isinstance(stmt, ast.Assign):
+                    for tgt in stmt.targets:
+                        if isinstance(tgt, ast.Name):
+                            fields.add(tgt.id)
+                elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    fields.add(stmt.name)
+                    for inner in ast.walk(stmt):
+                        if isinstance(inner, (ast.Assign, ast.AugAssign)):
+                            targets = (
+                                inner.targets
+                                if isinstance(inner, ast.Assign)
+                                else [inner.target]
+                            )
+                            for tgt in targets:
+                                if (
+                                    isinstance(tgt, ast.Attribute)
+                                    and isinstance(tgt.value, ast.Name)
+                                    and tgt.value.id == "self"
+                                ):
+                                    fields.add(tgt.attr)
+    return fields
+
+
+def _is_stats_receiver(node: ast.expr, aliases: Set[str]) -> bool:
+    """Does ``node`` syntactically look like a stats object?"""
+    if isinstance(node, ast.Attribute):
+        return node.attr.lower().endswith("stats")
+    if isinstance(node, ast.Name):
+        return node.id in aliases
+    return False
+
+
+def _collect_aliases(fn: ast.AST) -> Set[str]:
+    """Local names bound to a stats-shaped expression within ``fn``."""
+    aliases: Set[str] = set()
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.Assign):
+            continue
+        value = node.value
+        shaped = False
+        if isinstance(value, ast.Attribute) and value.attr.lower().endswith("stats"):
+            shaped = True
+        elif (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+            and value.func.id.endswith(SUFFIX)
+        ):
+            shaped = True
+        if shaped:
+            for tgt in node.targets:
+                if isinstance(tgt, ast.Name):
+                    aliases.add(tgt.id)
+    return aliases
+
+
+@register(
+    RULE,
+    "attribute writes on stats objects must name fields the stats classes declare",
+)
+def check(project: Project) -> List[Finding]:
+    declared = _declared_surface(project)
+    if not declared:
+        return []  # no stats classes in scope; nothing to compare against
+
+    findings: List[Finding] = []
+    for src in project.files:
+        for fn in ast.walk(src.tree):
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            aliases = _collect_aliases(fn)
+            for node in ast.walk(fn):
+                if not isinstance(node, (ast.Assign, ast.AugAssign)):
+                    continue
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                for tgt in targets:
+                    if not isinstance(tgt, ast.Attribute):
+                        continue
+                    if tgt.attr.startswith("_"):
+                        continue
+                    if not _is_stats_receiver(tgt.value, aliases):
+                        continue
+                    # `self.stats = TreeStats()` assigns the *stats slot*
+                    # on the owner, not a counter on the stats object.
+                    if (
+                        isinstance(tgt.value, ast.Name)
+                        and tgt.value.id == "self"
+                    ):
+                        continue
+                    if tgt.attr not in declared:
+                        findings.append(
+                            Finding(
+                                RULE,
+                                src.display,
+                                node.lineno,
+                                f"write to undeclared stats field "
+                                f"{tgt.attr!r}; no *{SUFFIX} class declares "
+                                "it (likely a typo that mints a dead counter)",
+                            )
+                        )
+    return findings

@@ -32,10 +32,10 @@ on the winner.
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
+from ..concurrency import sanitizer
 from ..testing import failpoints
 from .primary import Primary
 from .replica import Replica
@@ -53,7 +53,7 @@ class EpochRegistry:
 
     def __init__(self, epoch: int = 1) -> None:
         self._epoch = epoch
-        self._lock = threading.Lock()
+        self._lock = sanitizer.make_lock("repl.epoch")
         self._partitioned: set[str] = set()
 
     def current(self) -> int:

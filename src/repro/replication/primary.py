@@ -32,10 +32,10 @@ assert that no acknowledged write is ever lost across failovers.
 from __future__ import annotations
 
 import os
-import threading
 from pathlib import Path
-from typing import Any, Iterable, Optional
+from typing import Any, Iterable, Iterator, Optional
 
+from ..concurrency import sanitizer
 from ..core.durable import DurableTree
 from ..core.wal import (
     WALPosition,
@@ -82,6 +82,8 @@ def write_epoch(directory: Path, epoch: int) -> None:
     with tmp.open("w") as fh:
         fh.write(f"{epoch}\n")
         fh.flush()
+        if sanitizer.enabled():
+            sanitizer.note_fsync("repl.epoch_file")
         os.fsync(fh.fileno())
     os.replace(tmp, path)
 
@@ -121,7 +123,7 @@ class Primary:
         self.batches_served = 0
         self.records_served = 0
         self._replicas: list = []
-        self._meta_lock = threading.Lock()
+        self._meta_lock = sanitizer.make_lock("repl.primary.meta")
         self._reader = WALReader(self.wal.directory)
         stored = read_epoch(self.directory)
         if epoch is None:
@@ -273,6 +275,12 @@ class Primary:
 
     def range_query(self, start, end):
         return self.durable.range_query(start, end)
+
+    def range_iter(self, start, end) -> Iterator[tuple]:
+        """Lazy range scan over the locally durable tree.  Like every
+        read on the primary it is served unfenced — reads never need the
+        epoch check because they acknowledge nothing."""
+        return self.durable.range_iter(start, end)
 
     def items(self):
         return self.durable.items()

@@ -41,6 +41,7 @@ import zlib
 from pathlib import Path
 from typing import Any, Optional, Type, Union
 
+from ..concurrency import sanitizer
 from ..concurrency.locks import RWLock
 from ..core.bptree import BPlusTree
 from ..core.config import TreeConfig
@@ -114,7 +115,7 @@ class Replica:
         self.crc_failures = 0
         self.stale_epoch_rejects = 0
         self.bootstraps = 0
-        self._lock = RWLock()
+        self._lock = RWLock(name="repl.replica")
 
     #: ``applied_lsn`` is the durable cursor: the stream position of the
     #: last record applied (and persisted) by this replica.
@@ -132,7 +133,7 @@ class Replica:
         """
         self.transport = transport
 
-    def _wipe_local_state(self) -> None:
+    def _wipe_local_state(self) -> None:  # holds: repl.replica
         if self.durable is not None:
             self.durable.close()
             self.durable = None
@@ -200,7 +201,7 @@ class Replica:
 
     # -- cursor persistence --------------------------------------------
 
-    def _persist_cursor_locked(self) -> None:
+    def _persist_cursor_locked(self) -> None:  # holds: repl.replica
         # Local WAL first: the cursor on disk must never be ahead of the
         # applied records it stands for.
         self.durable.wal.sync()
@@ -212,6 +213,8 @@ class Replica:
                 f"{self.position.offset}\n"
             )
             fh.flush()
+            if sanitizer.enabled():
+                sanitizer.note_fsync("replica.cursor")
             os.fsync(fh.fileno())
         os.replace(tmp, path)
 
@@ -425,3 +428,19 @@ class Replica:
     def check(self, check_min_fill: bool = False):
         with self._lock.read_locked():
             return self.durable.check(check_min_fill=check_min_fill)
+
+    def range_iter(self, start, end):
+        """Range scan with the lazy-iterator surface of the other tree
+        facades.  The replica applies shipped records under its write
+        lock, so the result is materialized under the read lock and the
+        snapshot iterated — an open cursor must never pin the lock
+        across caller-controlled iteration."""
+        with self._lock.read_locked():
+            snapshot = self.durable.range_query(start, end)
+        return iter(snapshot)
+
+    def scrub(self):
+        """Scrub the local tree's derived state (what :meth:`promote`
+        runs before serving writes), exposed for facade parity."""
+        with self._lock.write_locked():
+            return self.durable.scrub()

@@ -266,3 +266,15 @@ class SABPlusTree:
     def validate(self) -> None:
         """Validate the underlying tree's structural invariants."""
         self.tree.validate(check_min_fill=False)
+
+    def check(self, check_min_fill: bool = False) -> list[str]:
+        """Non-raising validation of the underlying tree.  Buffered
+        entries are staged, not structural — they are not flushed here,
+        so a check is read-only like the other variants'."""
+        return self.tree.check(check_min_fill=check_min_fill)
+
+    def scrub(self):
+        """Scrub the underlying tree's derived state (chain endpoints,
+        fast-path pointers); see
+        :meth:`repro.core.bptree.BPlusTree.scrub`."""
+        return self.tree.scrub()

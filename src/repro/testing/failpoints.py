@@ -97,7 +97,10 @@ class _Armed:
         if self.hits <= self.hits_before:
             return False
         if self.mode == "probability":
-            assert self.rng is not None
+            if self.rng is None:
+                raise RuntimeError(
+                    "probability-mode failpoint armed without an RNG"
+                )
             return self.rng.random() < self.probability
         return True
 

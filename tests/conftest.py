@@ -6,6 +6,7 @@ import random
 
 import pytest
 
+from repro.concurrency import sanitizer
 from repro.testing import failpoints
 from repro.core import (
     BPlusTree,
@@ -38,6 +39,23 @@ def _disarm_failpoints():
     """Failpoint arming is process-global; never leak across tests."""
     yield
     failpoints.reset()
+
+
+@pytest.fixture(autouse=True)
+def _lock_sanitizer_clean():
+    """Under ``QUIT_SANITIZE=1`` every test doubles as a lock-discipline
+    assertion: any violation the sanitizer recorded during the test
+    fails it.  (Tests that *seed* violations drain them before
+    returning.)  A no-op when the sanitizer is off."""
+    if sanitizer.enabled():
+        sanitizer.reset()
+    yield
+    if sanitizer.enabled():
+        leftover = sanitizer.take_violations()
+        details = "\n".join(
+            f"[{v.kind}] {v.message}\n{v.stack}" for v in leftover
+        )
+        assert not leftover, f"lock sanitizer violations:\n{details}"
 
 
 @pytest.fixture

@@ -1,0 +1,16 @@
+"""Fixture: a tree facade missing part of the batched surface.
+Seeded violation for the ``api-parity`` rule; never imported."""
+
+
+class PartialTree:
+    def insert(self, key, value=None):
+        raise NotImplementedError
+
+    def get(self, key, default=None):
+        raise NotImplementedError
+
+    def get_many(self, keys, default=None):
+        raise NotImplementedError
+
+    def range_query(self, start, end):
+        raise NotImplementedError

@@ -1,0 +1,7 @@
+"""Fixture: bare assert (vanishes under ``python -O``).  Seeded
+violation for the ``no-bare-assert`` rule; never imported."""
+
+
+def clamp(x):
+    assert x >= 0, "negative input"
+    return min(x, 10)

@@ -1,0 +1,11 @@
+"""Fixture: fire sites that drift from the registry in ``failpoints.py``
+(same directory).  Seeded violations for ``failpoint-parity``.  Never
+imported."""
+
+from . import failpoints  # noqa: F401  (fixture only; never executed)
+
+
+def do_write(name):
+    failpoints.fire("io.write")  # registered: fine
+    failpoints.fire("io.unregistered")  # not in KNOWN_FAILPOINTS
+    failpoints.fire(name)  # non-literal: invisible to coverage

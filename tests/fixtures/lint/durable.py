@@ -1,0 +1,13 @@
+"""Fixture: rank inversion against the canonical LOCK_ORDER.
+
+The file is *named* ``durable.py`` so ``self._gate`` resolves to the
+canonical ``durable.gate`` lock id, and the ``# holds:`` pragma claims
+the innermost ``wal.append`` is already held — acquiring the coarse
+gate under it contradicts the canonical order.  Seeded violation for
+the ``lock-discipline`` rule; never imported by the package."""
+
+
+class Broken:
+    def flush_under_wal(self):  # holds: wal.append
+        with self._gate.read_locked():  # durable.gate under wal.append
+            pass

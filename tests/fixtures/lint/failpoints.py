@@ -1,0 +1,8 @@
+"""Fixture: failpoint registry with a never-fired entry.  Paired with
+``caller.py``; seeded violations for ``failpoint-parity``.  Never
+imported."""
+
+KNOWN_FAILPOINTS = (
+    "io.write",
+    "io.never_fired",
+)

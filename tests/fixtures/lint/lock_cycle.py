@@ -1,0 +1,26 @@
+"""Fixture: two unranked locks nested in both orders (deadlock recipe),
+plus a nested reacquisition of the same lock.  Seeded violations for the
+``lock-discipline`` rule; never imported by the package."""
+
+import threading
+
+
+class Pair:
+    def __init__(self):
+        self._alpha_lock = threading.Lock()
+        self._beta_lock = threading.Lock()
+
+    def forward(self):
+        with self._alpha_lock:
+            with self._beta_lock:  # edge alpha -> beta
+                pass
+
+    def backward(self):
+        with self._beta_lock:
+            with self._alpha_lock:  # edge beta -> alpha: cycle!
+                pass
+
+    def reentrant(self):
+        with self._alpha_lock:
+            with self._alpha_lock:  # self-nesting: not reentrant
+                pass

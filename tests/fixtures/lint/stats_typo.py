@@ -1,0 +1,22 @@
+"""Fixture: write to an undeclared stats field (a counter typo).
+Seeded violation for the ``stats-parity`` rule; never imported."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class WidgetStats:
+    appends: int = 0
+
+
+class Widget:
+    def __init__(self):
+        self.stats = WidgetStats()
+
+    def record(self):
+        self.stats.appends += 1  # declared: fine
+        self.stats.appendz += 1  # typo: mints a dead counter
+
+    def record_via_alias(self):
+        stats = self.stats
+        stats.appned = 1  # typo through a local alias

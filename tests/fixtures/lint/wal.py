@@ -1,0 +1,11 @@
+"""Fixture: unguarded write to a lock-protected counter.
+
+The class is *named* ``WriteAheadLog`` so the ``lock-discipline``
+rule's guarded-field table applies; ``syncs`` must only be written
+under ``wal.append``.  Seeded violation; never imported by the
+package."""
+
+
+class WriteAheadLog:
+    def bump(self):
+        self.syncs += 1  # guarded field written with no lock held

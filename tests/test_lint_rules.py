@@ -1,0 +1,199 @@
+"""quit-check rule tests: each rule must fire on its seeded-violation
+fixture at the right location, and the shipped ``src/`` tree must lint
+clean (the acceptance gate CI enforces)."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.lint.cli import main as cli_main
+from repro.lint.engine import Project, all_rules, run_rules
+
+FIXTURES = Path(__file__).parent / "fixtures" / "lint"
+SRC = Path(__file__).parent.parent / "src"
+
+
+def run(rule, *names):
+    project = Project.from_paths([FIXTURES / n for n in names])
+    return run_rules(project, [rule])
+
+
+def lines(findings):
+    return [f.line for f in findings]
+
+
+# ---------------------------------------------------------------------------
+# no-bare-assert
+# ---------------------------------------------------------------------------
+
+
+def test_bare_assert_fires_with_location():
+    findings = run("no-bare-assert", "asserts.py")
+    assert len(findings) == 1
+    (f,) = findings
+    assert f.rule == "no-bare-assert"
+    assert f.path.endswith("asserts.py")
+    assert f.line == 6  # the `assert x >= 0` line
+    assert "python -O" in f.message
+
+
+# ---------------------------------------------------------------------------
+# lock-discipline
+# ---------------------------------------------------------------------------
+
+
+def test_lock_cycle_detected():
+    findings = run("lock-discipline", "lock_cycle.py")
+    cycles = [f for f in findings if "lock cycle" in f.message]
+    assert cycles, findings
+    # Both directions of the inverted pair are reported, at the inner
+    # `with` of each nesting.
+    assert sorted(lines(cycles)) == [15, 20]
+    for f in cycles:
+        assert "lock_cycle._alpha_lock" in f.message
+        assert "lock_cycle._beta_lock" in f.message
+
+
+def test_same_lock_nesting_detected():
+    findings = run("lock-discipline", "lock_cycle.py")
+    reentrant = [f for f in findings if "not reentrant" in f.message]
+    assert len(reentrant) == 1
+    assert reentrant[0].line == 25
+
+
+def test_rank_inversion_via_pragma():
+    findings = run("lock-discipline", "durable.py")
+    assert len(findings) == 1
+    (f,) = findings
+    assert "lock order inversion" in f.message
+    assert "'durable.gate'" in f.message
+    assert "'wal.append'" in f.message
+    assert f.line == 12  # the `with self._gate.read_locked():` line
+
+
+def test_unguarded_write_detected():
+    findings = run("lock-discipline", "wal.py")
+    assert len(findings) == 1
+    (f,) = findings
+    assert "WriteAheadLog.syncs" in f.message
+    assert "outside any lock scope" in f.message
+    assert f.line == 11
+
+
+# ---------------------------------------------------------------------------
+# failpoint-parity
+# ---------------------------------------------------------------------------
+
+
+def test_failpoint_parity_both_directions_and_non_literal():
+    findings = run("failpoint-parity", "failpoints.py", "caller.py")
+    unregistered = [f for f in findings if "io.unregistered" in f.message]
+    never_fired = [f for f in findings if "io.never_fired" in f.message]
+    non_literal = [f for f in findings if "not a string literal" in f.message]
+    assert len(unregistered) == 1
+    assert unregistered[0].path.endswith("caller.py")
+    assert unregistered[0].line == 10
+    assert len(never_fired) == 1
+    assert never_fired[0].path.endswith("failpoints.py")
+    assert never_fired[0].line == 7  # registry entry line
+    assert len(non_literal) == 1
+    assert non_literal[0].line == 11
+    assert len(findings) == 3
+
+
+def test_failpoint_parity_skips_without_registry():
+    # No registry in scope -> nothing to compare against.
+    assert run("failpoint-parity", "caller.py") == []
+
+
+# ---------------------------------------------------------------------------
+# stats-parity
+# ---------------------------------------------------------------------------
+
+
+def test_stats_typo_detected_direct_and_alias():
+    findings = run("stats-parity", "stats_typo.py")
+    assert len(findings) == 2
+    by_line = {f.line: f for f in findings}
+    assert 18 in by_line and "appendz" in by_line[18].message
+    assert 22 in by_line and "appned" in by_line[22].message
+
+
+# ---------------------------------------------------------------------------
+# api-parity
+# ---------------------------------------------------------------------------
+
+
+def test_api_gap_detected():
+    findings = run("api-parity", "api_gap.py")
+    assert len(findings) == 1
+    (f,) = findings
+    assert "PartialTree" in f.message
+    assert f.line == 5  # class definition line
+    for missing in ("insert_many", "range_iter", "scrub", "check"):
+        assert missing in f.message
+    assert "get_many" not in f.message  # present, must not be reported
+
+
+# ---------------------------------------------------------------------------
+# the shipped tree is clean
+# ---------------------------------------------------------------------------
+
+
+def test_src_tree_lints_clean():
+    project = Project.from_paths([SRC])
+    findings = run_rules(project)
+    assert findings == [], "\n".join(f.format() for f in findings)
+    # Sanity: the scan actually covered the package.
+    assert len(project.files) > 50
+
+
+def test_parse_errors_surface(tmp_path):
+    bad = tmp_path / "broken.py"
+    bad.write_text("def f(:\n")
+    project = Project.from_paths([bad])
+    findings = run_rules(project)
+    assert len(findings) == 1
+    assert findings[0].rule == "parse"
+
+
+def test_unknown_rule_rejected():
+    with pytest.raises(ValueError, match="unknown rule"):
+        run_rules(Project.from_paths([]), ["no-such-rule"])
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+def test_cli_list_rules(capsys):
+    assert cli_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in all_rules():
+        assert rule.name in out
+
+
+def test_cli_exit_codes(capsys):
+    assert cli_main([str(FIXTURES / "asserts.py")]) == 1
+    assert cli_main([str(SRC)]) == 0
+    assert cli_main([str(FIXTURES / "no-such-dir")]) == 2
+    assert cli_main(["--rule", "bogus", str(SRC)]) == 2
+    capsys.readouterr()
+
+
+def test_cli_json_output(capsys):
+    code = cli_main(["--format", "json", str(FIXTURES / "asserts.py")])
+    assert code == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload[0]["rule"] == "no-bare-assert"
+    assert payload[0]["line"] == 6
+
+
+def test_cli_rule_filter(capsys):
+    code = cli_main(
+        ["--rule", "stats-parity", str(FIXTURES / "asserts.py")]
+    )
+    capsys.readouterr()
+    assert code == 0  # bare assert invisible to the stats rule

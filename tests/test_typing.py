@@ -1,0 +1,35 @@
+"""Strict-typing gate over the durability and concurrency layers.
+
+``mypy`` is not part of the base test environment, so the test skips
+when it is absent; CI's ``lint`` job installs it (``pip install
+.[lint]``) and runs this for real.  The scope and strictness flags live
+in ``pyproject.toml`` ``[tool.mypy]``.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+pytest.importorskip("mypy", reason="mypy not installed; CI lint job runs this")
+
+REPO_ROOT = Path(__file__).parent.parent
+
+
+def test_mypy_strict_core_and_concurrency():
+    proc = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "mypy",
+            "-p",
+            "repro.core",
+            "-p",
+            "repro.concurrency",
+        ],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+    )
+    assert proc.returncode == 0, f"mypy --strict failed:\n{proc.stdout}\n{proc.stderr}"
