@@ -31,6 +31,7 @@ import argparse
 import json
 import platform
 import time
+from dataclasses import replace
 from pathlib import Path
 from typing import Any, Optional, Sequence
 
@@ -144,6 +145,7 @@ def _meta(
         command += f" --read-batch-size {read_batch_size}"
     command += (
         f" --leaf-capacity {scale.leaf_capacity}"
+        f" --layout {scale.layout}"
         f" --seed {scale.seed} --repeats {scale.repeats}"
     )
     meta: dict[str, Any] = {
@@ -160,6 +162,7 @@ def _meta(
     meta.update(
         {
             "leaf_capacity": scale.leaf_capacity,
+            "layout": scale.layout,
             "seed": scale.seed,
             "repeats": scale.repeats,
             "python": platform.python_version(),
@@ -396,6 +399,73 @@ def run_mixed_regression(
     }
 
 
+#: Variants whose fast paths gate the gapped-layout acceptance: the
+#: gapped slot-array leaves must beat the list baseline on per-key
+#: insert throughput for each of these.
+FAST_PATH_VARIANTS = ("tail-B+-tree", "lil-B+-tree", "pole-B+-tree", "QuIT")
+
+
+def run_layout_ab(
+    scale: BenchScale, k_fraction: float, l_fraction: float
+) -> dict[str, Any]:
+    """Measure gapped vs list per-key insert throughput, interleaved.
+
+    Cross-process comparisons of the two layouts are dominated by
+    machine noise (2-3x swings between otherwise-identical runs), so
+    both layouts are timed **within one process**, alternating which
+    goes first each repeat, GC paused, best-of-``scale.repeats`` per
+    side.  That is the only methodology that produced stable ratios
+    during development; treat any single-layout cross-run delta with
+    suspicion.
+    """
+    keys = [
+        int(k)
+        for k in generate_keys(
+            scale.n, k_fraction, l_fraction, seed=scale.seed
+        )
+    ]
+    scales = {
+        layout: replace(scale, layout=layout)
+        for layout in ("gapped", "list")
+    }
+    repeats = max(1, scale.repeats)
+    results = []
+    for name in FAST_PATH_VARIANTS:
+        best = {"gapped": float("inf"), "list": float("inf")}
+        for rep in range(repeats):
+            order = (
+                ("gapped", "list") if rep % 2 == 0 else ("list", "gapped")
+            )
+            for layout in order:
+                tree = make_tree(name, scales[layout])
+                insert = tree.insert
+                with _gc_paused():
+                    start = time.perf_counter()
+                    for k in keys:
+                        insert(k, k)
+                    best[layout] = min(
+                        best[layout], time.perf_counter() - start
+                    )
+        results.append(
+            {
+                "index": name,
+                "gapped_per_key_seconds": round(best["gapped"], 6),
+                "list_per_key_seconds": round(best["list"], 6),
+                "gapped_per_key_ops": round(scale.n / best["gapped"], 1),
+                "list_per_key_ops": round(scale.n / best["list"], 1),
+                "gapped_over_list": round(
+                    best["list"] / best["gapped"], 3
+                ),
+            }
+        )
+    meta = _meta(
+        "gapped vs list leaf layout: interleaved per-key insert A/B",
+        "layout", scale, k_fraction, l_fraction,
+        scale.batch_size or scale.n,
+    )
+    return {"meta": meta, "results": results}
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Argument parser for quit-regress."""
     parser = argparse.ArgumentParser(
@@ -410,11 +480,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the JSON document here (default: stdout only)",
     )
     parser.add_argument(
-        "--mode", choices=("ingest", "reads", "mixed"), default="ingest",
+        "--mode", choices=("ingest", "reads", "mixed", "layout"),
+        default="ingest",
         help=(
             "ingest: insert vs insert_many (PR 1 baseline); "
             "reads: get vs get_many on a pre-built index; "
-            "mixed: interleaved chunked read/write (default: ingest)"
+            "mixed: interleaved chunked read/write; "
+            "layout: gapped vs list per-key insert A/B, interleaved "
+            "in-process (default: ingest)"
         ),
     )
     parser.add_argument("--n", type=int, default=100_000)
@@ -432,6 +505,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="probe chunk size handed to get_many (reads/mixed modes)",
     )
     parser.add_argument("--leaf-capacity", type=int, default=64)
+    parser.add_argument(
+        "--layout", choices=("gapped", "list"), default="gapped",
+        help=(
+            "leaf storage layout under test: gapped slot arrays "
+            "(default) or the legacy list baseline"
+        ),
+    )
     parser.add_argument("--seed", type=int, default=42)
     parser.add_argument(
         "--repeats", type=int, default=5,
@@ -462,6 +542,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         seed=args.seed,
         repeats=repeats,
         batch_size=args.batch_size,
+        layout=args.layout,
     )
     if args.mode == "reads":
         doc = run_read_regression(
@@ -471,6 +552,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         doc = run_mixed_regression(
             scale, args.k, args.l, args.batch_size, args.read_batch_size
         )
+    elif args.mode == "layout":
+        doc = run_layout_ab(scale, args.k, args.l)
     else:
         doc = run_regression(scale, args.k, args.l, args.batch_size)
     text = json.dumps(doc, indent=2) + "\n"
@@ -478,11 +561,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         args.out.write_text(text)
         print(f"wrote {args.out}")
     for row in doc["results"]:
-        print(
-            f"{row['index']:16s} per-key {row['per_key_ops']:>10.0f} ops/s"
-            f"  batched {row['batched_ops']:>10.0f} ops/s"
-            f"  speedup {row['speedup']:.2f}x"
-        )
+        if args.mode == "layout":
+            print(
+                f"{row['index']:16s}"
+                f" gapped {row['gapped_per_key_ops']:>10.0f} ops/s"
+                f"  list {row['list_per_key_ops']:>10.0f} ops/s"
+                f"  gapped/list {row['gapped_over_list']:.3f}x"
+            )
+        else:
+            print(
+                f"{row['index']:16s} per-key {row['per_key_ops']:>10.0f}"
+                f" ops/s  batched {row['batched_ops']:>10.0f} ops/s"
+                f"  speedup {row['speedup']:.2f}x"
+            )
     return 0
 
 

@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 from typing import Any, Iterable, Iterator, Optional, Union
 
 from ..core.bptree import TreeInvariantError
-from ..core.node import Key
+from ..core.node import Key, LeafNode, make_leaf
 
 
 def _require(
@@ -57,13 +57,21 @@ class BeTreeConfig:
             must flush a batch downward.  In the classical formulation
             ``fanout = B**eps`` and the buffer takes the remaining
             ``B - B**eps`` space; here both are explicit knobs.
+        layout: leaf storage layout (``"gapped"`` or ``"list"``) — the
+            Bε-tree shares the core leaf classes, so it inherits the
+            slot-array layout like every other variant.
     """
 
     leaf_capacity: int = 64
     fanout: int = 8
     buffer_capacity: int = 64
+    layout: str = "gapped"
 
     def __post_init__(self) -> None:
+        if self.layout not in ("gapped", "list"):
+            raise ValueError(
+                f"layout must be 'gapped' or 'list', got {self.layout!r}"
+            )
         if self.leaf_capacity < 4:
             raise ValueError(
                 f"leaf_capacity must be >= 4, got {self.leaf_capacity}"
@@ -78,7 +86,13 @@ class BeTreeConfig:
 
 @dataclass
 class BeTreeStats:
-    """Work counters for the Bε-tree."""
+    """Work counters for the Bε-tree.
+
+    The four gap/typed counters mirror
+    :class:`repro.core.stats.TreeStats` — the Bε-tree's leaves are the
+    shared core leaf classes, which report their layout events into
+    whatever stats receiver they are wired to.
+    """
 
     messages_enqueued: int = 0
     messages_moved: int = 0
@@ -87,20 +101,15 @@ class BeTreeStats:
     leaf_splits: int = 0
     internal_splits: int = 0
     node_accesses: int = 0
+    gap_hits: int = 0
+    gap_redistributions: int = 0
+    typed_leaves: int = 0
+    typed_demotions: int = 0
 
 
-class _Leaf:
-    __slots__ = ("keys", "values", "next")
-
-    def __init__(self) -> None:
-        self.keys: list[Key] = []
-        self.values: list[Any] = []
-        self.next: Optional["_Leaf"] = None
-
-    @property
-    def is_leaf(self) -> bool:
-        """Leaf marker (duck-typed against _Internal)."""
-        return True
+#: Bε-tree leaves are the shared core leaf classes (list or gapped),
+#: so the layout work lands in one place for every variant.
+_Leaf = LeafNode
 
 
 class _Internal:
@@ -134,7 +143,19 @@ class BeTree:
     def __init__(self, config: Optional[BeTreeConfig] = None) -> None:
         self.config = config or BeTreeConfig()
         self.stats = BeTreeStats()
-        self._root: _Node = _Leaf()
+        self._root: _Node = self._new_leaf()
+
+    @property
+    def layout(self) -> str:
+        """Leaf storage layout this tree was built with."""
+        return self.config.layout
+
+    def _new_leaf(self) -> _Leaf:
+        return make_leaf(
+            self.config.layout,
+            self.config.leaf_capacity,
+            self.stats,  # type: ignore[arg-type]
+        )
 
     # ------------------------------------------------------------------
     # Writes: everything is a message
@@ -169,7 +190,7 @@ class BeTree:
         root = self._root
         if root.is_leaf:
             self._apply_to_leaf(root, key, message)
-            if len(root.keys) > self.config.leaf_capacity:
+            if root.size > self.config.leaf_capacity:
                 self._split_root_leaf()
             return
         root.buffer[key] = message
@@ -202,7 +223,7 @@ class BeTree:
             while pending:
                 idx = pending.pop()
                 piece = node.children[idx]
-                if len(piece.keys) > self.config.leaf_capacity:
+                if piece.size > self.config.leaf_capacity:
                     self._split_child(node, idx)
                     pending.extend((idx, idx + 1))
         else:
@@ -232,17 +253,12 @@ class BeTree:
     ) -> None:
         self.stats.leaf_applies += 1
         op, value = message
-        idx = bisect_left(leaf.keys, key)
-        present = idx < len(leaf.keys) and leaf.keys[idx] == key
         if op == _PUT:
-            if present:
-                leaf.values[idx] = value
-            else:
-                leaf.keys.insert(idx, key)
-                leaf.values.insert(idx, value)
-        elif present:
-            leaf.keys.pop(idx)
-            leaf.values.pop(idx)
+            leaf.insert_entry(key, value)
+        else:
+            idx = leaf.find(key)
+            if idx is not None:
+                leaf.remove_at(idx)
 
     # ------------------------------------------------------------------
     # Splits
@@ -266,15 +282,8 @@ class BeTree:
 
     def _split_leaf(self, leaf: _Leaf) -> tuple[_Leaf, Key]:
         self.stats.leaf_splits += 1
-        mid = len(leaf.keys) // 2
-        right = _Leaf()
-        right.keys = leaf.keys[mid:]
-        right.values = leaf.values[mid:]
-        del leaf.keys[mid:]
-        del leaf.values[mid:]
-        right.next = leaf.next
-        leaf.next = right
-        return right, right.keys[0]
+        # split_at clones the leaf's layout and fixes the chain links.
+        return leaf.split_at(leaf.size // 2)
 
     def _split_internal(self, node: _Internal) -> tuple[_Internal, Key]:
         self.stats.internal_splits += 1
@@ -314,9 +323,9 @@ class BeTree:
                 return value if op == _PUT else default
             node = node.children[node.child_index_for(key)]
             self.stats.node_accesses += 1
-        idx = bisect_left(node.keys, key)
-        if idx < len(node.keys) and node.keys[idx] == key:
-            return node.values[idx]
+        idx = node.find(key)
+        if idx is not None:
+            return node.value_at(idx)
         return default
 
     def __contains__(self, key: Key) -> bool:
@@ -353,11 +362,11 @@ class BeTree:
         ``node``'s subtree."""
         self.stats.node_accesses += 1
         if node.is_leaf:
-            leaf_keys = node.keys
+            lk, lv, ln = node.view()
             for key, pos in probes:
-                idx = bisect_left(leaf_keys, key)
-                if idx < len(leaf_keys) and leaf_keys[idx] == key:
-                    out[pos] = node.values[idx]
+                idx = bisect_left(lk, key, 0, ln)
+                if idx < ln and lk[idx] == key:
+                    out[pos] = lv[idx]
             return
         buffer = node.buffer
         if buffer:
@@ -425,10 +434,11 @@ class BeTree:
         overwrites (higher = newer)."""
         self.stats.node_accesses += 1
         if node.is_leaf:
-            lo = bisect_left(node.keys, start)
-            hi = bisect_left(node.keys, end)
+            lk, lv, ln = node.view()
+            lo = bisect_left(lk, start, 0, ln)
+            hi = bisect_left(lk, end, 0, ln)
             for i in range(lo, hi):
-                resolved.setdefault(node.keys[i], (_PUT, node.values[i]))
+                resolved.setdefault(lk[i], (_PUT, lv[i]))
             return
         first = node.child_index_for(start)
         last = node.child_index_for(end)

@@ -24,7 +24,7 @@ from .config import (
     PIVOT_BYTES,
     TreeConfig,
 )
-from .node import InternalNode, Key, LeafNode, Node
+from .node import GappedLeafNode, InternalNode, Key, LeafNode, Node, make_leaf
 from .stats import OccupancyStats, ScrubReport, TreeStats
 
 
@@ -78,12 +78,29 @@ class BPlusTree:
     def __init__(self, config: Optional[TreeConfig] = None) -> None:
         self.config = config or TreeConfig()
         self.stats = TreeStats()
-        root = LeafNode()
+        root = self._new_leaf()
         self._root: Node = root
         self._head: LeafNode = root
         self._tail: LeafNode = root
         self._size = 0
         self._height = 1
+
+    @property
+    def layout(self) -> str:
+        """Leaf storage layout this tree was built with (``"gapped"`` or
+        ``"list"``); part of the layout-selection surface every variant
+        facade exposes."""
+        return self.config.layout
+
+    def _new_leaf(self) -> LeafNode:
+        """Fresh leaf in the configured layout.  Every code path that
+        materializes a leaf (root, splits, bulk loads, run-overflow
+        rebuilds) must route through here (or through
+        :meth:`LeafNode.split_at`, which clones the layout) so a tree
+        never mixes layouts."""
+        return make_leaf(
+            self.config.layout, self.config.leaf_capacity, self.stats
+        )
 
     # ------------------------------------------------------------------
     # Basic properties
@@ -176,7 +193,7 @@ class BPlusTree:
         pivot bounds — threading them through here keeps the fast-path
         metadata updates O(1).
         """
-        if len(leaf.keys) >= self.config.leaf_capacity:
+        if leaf.size >= self.config.leaf_capacity:
             leaf, low, high = self._split_full_leaf(leaf, key, low, high)
         if leaf.insert_entry(key, value):
             self._size += 1
@@ -330,7 +347,7 @@ class BPlusTree:
         idx = leaf.find(key)
         if idx is None:
             return default
-        return leaf.values[idx]
+        return leaf.value_at(idx)
 
     def get_many(self, keys: Iterable[Key], default: Any = None) -> list[Any]:
         """Batched point lookups; returns values aligned with ``keys``
@@ -369,8 +386,9 @@ class BPlusTree:
         redescents = 0
         fp_hits = 0
         leaf: Optional[LeafNode] = None
-        lk: list[Key] = []
-        lv: list[Any] = []
+        lk: Any = []  # leaf key view (list or typed array)
+        lv: Any = []
+        ln = 0  # live-entry count of the current view
         hi: Optional[Key] = None  # successor's smallest key (the horizon)
         bounded = False  # True when ``hi`` is a real horizon
         force = False  # degenerate leaf: every probe must reposition
@@ -387,8 +405,8 @@ class BPlusTree:
                         if nxt is None:
                             node = cur
                             break
-                        nk = nxt.keys
-                        if not nk:  # opaque empty leaf: cannot see past
+                        nk, _, nn = nxt.view()
+                        if not nn:  # opaque empty leaf: cannot see past
                             break
                         if key < nk[0]:
                             node = cur
@@ -403,25 +421,27 @@ class BPlusTree:
                         leaf = self._find_leaf(key)
                     else:
                         fp_hits += 1
-                lk = leaf.keys
-                lv = leaf.values
+                lk, lv, ln = leaf.view()
                 force = False
                 nxt = leaf.next
                 if nxt is None:
                     bounded = False
-                elif nxt.keys:
-                    hi = nxt.keys[0]
-                    bounded = True
-                elif lk:
-                    # Empty successor: no trustworthy horizon.  Any probe
-                    # beyond this leaf's own content re-descends (the max
-                    # key itself redundantly repositions — harmless).
-                    hi = lk[-1]
-                    bounded = True
                 else:
-                    force = True
-            idx = bisect_left(lk, key)
-            if idx < len(lk) and lk[idx] == key:
+                    nk, _, nn = nxt.view()
+                    if nn:
+                        hi = nk[0]
+                        bounded = True
+                    elif ln:
+                        # Empty successor: no trustworthy horizon.  Any
+                        # probe beyond this leaf's own content re-descends
+                        # (the max key itself redundantly repositions —
+                        # harmless).
+                        hi = lk[ln - 1]
+                        bounded = True
+                    else:
+                        force = True
+            idx = bisect_left(lk, key, 0, ln)
+            if idx < ln and lk[idx] == key:
                 out[pos] = lv[idx]
         stats.read_redescents += redescents
         stats.read_chain_hits += n - redescents - fp_hits
@@ -454,8 +474,8 @@ class BPlusTree:
                 if nxt is None:
                     stats.read_chain_hits += 1
                     return cur
-                nk = nxt.keys
-                if not nk:
+                nk, _, nn = nxt.view()
+                if not nn:
                     break
                 if key < nk[0]:
                     stats.read_chain_hits += 1
@@ -479,22 +499,23 @@ class BPlusTree:
         if start >= end:
             return []
         leaf: Optional[LeafNode] = self._find_leaf(start)
-        lo = bisect_left(leaf.keys, start)
+        lk, lv, ln = leaf.view()
+        lo = bisect_left(lk, start, 0, ln)
         out: list[tuple[Key, Any]] = []
         while leaf is not None:
-            keys = leaf.keys
-            if keys:
-                if keys[-1] < end:
-                    out.extend(zip(keys[lo:], leaf.values[lo:]))
+            if ln:
+                if lk[ln - 1] < end:
+                    out.extend(zip(lk[lo:ln], lv[lo:ln]))
                 else:
-                    hi = bisect_left(keys, end, lo)
-                    out.extend(zip(keys[lo:hi], leaf.values[lo:hi]))
+                    hi = bisect_left(lk, end, lo, ln)
+                    out.extend(zip(lk[lo:hi], lv[lo:hi]))
                     return out
             lo = 0
             leaf = leaf.next
             if leaf is not None:
                 stats.node_accesses += 1
                 stats.leaf_accesses += 1
+                lk, lv, ln = leaf.view()
         return out
 
     def range_iter(self, start: Key, end: Key) -> Iterator[tuple[Key, Any]]:
@@ -512,21 +533,22 @@ class BPlusTree:
         if start >= end:
             return
         leaf: Optional[LeafNode] = self._find_leaf(start)
-        lo = bisect_left(leaf.keys, start)
+        lk, lv, ln = leaf.view()
+        lo = bisect_left(lk, start, 0, ln)
         while leaf is not None:
-            keys = leaf.keys
-            if keys:
-                if keys[-1] < end:
-                    yield from zip(keys[lo:], leaf.values[lo:])
+            if ln:
+                if lk[ln - 1] < end:
+                    yield from zip(lk[lo:ln], lv[lo:ln])
                 else:
-                    hi = bisect_left(keys, end, lo)
-                    yield from zip(keys[lo:hi], leaf.values[lo:hi])
+                    hi = bisect_left(lk, end, lo, ln)
+                    yield from zip(lk[lo:hi], lv[lo:hi])
                     return
             lo = 0
             leaf = leaf.next
             if leaf is not None:
                 self.stats.node_accesses += 1
                 self.stats.leaf_accesses += 1
+                lk, lv, ln = leaf.view()
 
     def count_range(self, start: Key, end: Key) -> int:
         """Number of entries in ``[start, end)`` without materializing
@@ -537,20 +559,21 @@ class BPlusTree:
         if start >= end:
             return 0
         leaf: Optional[LeafNode] = self._find_leaf(start)
-        lo = bisect_left(leaf.keys, start)
+        lk, _, ln = leaf.view()
+        lo = bisect_left(lk, start, 0, ln)
         total = 0
         while leaf is not None:
-            keys = leaf.keys
-            if keys:
-                if keys[-1] < end:
-                    total += len(keys) - lo
+            if ln:
+                if lk[ln - 1] < end:
+                    total += ln - lo
                 else:
-                    return total + bisect_left(keys, end, lo) - lo
+                    return total + bisect_left(lk, end, lo, ln) - lo
             lo = 0
             leaf = leaf.next
             if leaf is not None:
                 stats.node_accesses += 1
                 stats.leaf_accesses += 1
+                lk, _, ln = leaf.view()
         return total
 
     def update(self, items: Iterable[tuple[Key, Any]]) -> None:
@@ -635,8 +658,7 @@ class BPlusTree:
         self, parent: InternalNode, idx: int, left: LeafNode, leaf: LeafNode
     ) -> None:
         key, value = left.remove_at(left.size - 1)
-        leaf.keys.insert(0, key)
-        leaf.values.insert(0, value)
+        leaf.insert_entry(key, value)
         parent.keys[idx - 1] = key
 
     def _borrow_from_right_leaf(
@@ -655,8 +677,8 @@ class BPlusTree:
     ) -> None:
         """Fold ``right`` into ``left`` and drop the separator at
         ``sep_idx``; propagates underflow upward."""
-        left.keys.extend(right.keys)
-        left.values.extend(right.values)
+        rk, rv, rn = right.view()
+        left.extend_entries(rk[:rn], rv[:rn])
         left.next = right.next
         if right.next is not None:
             right.next.prev = left
@@ -755,7 +777,7 @@ class BPlusTree:
         per_leaf = max(1, int(self.config.leaf_capacity * fill_factor))
         leaves: list[LeafNode] = []
         for i in range(0, len(pairs), per_leaf):
-            leaf = LeafNode()
+            leaf = self._new_leaf()
             chunk = pairs[i: i + per_leaf]
             leaf.keys = [k for k, _ in chunk]
             leaf.values = [v for _, v in chunk]
@@ -764,15 +786,18 @@ class BPlusTree:
                 leaf.prev = leaves[-1]
             leaves.append(leaf)
         # Avoid leaving a lonely sub-min-fill last leaf: steal from its
-        # predecessor so deletes keep their invariants.
+        # predecessor so deletes keep their invariants.  Whole-list
+        # reassignment (not in-place splicing) so the gapped layout's
+        # bridge setters repack correctly.
         if len(leaves) > 1 and leaves[-1].size < self._min_leaf_fill():
             last, prev = leaves[-1], leaves[-2]
             need = self._min_leaf_fill() - last.size
             move = min(need, prev.size - 1)
-            last.keys[:0] = prev.keys[-move:]
-            last.values[:0] = prev.values[-move:]
-            del prev.keys[-move:]
-            del prev.values[-move:]
+            pk, pv = prev.keys, prev.values
+            last.keys = pk[-move:] + last.keys
+            last.values = pv[-move:] + last.values
+            prev.keys = pk[:-move]
+            prev.values = pv[:-move]
         self._head = leaves[0]
         self._tail = leaves[-1]
         self._size = len(pairs)
@@ -805,7 +830,7 @@ class BPlusTree:
     def _subtree_min(node: Node) -> Key:
         while not node.is_leaf:
             node = node.children[0]  # type: ignore[union-attr]
-        return node.keys[0]
+        return node.min_key  # type: ignore[union-attr]
 
     def _measure_height(self) -> int:
         node = self._root
@@ -840,7 +865,7 @@ class BPlusTree:
             prev_key = key
             tail = self._tail
             if tail.size >= per_leaf:
-                fresh = LeafNode()
+                fresh = self._new_leaf()
                 fresh.keys = [key]
                 fresh.values = [value]
                 fresh.prev = tail
@@ -928,7 +953,7 @@ class BPlusTree:
         Returns ``(added, last_leaf)`` where ``last_leaf`` is the leaf
         holding the segment's largest key after any rebuild.
         """
-        if len(leaf.keys) + len(seg_keys) <= self.config.leaf_capacity:
+        if leaf.size + len(seg_keys) <= self.config.leaf_capacity:
             added = leaf.apply_run(seg_keys, seg_vals)
             self._size += added
             return added, leaf
@@ -966,7 +991,7 @@ class BPlusTree:
         leaf.values = merged_vals[: bounds[1]]
         prev = leaf
         for lo, hi in zip(bounds[1:], bounds[2:]):
-            node = LeafNode()
+            node = self._new_leaf()
             node.keys = merged_keys[lo:hi]
             node.values = merged_vals[lo:hi]
             node.next = prev.next
@@ -977,7 +1002,7 @@ class BPlusTree:
             if prev is self._tail:
                 self._tail = node
             self.stats.leaf_splits += 1
-            self._insert_into_parent(prev, node.keys[0], node)
+            self._insert_into_parent(prev, merged_keys[lo], node)
             prev = node
         return added, prev
 
@@ -1118,7 +1143,7 @@ class BPlusTree:
                 seg_keys, seg_vals = run_keys, run_vals
             else:
                 seg_keys, seg_vals = run_keys[i:j], run_vals[i:j]
-            if len(leaf.keys) + len(seg_keys) <= cap:
+            if leaf.size + len(seg_keys) <= cap:
                 seg_added = leaf.apply_run(seg_keys, seg_vals)
                 self._size += seg_added
                 last_leaf = leaf
@@ -1130,7 +1155,7 @@ class BPlusTree:
                     # The overflow rebuilt the leaf into packed siblings;
                     # last_leaf is the rightmost piece and its first key
                     # is exactly the separator that bounds it below.
-                    low = last_leaf.keys[0]
+                    low = last_leaf.min_key
             # Track the frontier.  Long segments are the in-order bulk of
             # the stream — where the next run will resume — while short
             # segments are typically displaced outliers that should not
@@ -1160,17 +1185,17 @@ class BPlusTree:
                 # them correctly.
                 nxt = last_leaf.next
                 if nxt is not None:
-                    nxt_keys = nxt.keys
-                    if nxt_keys and run_keys[i] >= nxt_keys[0]:
+                    nxt_keys, _, nxt_n = nxt.view()
+                    if nxt_n and run_keys[i] >= nxt_keys[0]:
                         if nxt.next is None:
                             leaf = nxt
                             low = nxt_keys[0]
                             high = None
                             chained += 1
-                        elif run_keys[i] < nxt_keys[-1]:
+                        elif run_keys[i] < nxt_keys[nxt_n - 1]:
                             leaf = nxt
                             low = nxt_keys[0]
-                            high = nxt_keys[-1]
+                            high = nxt_keys[nxt_n - 1]
                             chained += 1
         stats = self.stats
         stats.batch_segments += segments
@@ -1237,11 +1262,11 @@ class BPlusTree:
 
     def min_key(self) -> Optional[Key]:
         """Smallest key, or None when empty."""
-        return self._head.keys[0] if self._head.size else None
+        return self._head.min_key if self._head.size else None
 
     def max_key(self) -> Optional[Key]:
         """Largest key, or None when empty."""
-        return self._tail.keys[-1] if self._tail.size else None
+        return self._tail.max_key if self._tail.size else None
 
     def occupancy(self) -> OccupancyStats:
         """Leaf-occupancy summary (Fig. 10a / Fig. 11 metric)."""
@@ -1401,11 +1426,33 @@ class BPlusTree:
         if node.is_leaf:
             leaf: LeafNode = node  # type: ignore[assignment]
             require(depth == 1, "leaves must share one level", errors)
-            require(
-                len(leaf.keys) == len(leaf.values),
-                f"keys/values length mismatch in {leaf!r}",
-                errors,
-            )
+            if isinstance(leaf, GappedLeafNode):
+                require(
+                    len(leaf.skeys) == len(leaf.svals),
+                    f"slot slab length mismatch in {leaf!r}",
+                    errors,
+                )
+                require(
+                    0 <= leaf.fill <= len(leaf.skeys),
+                    f"fill outside slot slab in {leaf!r}",
+                    errors,
+                )
+                require(
+                    0 <= leaf.gap <= leaf.fill,
+                    f"gap cursor outside live range in {leaf!r}",
+                    errors,
+                )
+                require(
+                    len(leaf.skeys) >= self.config.leaf_capacity,
+                    f"slot slab below capacity in {leaf!r}",
+                    errors,
+                )
+            else:
+                require(
+                    len(leaf.keys) == len(leaf.values),
+                    f"keys/values length mismatch in {leaf!r}",
+                    errors,
+                )
             require(
                 leaf.size <= self.config.leaf_capacity,
                 f"leaf {leaf!r} above capacity",

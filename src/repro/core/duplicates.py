@@ -134,19 +134,19 @@ class DuplicateKeyIndex:
             key = key_list[pos]
             target = (key, -1)
             hint = tree._probe_leaf_for_read(target, hint)
-            leaf_keys = hint.keys
-            idx = bisect_left(leaf_keys, target)
-            if idx < len(leaf_keys):
-                if leaf_keys[idx][0] == key:
-                    out[pos] = hint.values[idx]
+            lk, lv, ln = hint.view()
+            idx = bisect_left(lk, target, 0, ln)
+            if idx < ln:
+                if lk[idx][0] == key:
+                    out[pos] = lv[idx]
                 continue
             # Every composite in this leaf sorts below (key, -1): the
             # floor entry, if any, starts the next non-empty leaf.
             nxt = hint.next
-            while nxt is not None and not nxt.keys:
+            while nxt is not None and not nxt.size:
                 nxt = nxt.next
-            if nxt is not None and nxt.keys[0][0] == key:
-                out[pos] = nxt.values[0]
+            if nxt is not None and nxt.min_key[0] == key:
+                out[pos] = nxt.value_at(0)
         return out
 
     def count(self, key: Key) -> int:
@@ -196,6 +196,11 @@ class DuplicateKeyIndex:
     def stats(self) -> TreeStats:
         """Underlying tree statistics (fast-insert counters etc.)."""
         return self.tree.stats
+
+    @property
+    def layout(self) -> str:
+        """Leaf storage layout of the underlying tree."""
+        return self.tree.layout
 
     def validate(self) -> None:
         """Validate the underlying tree."""

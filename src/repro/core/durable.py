@@ -243,6 +243,11 @@ class DurableTree:
         return self.tree.config
 
     @property
+    def layout(self) -> str:
+        """Leaf storage layout of the wrapped tree."""
+        return self.tree.config.layout
+
+    @property
     def stats(self) -> TreeStats:
         return self.tree.stats
 

@@ -15,7 +15,7 @@ from typing import Any, Iterable, Optional
 from .bptree import BPlusTree
 from .config import TreeConfig
 from .metadata import FastPathState
-from .node import Key, LeafNode
+from .node import GappedLeafNode, Key, LeafNode
 from .stats import ScrubReport
 
 
@@ -26,6 +26,11 @@ class FastPathTree(BPlusTree):
         super().__init__(config)
         self._fp = self._make_fp_state()
         self._fp.leaf = self._head
+        # Branch once here, not per insert: the gapped fast path inlines
+        # the slot-claim against the leaf's slot arrays directly.  The
+        # capacity is cached for the same reason (config is frozen).
+        self._gapped = self.config.layout == "gapped"
+        self._leaf_cap = self.config.leaf_capacity
 
     def _make_fp_state(self) -> FastPathState:
         return FastPathState()
@@ -56,24 +61,59 @@ class FastPathTree(BPlusTree):
             self.stats.fast_inserts += 1
             fp = self._fp
             leaf = fp.leaf
-            keys = leaf.keys
-            if len(keys) < self.config.leaf_capacity:
-                if not keys or key > keys[-1]:
-                    keys.append(key)
-                    leaf.values.append(value)
-                    self._size += 1
-                else:
-                    idx = bisect_left(keys, key)
-                    if keys[idx] == key:
-                        leaf.values[idx] = value
-                    else:
-                        keys.insert(idx, key)
-                        leaf.values.insert(idx, value)
+            if self._gapped:
+                # Slot-array fast path: an insert landing at the leaf's
+                # gap cursor is two comparisons and two C-level stores —
+                # no bisect, no shifting.  The slab is always at least
+                # leaf_capacity long, so ``fill < capacity`` implies a
+                # gap slot exists.  (``gap_hits`` is counted only on the
+                # out-of-line ``insert_entry`` path — a per-hit counter
+                # bump here would cost as much as the shift it avoids.)
+                gleaf: GappedLeafNode = leaf  # type: ignore[assignment]
+                fill = gleaf.fill
+                if fill < self._leaf_cap:
+                    gap = gleaf.gap
+                    skeys = gleaf.skeys
+                    if (gap == 0 or skeys[gap - 1] < key) and (
+                        (hi := gleaf.gap_hi) is None or key < hi
+                    ):
+                        try:
+                            skeys[gap] = key
+                        except (TypeError, OverflowError):
+                            gleaf._demote()
+                            gleaf.skeys[gap] = key
+                        gleaf.svals[gap] = value
+                        gleaf.gap = gap + 1
+                        gleaf.fill = fill + 1
                         self._size += 1
+                    elif gleaf._gap_insert(key, value):
+                        # Cursor miss with gap slots free (fill < cap
+                        # implies the slab has room): skip straight to
+                        # the gap-migrating insert.
+                        self._size += 1
+                else:
+                    leaf, _, _ = self._leaf_insert(
+                        gleaf, key, value, fp.low, fp.high
+                    )
             else:
-                leaf, _, _ = self._leaf_insert(
-                    leaf, key, value, fp.low, fp.high
-                )
+                keys = leaf.keys
+                if len(keys) < self._leaf_cap:
+                    if not keys or key > keys[-1]:
+                        keys.append(key)
+                        leaf.values.append(value)
+                        self._size += 1
+                    else:
+                        idx = bisect_left(keys, key)
+                        if keys[idx] == key:
+                            leaf.values[idx] = value
+                        else:
+                            keys.insert(idx, key)
+                            leaf.values.insert(idx, value)
+                            self._size += 1
+                else:
+                    leaf, _, _ = self._leaf_insert(
+                        leaf, key, value, fp.low, fp.high
+                    )
             self._after_fast_insert(leaf, key)
         else:
             self._top_insert(key, value)
@@ -124,7 +164,7 @@ class FastPathTree(BPlusTree):
         idx = leaf.find(key)
         if idx is None:
             return default
-        return leaf.values[idx]
+        return leaf.value_at(idx)
 
     def _read_target_from_fp(self, key: Key) -> Optional[LeafNode]:
         """Serve a batched-read repositioning from the fast-path pointer

@@ -68,10 +68,13 @@ def _entry_repr(key: Any, value: Any) -> tuple[str, str]:
 
 
 def _write_entries(tree: BPlusTree, fh: TextIO, version: int) -> int:
+    # The layout column was appended to the header after the fact;
+    # loaders accept both the 4-column (pre-layout) and 5-column forms.
     fh.write(
         f"{_FORMAT_TAG_V2 if version == 2 else _FORMAT_TAG}\t{len(tree)}\t"
         f"{tree.config.leaf_capacity}\t"
-        f"{tree.config.internal_capacity}\n"
+        f"{tree.config.internal_capacity}\t"
+        f"{tree.config.layout}\n"
     )
     count = 0
     for key, value in tree.items():
@@ -155,7 +158,10 @@ def load_tree(
     path = Path(path)
     with path.open("r", encoding="utf-8") as fh:
         header = fh.readline().rstrip("\n").split("\t")
-        if len(header) != 4 or header[0] not in (_FORMAT_TAG, _FORMAT_TAG_V2):
+        if len(header) not in (4, 5) or header[0] not in (
+            _FORMAT_TAG,
+            _FORMAT_TAG_V2,
+        ):
             raise PersistenceError(
                 f"{path} is not a {_FORMAT_TAG}/{_FORMAT_TAG_V2} file"
             )
@@ -167,9 +173,17 @@ def load_tree(
         except ValueError:
             raise PersistenceError(f"malformed header in {path}") from None
         if config is None:
+            extra = {}
+            if len(header) == 5:  # pre-layout snapshots omit the column
+                if header[4] not in ("gapped", "list"):
+                    raise PersistenceError(
+                        f"unknown layout {header[4]!r} in {path}"
+                    )
+                extra["layout"] = header[4]
             config = TreeConfig(
                 leaf_capacity=leaf_capacity,
                 internal_capacity=internal_capacity,
+                **extra,
             )
         pairs = []
         for line_no, line in enumerate(fh, start=2):

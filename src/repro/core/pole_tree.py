@@ -193,7 +193,7 @@ class PoleBPlusTree(FastPathTree):
             and fp.high is not None
             and key >= fp.high
         )
-        if (is_candidate or beyond) and pole is not None and pole.keys:
+        if (is_candidate or beyond) and pole is not None and pole.size:
             threshold = self._ikr_for_pole(pole)
             if is_candidate and (threshold is None or key <= threshold):
                 self._catch_up_to(leaf, low, high)

@@ -134,11 +134,11 @@ class QuITTree(PoleBPlusTree):
             (pole.min_key - prev.min_key) / prev.size, _MIN_DENSITY
         )
         gap_limit = density * self.config.ikr_scale * _RUN_GAP_SLACK
-        keys = pole.keys
-        for i in range(1, len(keys)):
+        keys, _, n = pole.view()
+        for i in range(1, n):
             if keys[i] - keys[i - 1] > gap_limit:
                 return i
-        return len(keys)
+        return n
 
     def _redistribute_into_prev(self, pole: LeafNode, prev: LeafNode) -> None:
         """Move entries from the front of the pole into ``pole_prev`` until
@@ -151,10 +151,9 @@ class QuITTree(PoleBPlusTree):
                 "caller must ensure the previous leaf is under half full "
                 "and the pole can cover the deficit"
             )
-        prev.keys.extend(pole.keys[:take])
-        prev.values.extend(pole.values[:take])
-        del pole.keys[:take]
-        del pole.values[:take]
+        pk, pv, _ = pole.view()
+        prev.extend_entries(pk[:take], pv[:take])
+        pole.drop_prefix(take)
         new_min = pole.min_key
         self._update_lower_separator(pole, new_min)
         self._fp.low = new_min

@@ -71,6 +71,21 @@ class TreeStats:
         scrub_resets: fast-path/auxiliary pointers that ``scrub()``
             found inconsistent and reset (graceful degradation after
             recovery instead of trusting derived state blindly).
+        gap_hits: mid-leaf point inserts a gapped leaf absorbed by
+            claiming a slot from its gap pool (one C-level store)
+            where a compact list would have shifted entries.  Pure
+            appends are not counted (free in any layout), and neither
+            are the inlined fast-path claims of the tail/lil/pole/QuIT
+            insert loop — the counter tracks the out-of-line
+            ``insert_entry`` path.  Zero under the list layout.
+        gap_redistributions: gapped-leaf rebuilds (splits, run-overflow
+            repacks, bulk loads) that re-established gap slack — the
+            layout's "redistribute" events.
+        typed_leaves: gapped-leaf repacks that chose typed ``array``
+            key storage (uniform int/float key domain detected).
+        typed_demotions: typed key slabs demoted back to object lists
+            because a non-conforming key arrived (type change or int64
+            overflow).
     """
 
     fast_inserts: int = 0
@@ -103,6 +118,10 @@ class TreeStats:
     read_fast_misses: int = 0
     scrub_checks: int = 0
     scrub_resets: int = 0
+    gap_hits: int = 0
+    gap_redistributions: int = 0
+    typed_leaves: int = 0
+    typed_demotions: int = 0
 
     @property
     def inserts(self) -> int:

@@ -1,0 +1,134 @@
+"""layout-parity: every tree variant / facade reports its leaf layout.
+
+The gapped slot-array leaf layout is selected per tree via
+``TreeConfig.layout`` and inherited by every variant behind the node
+API.  Benchmarks, the regression harness and the equivalence suite key
+their comparisons on the ``layout`` a tree reports, so any facade that
+serves reads (``get`` + ``range_query``) must expose a ``layout``
+property — a facade without one silently drops out of the layout axis
+and its numbers become unlabelable.
+
+Classes are detected structurally from the AST the same way as
+``api-parity``: inherited members are resolved by base-*name* lookup
+across the scanned files, so a variant inheriting ``layout`` from
+``BPlusTree`` is fine.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..engine import Finding, Project, register
+
+RULE = "layout-parity"
+
+# Classes that intentionally sit outside the tree-facade contract even
+# though they quack close to it (same carve-outs as api-parity).
+EXEMPT: FrozenSet[str] = frozenset(
+    {
+        "SortednessBuffer",  # staging buffer, not an index facade
+        "MessageBuffer",  # Bε-tree internal node buffer
+    }
+)
+
+
+class _ClassInfo:
+    __slots__ = ("name", "bases", "members", "display", "line")
+
+    def __init__(
+        self,
+        name: str,
+        bases: List[str],
+        members: Set[str],
+        display: str,
+        line: int,
+    ) -> None:
+        self.name = name
+        self.bases = bases
+        self.members = members
+        self.display = display
+        self.line = line
+
+
+def _base_name(node: ast.expr) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _class_members(node: ast.ClassDef) -> Set[str]:
+    """Method *and* attribute names defined directly on the class body
+    (a ``layout`` served by a plain class attribute still counts)."""
+    members: Set[str] = set()
+    for stmt in node.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            members.add(stmt.name)
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(
+            stmt.target, ast.Name
+        ):
+            members.add(stmt.target.id)
+        elif isinstance(stmt, ast.Assign):
+            for tgt in stmt.targets:
+                if isinstance(tgt, ast.Name):
+                    members.add(tgt.id)
+    return members
+
+
+def _collect_classes(project: Project) -> Dict[str, _ClassInfo]:
+    classes: Dict[str, _ClassInfo] = {}
+    for src in project.files:
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            bases = [b for b in (_base_name(x) for x in node.bases) if b]
+            classes[node.name] = _ClassInfo(
+                node.name,
+                bases,
+                _class_members(node),
+                src.display,
+                node.lineno,
+            )
+    return classes
+
+
+def _resolved_members(
+    name: str, classes: Dict[str, _ClassInfo], seen: Set[str]
+) -> Set[str]:
+    info = classes.get(name)
+    if info is None or name in seen:
+        return set()
+    seen.add(name)
+    members = set(info.members)
+    for base in info.bases:
+        members |= _resolved_members(base, classes, seen)
+    return members
+
+
+@register(
+    RULE,
+    "tree variants/facades must expose a `layout` property",
+)
+def check(project: Project) -> List[Finding]:
+    classes = _collect_classes(project)
+    findings: List[Finding] = []
+    for info in classes.values():
+        if info.name.startswith("_") or info.name in EXEMPT:
+            continue
+        members = _resolved_members(info.name, classes, set())
+        if "get" not in members or "range_query" not in members:
+            continue
+        if "layout" not in members:
+            findings.append(
+                Finding(
+                    RULE,
+                    info.display,
+                    info.line,
+                    f"facade {info.name!r} does not expose `layout`; "
+                    "benchmark and equivalence tooling cannot label its "
+                    "results with the leaf storage layout",
+                )
+            )
+    return findings

@@ -405,6 +405,11 @@ class Replica:
 
     # -- reads ---------------------------------------------------------
 
+    @property
+    def layout(self) -> str:
+        """Leaf storage layout of the replicated tree."""
+        return self.durable.layout
+
     def get(self, key, default: Any = None) -> Any:
         with self._lock.read_locked():
             return self.durable.get(key, default)

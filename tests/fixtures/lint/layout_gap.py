@@ -1,0 +1,30 @@
+"""Fixture: a tree facade that never reports its leaf layout.
+Seeded violation for the ``layout-parity`` rule; never imported."""
+
+
+class LayoutlessTree:
+    def insert(self, key, value=None):
+        raise NotImplementedError
+
+    def get(self, key, default=None):
+        raise NotImplementedError
+
+    def range_query(self, start, end):
+        raise NotImplementedError
+
+
+class LabelledTree:
+    @property
+    def layout(self):
+        return "gapped"
+
+    def get(self, key, default=None):
+        raise NotImplementedError
+
+    def range_query(self, start, end):
+        raise NotImplementedError
+
+
+class InheritsLabel(LabelledTree):
+    def insert(self, key, value=None):
+        raise NotImplementedError

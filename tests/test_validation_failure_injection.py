@@ -9,7 +9,7 @@ lock in that validation survives optimized mode.
 import pytest
 
 from repro.core import BPlusTree, QuITTree, TreeConfig, TreeInvariantError
-from repro.core.node import InternalNode
+from repro.core.node import GappedLeafNode, InternalNode
 
 
 @pytest.fixture
@@ -27,16 +27,41 @@ def first_internal(tree) -> InternalNode:
     return node
 
 
+def corrupt_keys(leaf, mutate) -> None:
+    """Apply ``mutate`` to the leaf's key list and write it back through
+    the layout (the gapped layout's ``keys`` property is a packed copy,
+    so in-place mutation alone would not reach the slot arrays)."""
+    keys = leaf.keys
+    mutate(keys)
+    leaf.keys = keys
+
+
+def drop_one_value(leaf) -> None:
+    """Make the physical value storage one element short of the keys."""
+    if isinstance(leaf, GappedLeafNode):
+        leaf.svals.pop()  # breaks the slab-length invariant
+    else:
+        leaf.values.pop()
+
+
 class TestValidateCatchesCorruption:
     def test_unsorted_leaf_keys(self, tree):
         leaf = tree.head_leaf
-        leaf.keys[0], leaf.keys[1] = leaf.keys[1], leaf.keys[0]
+
+        def swap(keys):
+            keys[0], keys[1] = keys[1], keys[0]
+
+        corrupt_keys(leaf, swap)
         with pytest.raises(TreeInvariantError):
             tree.validate()
 
     def test_key_outside_pivot_range(self, tree):
         leaf = tree.head_leaf.next
-        leaf.keys[-1] = 10_000_000
+
+        def bump(keys):
+            keys[-1] = 10_000_000
+
+        corrupt_keys(leaf, bump)
         with pytest.raises(TreeInvariantError):
             tree.validate()
 
@@ -70,15 +95,14 @@ class TestValidateCatchesCorruption:
 
     def test_values_keys_length_mismatch(self, tree):
         leaf = tree.head_leaf
-        leaf.values.pop()
+        drop_one_value(leaf)
         with pytest.raises(TreeInvariantError):
             tree.validate()
 
     def test_overfull_leaf(self, tree):
         leaf = tree.tail_leaf
-        for extra in range(20):
-            leaf.keys.append(10_000 + extra)
-            leaf.values.append(extra)
+        leaf.keys = leaf.keys + [10_000 + extra for extra in range(20)]
+        leaf.values = leaf.values + list(range(20))
         tree._size += 20
         with pytest.raises(TreeInvariantError):
             tree.validate()
@@ -104,8 +128,12 @@ class TestValidateCatchesCorruption:
 
     def test_duplicate_key_across_leaves(self, tree):
         second = tree.head_leaf.next
-        dup = tree.head_leaf.keys[0]
-        second.keys[0] = dup
+        dup = tree.head_leaf.min_key
+
+        def plant(keys):
+            keys[0] = dup
+
+        corrupt_keys(second, plant)
         with pytest.raises(TreeInvariantError):
             tree.validate()
 
@@ -139,7 +167,11 @@ class TestCheckReportsAllViolations:
         tree._size += 1
         tree._height += 1
         leaf = tree.head_leaf
-        leaf.keys[0], leaf.keys[1] = leaf.keys[1], leaf.keys[0]
+
+        def swap(keys):
+            keys[0], keys[1] = keys[1], keys[0]
+
+        corrupt_keys(leaf, swap)
         violations = tree.check()
         assert len(violations) >= 3
         text = "\n".join(violations)
@@ -154,7 +186,7 @@ class TestCheckReportsAllViolations:
         node = first_internal(tree)
         node.children[0].parent = None
         node.keys.append(node.keys[-1] + 1)
-        tree.tail_leaf.values.pop()
+        drop_one_value(tree.tail_leaf)
         violations = tree.check()
         assert violations  # survey completed despite the mess
 
