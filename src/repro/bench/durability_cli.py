@@ -114,9 +114,10 @@ def build_parser() -> argparse.ArgumentParser:
              "(default: 10000)",
     )
     bench.add_argument(
-        "--fsync", default="none", choices=("always", "interval", "none"),
+        "--fsync", default="none",
+        choices=("always", "group", "interval", "none"),
         help="WAL fsync policy during the ingest phase (default: none; "
-             "'always' shows the per-op fsync tax)",
+             "'always' shows the per-op fsync tax, 'group' batches it)",
     )
     bench.add_argument(
         "--directory", type=Path, default=None,
@@ -156,7 +157,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=0, help="chaos RNG seed",
     )
     rep.add_argument(
-        "--fsync", default="none", choices=("always", "interval", "none"),
+        "--fsync", default="none",
+        choices=("always", "group", "interval", "none"),
         help="primary WAL fsync policy (default: none)",
     )
     rep.add_argument(

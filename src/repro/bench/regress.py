@@ -30,13 +30,18 @@ from __future__ import annotations
 import argparse
 import json
 import platform
+import shutil
+import tempfile
+import threading
 import time
+from collections import deque
 from dataclasses import replace
 from pathlib import Path
 from typing import Any, Optional, Sequence
 
 from ..concurrency import ConcurrentTree
 from ..core import QuITTree
+from ..core.durable import DurableTree
 from ..sortedness.bods import generate_keys
 from .harness import (
     VARIANTS,
@@ -466,6 +471,163 @@ def run_layout_ab(
     return {"meta": meta, "results": results}
 
 
+#: fsync policies compared by ``--mode durability``, reporting order.
+DURABILITY_POLICIES = ("always", "group", "interval", "none")
+
+#: Commit tickets a durability-bench writer keeps in flight before it
+#: awaits the oldest — the pipelining depth of the submit/await surface.
+INFLIGHT_WINDOW = 64
+
+
+def _durable_ingest_once(
+    policy: str,
+    keys: list[int],
+    writers: int,
+    batch_size: int,
+    scale: BenchScale,
+) -> tuple[float, dict[str, Any]]:
+    """One timed durable-ingest run; returns ``(seconds, wal_stats)``.
+
+    ``writers`` threads share one ``DurableTree(ConcurrentTree(QuIT))``
+    and split the key stream round-robin.  Every writer uses the
+    pipelined submit/await surface: ``submit_insert`` per key
+    (``batch_size == 1``) or ``submit_many`` per chunk, keeping at most
+    :data:`INFLIGHT_WINDOW` tickets outstanding and draining them all
+    before the clock stops — no acknowledgement is left in flight.  The
+    client code is identical for every policy (non-group tickets come
+    back already resolved, so the window never fills); what varies is
+    purely who pays for which fsync.
+    """
+    directory = tempfile.mkdtemp(prefix=f"quit-durab-{policy}-")
+    try:
+        tree = DurableTree(
+            ConcurrentTree(QuITTree(scale.tree_config)),
+            directory,
+            fsync=policy,
+        )
+        shards = [keys[i::writers] for i in range(writers)]
+        errors: list[BaseException] = []
+
+        def run(shard: list[int]) -> None:
+            try:
+                pending: deque = deque()
+                if batch_size == 1:
+                    submit = tree.submit_insert
+                    for k in shard:
+                        pending.append(submit(k, k))
+                        if len(pending) > INFLIGHT_WINDOW:
+                            pending.popleft().wait(120)
+                else:
+                    for lo in range(0, len(shard), batch_size):
+                        pending.append(
+                            tree.submit_many(
+                                [(k, k) for k in shard[lo : lo + batch_size]]
+                            )
+                        )
+                        if len(pending) > INFLIGHT_WINDOW:
+                            pending.popleft().wait(120)
+                for ticket in pending:
+                    ticket.wait(120)
+            except BaseException as exc:  # surfaced after join
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=run, args=(shard,)) for shard in shards
+        ]
+        with _gc_paused():
+            start = time.perf_counter()
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            elapsed = time.perf_counter() - start
+        if errors:
+            raise errors[0]
+        wal = tree.wal
+        wal_stats = {
+            "syncs": wal.syncs,
+            "group_batches": wal.group_batches,
+            "group_batch_max": wal.group_batch_max,
+            "group_batch_mean": round(
+                wal.group_batch_records / wal.group_batches, 2
+            )
+            if wal.group_batches
+            else 0.0,
+            "unsynced_acks": wal.unsynced_acks,
+        }
+        tree.close()
+        return elapsed, wal_stats
+    finally:
+        shutil.rmtree(directory, ignore_errors=True)
+
+
+def run_durability_regression(
+    scale: BenchScale,
+    k_fraction: float,
+    l_fraction: float,
+    writers_axis: Sequence[int],
+    batch_sizes: Sequence[int],
+) -> dict[str, Any]:
+    """Durable-ingest throughput: fsync policy × writers × batch size.
+
+    Like :func:`run_layout_ab`, every policy of a cell is timed
+    **within one process**, alternating which policy goes first each
+    repeat (cross-process fsync comparisons swing with page-cache and
+    scheduler state), best-of-``scale.repeats`` per policy.  The
+    headline cell is ``writers=8, batch=1``: per-key pipelined submits,
+    where ``fsync="group"`` amortizes one fsync over every record the
+    flusher drains while ``"always"`` pays one per op.
+    """
+    keys = [
+        int(k)
+        for k in generate_keys(
+            scale.n, k_fraction, l_fraction, seed=scale.seed
+        )
+    ]
+    repeats = max(1, scale.repeats)
+    results = []
+    for writers in writers_axis:
+        for batch_size in batch_sizes:
+            best = {p: float("inf") for p in DURABILITY_POLICIES}
+            stats = {p: {} for p in DURABILITY_POLICIES}
+            for rep in range(repeats):
+                order = (
+                    DURABILITY_POLICIES
+                    if rep % 2 == 0
+                    else tuple(reversed(DURABILITY_POLICIES))
+                )
+                for policy in order:
+                    elapsed, wal_stats = _durable_ingest_once(
+                        policy, keys, writers, batch_size, scale
+                    )
+                    if elapsed < best[policy]:
+                        best[policy] = elapsed
+                        stats[policy] = wal_stats
+            row: dict[str, Any] = {
+                "writers": writers,
+                "batch_size": batch_size,
+            }
+            for policy in DURABILITY_POLICIES:
+                row[f"{policy}_seconds"] = round(best[policy], 6)
+                row[f"{policy}_ops"] = round(scale.n / best[policy], 1)
+            row["group_over_always"] = round(
+                best["always"] / best["group"], 3
+            )
+            row["group_wal"] = stats["group"]
+            row["always_syncs"] = stats["always"].get("syncs", 0)
+            results.append(row)
+    meta = _meta(
+        "durable ingest: fsync policy interleaved A/B "
+        "(always/group/interval/none)",
+        "durability", scale, k_fraction, l_fraction,
+        max(batch_sizes),
+    )
+    meta["writers_axis"] = list(writers_axis)
+    meta["batch_sizes"] = list(batch_sizes)
+    meta["index"] = "DurableTree(ConcurrentTree(QuIT))"
+    return {"meta": meta, "results": results}
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Argument parser for quit-regress."""
     parser = argparse.ArgumentParser(
@@ -480,14 +642,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the JSON document here (default: stdout only)",
     )
     parser.add_argument(
-        "--mode", choices=("ingest", "reads", "mixed", "layout"),
+        "--mode", choices=("ingest", "reads", "mixed", "layout", "durability"),
         default="ingest",
         help=(
             "ingest: insert vs insert_many (PR 1 baseline); "
             "reads: get vs get_many on a pre-built index; "
             "mixed: interleaved chunked read/write; "
             "layout: gapped vs list per-key insert A/B, interleaved "
-            "in-process (default: ingest)"
+            "in-process; "
+            "durability: durable-ingest fsync-policy A/B over "
+            "writers x batch size (default: ingest)"
         ),
     )
     parser.add_argument("--n", type=int, default=100_000)
@@ -510,6 +674,20 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "leaf storage layout under test: gapped slot arrays "
             "(default) or the legacy list baseline"
+        ),
+    )
+    parser.add_argument(
+        "--writers", default="1,8",
+        help=(
+            "durability mode: comma-separated writer-thread counts "
+            "(default 1,8)"
+        ),
+    )
+    parser.add_argument(
+        "--durability-batches", default="1,64",
+        help=(
+            "durability mode: comma-separated submit batch sizes; 1 = "
+            "per-op durable insert (default 1,64)"
         ),
     )
     parser.add_argument("--seed", type=int, default=42)
@@ -554,6 +732,27 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
     elif args.mode == "layout":
         doc = run_layout_ab(scale, args.k, args.l)
+    elif args.mode == "durability":
+        try:
+            writers_axis = [int(w) for w in args.writers.split(",") if w]
+            batch_sizes = [
+                int(b) for b in args.durability_batches.split(",") if b
+            ]
+        except ValueError:
+            parser.error(
+                "--writers / --durability-batches must be comma-separated "
+                "integers"
+            )
+        if not writers_axis or any(w <= 0 for w in writers_axis):
+            parser.error(f"--writers must be positive, got {args.writers!r}")
+        if not batch_sizes or any(b <= 0 for b in batch_sizes):
+            parser.error(
+                "--durability-batches must be positive, got "
+                f"{args.durability_batches!r}"
+            )
+        doc = run_durability_regression(
+            scale, args.k, args.l, writers_axis, batch_sizes
+        )
     else:
         doc = run_regression(scale, args.k, args.l, args.batch_size)
     text = json.dumps(doc, indent=2) + "\n"
@@ -561,7 +760,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         args.out.write_text(text)
         print(f"wrote {args.out}")
     for row in doc["results"]:
-        if args.mode == "layout":
+        if args.mode == "durability":
+            print(
+                f"writers {row['writers']:>2d} batch {row['batch_size']:>4d}"
+                f"  always {row['always_ops']:>9.0f} ops/s"
+                f"  group {row['group_ops']:>9.0f} ops/s"
+                f"  group/always {row['group_over_always']:.2f}x"
+                f"  (batch mean {row['group_wal'].get('group_batch_mean', 0)})"
+            )
+        elif args.mode == "layout":
             print(
                 f"{row['index']:16s}"
                 f" gapped {row['gapped_per_key_ops']:>10.0f} ops/s"

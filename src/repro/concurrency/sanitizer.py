@@ -58,6 +58,7 @@ LOCK_ORDER: tuple[str, ...] = (
     "concurrent.structure",  # ConcurrentTree._structure: structural RW lock
     "concurrent.leaf",     # ConcurrentTree._leaf_locks: striped leaf mutexes
     "concurrent.meta",     # ConcurrentTree._meta: fast-path admission mutex
+    "wal.group.queue",     # WriteAheadLog._group_lock: group-commit queue
     "wal.append",          # WriteAheadLog._lock: append/rotate/truncate
     "repl.epoch",          # EpochRegistry._lock: epoch counter
     "failpoints",          # testing.failpoints._lock: innermost everywhere
@@ -70,7 +71,15 @@ _RANK: dict[str, int] = {name: i for i, name in enumerate(LOCK_ORDER)}
 #: intentionally absent — holding them across the WAL/snapshot fsync is
 #: the durability design, not a hazard.
 FSYNC_UNSAFE: frozenset[str] = frozenset(
-    {"concurrent.leaf", "concurrent.meta", "repl.primary.meta", "repl.epoch"}
+    {
+        "concurrent.leaf",
+        "concurrent.meta",
+        "repl.primary.meta",
+        "repl.epoch",
+        # The group-commit queue lock is held only for enqueue/drain;
+        # an fsync under it would stall every pipelined writer.
+        "wal.group.queue",
+    }
 )
 
 

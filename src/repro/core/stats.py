@@ -86,6 +86,16 @@ class TreeStats:
         typed_demotions: typed key slabs demoted back to object lists
             because a non-conforming key arrived (type change or int64
             overflow).
+        wal_group_batches: group-commit batches the WAL flusher has
+            fsynced (mirrored from the WAL by ``DurableTree.stats``).
+        wal_group_batch_records: records across all those batches;
+            ``wal_group_batch_mean`` derives the mean batch size — the
+            fsync amortization factor.
+        wal_group_batch_max: largest single group-commit batch.
+        wal_unsynced_acks: acknowledgements handed out before their
+            bytes were fsynced (``fsync="interval"``/``"none"`` only):
+            the size of the durability loss window.  Always 0 under
+            ``"always"`` and ``"group"``.
     """
 
     fast_inserts: int = 0
@@ -122,6 +132,17 @@ class TreeStats:
     gap_redistributions: int = 0
     typed_leaves: int = 0
     typed_demotions: int = 0
+    wal_group_batches: int = 0
+    wal_group_batch_records: int = 0
+    wal_group_batch_max: int = 0
+    wal_unsynced_acks: int = 0
+
+    @property
+    def wal_group_batch_mean(self) -> float:
+        """Mean group-commit batch size (0.0 before the first batch)."""
+        if not self.wal_group_batches:
+            return 0.0
+        return self.wal_group_batch_records / self.wal_group_batches
 
     @property
     def inserts(self) -> int:

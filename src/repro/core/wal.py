@@ -16,8 +16,22 @@ Durability is governed by the fsync policy:
 * ``"always"`` — flush + fsync after every append; an acknowledged write
   survives any crash.
 * ``"interval"`` — fsync every ``fsync_interval`` appends (and on
-  rotation/close); bounded loss window, much cheaper.
-* ``"none"`` — leave it to the OS page cache.
+  rotation/close); bounded loss window, much cheaper.  **An
+  interval-mode acknowledgement is NOT durable until the next fsync**:
+  the append has only been flushed to the OS page cache when the call
+  returns, so a crash inside the window loses up to ``fsync_interval``
+  acknowledged records.  The ``unsynced_acks`` counter tracks exactly
+  how many acknowledgements were handed out before their bytes were
+  fsynced, so tests (and operators) can see the loss window.
+* ``"none"`` — leave it to the OS page cache (every ack is unsynced).
+* ``"group"`` — **group commit**: appends from any number of writer
+  threads are enqueued on a bounded queue and coalesced by a dedicated
+  flusher thread into a single ``write + fsync``; every writer in the
+  batch is released together once that one fsync returns.  Same crash
+  guarantee as ``"always"`` (no acknowledgement before the batch's
+  fsync), at a fraction of the fsync count under concurrency.  Writers
+  can also *pipeline*: ``submit_*`` returns a :class:`CommitTicket`
+  immediately and ``CommitTicket.result()`` awaits durability later.
 
 Replay (:func:`replay_wal`) never raises on a damaged log: it stops
 cleanly at the first truncated or checksum-failing record and reports
@@ -31,6 +45,7 @@ from __future__ import annotations
 import ast
 import os
 import struct
+import threading
 import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -53,11 +68,66 @@ OP_INSERT_MANY = "m"
 #: detect a deposed primary (see :mod:`repro.replication`).
 OP_EPOCH = "e"
 
-_FSYNC_POLICIES = ("always", "interval", "none")
+_FSYNC_POLICIES = ("always", "interval", "none", "group")
 
 
 class WALError(ValueError):
     """Raised for unloggable values or misuse of the WAL API."""
+
+
+class CommitTicket:
+    """Asynchronous durability acknowledgement for one WAL append.
+
+    A ticket is *resolved* when the record's batch fsync has returned
+    (the write is durable) and *failed* when the flusher could not make
+    it durable — :meth:`wait` / :meth:`result` then re-raise the
+    flusher's exception in the waiting thread, so an injected crash or
+    fsync failure is never silently converted into an acknowledgement.
+
+    ``value`` carries the logical result of the op the caller paired
+    with this append (e.g. ``delete``'s existed-bool); the submitting
+    facade assigns it before handing the ticket out, so any thread that
+    legitimately holds a ticket may read it after :meth:`result`.
+
+    Under the non-group fsync policies the submit APIs degrade to the
+    synchronous path and return an already-resolved ticket, so callers
+    can be written against tickets regardless of policy.
+    """
+
+    __slots__ = ("_event", "_exc", "value")
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._exc: Optional[BaseException] = None
+        self.value: Any = None
+
+    def done(self) -> bool:
+        """True once the ticket is resolved or failed (non-blocking)."""
+        return self._event.is_set()
+
+    def wait(self, timeout: Optional[float] = None) -> None:
+        """Block until durable; re-raise the flusher's failure, if any."""
+        if not self._event.wait(timeout):
+            raise WALError(
+                f"commit ticket not resolved within {timeout}s"
+            )
+        exc = self._exc
+        if exc is not None:
+            raise exc
+
+    def result(self, timeout: Optional[float] = None) -> Any:
+        """:meth:`wait`, then return the op's logical result."""
+        self.wait(timeout)
+        return self.value
+
+    # -- flusher side --------------------------------------------------
+
+    def _resolve(self) -> None:
+        self._event.set()
+
+    def _fail(self, exc: BaseException) -> None:
+        self._exc = exc
+        self._event.set()
 
 
 def _encode(op: tuple) -> bytes:
@@ -443,15 +513,29 @@ class WriteAheadLog:
 
     Args:
         directory: created if missing; holds the segment files.
-        fsync: ``"always"`` / ``"interval"`` / ``"none"``.
+        fsync: ``"always"`` / ``"interval"`` / ``"none"`` / ``"group"``.
         fsync_interval: appends between fsyncs under ``"interval"``.
         segment_bytes: rotation threshold for the active segment.
+        group_queue_max: bound on records waiting for the group-commit
+            flusher; writers block (backpressure) when it is full.
 
     A fresh appender always starts a new segment rather than appending
     to the previous one: the previous tail may hold bytes that were
     never fsynced, and mixing acknowledged records into the same file
     would entangle their durability.  Thread-safe: appends serialize on
     an internal lock (the tree above has its own locking).
+
+    **Group commit** (``fsync="group"``).  Writers do not write or
+    fsync at all: :meth:`_append` encodes the record, enqueues it under
+    the short ``wal.group.queue`` lock, and waits on a
+    :class:`CommitTicket`.  A dedicated flusher thread drains the whole
+    queue, writes every drained record under ``wal.append`` (rotating
+    as needed, one ``os.write`` per contiguous segment run), issues a
+    **single fsync**, and only then resolves every ticket in the batch.
+    No acknowledgement ever precedes its batch's fsync; a crash tears
+    at most the tail of one batch, which replay drops exactly as it
+    drops a torn single-record tail.  The ``submit_*`` variants return
+    the ticket instead of waiting, which is what lets callers pipeline.
     """
 
     def __init__(
@@ -461,6 +545,7 @@ class WriteAheadLog:
         fsync: str = "always",
         fsync_interval: int = 64,
         segment_bytes: int = 4 * 1024 * 1024,
+        group_queue_max: int = 8192,
     ) -> None:
         if fsync not in _FSYNC_POLICIES:
             raise WALError(
@@ -470,21 +555,52 @@ class WriteAheadLog:
             raise WALError(f"fsync_interval must be positive, got {fsync_interval}")
         if segment_bytes <= 0:
             raise WALError(f"segment_bytes must be positive, got {segment_bytes}")
+        if group_queue_max <= 0:
+            raise WALError(
+                f"group_queue_max must be positive, got {group_queue_max}"
+            )
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.fsync_policy = fsync
         self.fsync_interval = fsync_interval
         self.segment_bytes = segment_bytes
+        self.group_queue_max = group_queue_max
         self.records_appended = 0
         self.bytes_appended = 0
         self.syncs = 0
         self.rotations = 0
+        #: Acks handed out before their bytes were fsynced ("interval" /
+        #: "none" policies): the size of the durability loss window.
+        self.unsynced_acks = 0
+        #: Group-commit observability: batches flushed, records across
+        #: all batches (mean = records / batches), and the largest batch.
+        self.group_batches = 0
+        self.group_batch_records = 0
+        self.group_batch_max = 0
         self._lock = sanitizer.make_lock("wal.append")
         self._fh = None
         self._since_sync = 0
         self._active_size = 0
         existing = segment_paths(self.directory)
         self._seq = _segment_seq(existing[-1]) + 1 if existing else 1
+        # Group-commit state.  The queue lock ("wal.group.queue" in
+        # LOCK_ORDER) guards only enqueue/drain of `_group_pending`; the
+        # flusher never holds it across the write+fsync, and writers
+        # never hold it while waiting on a ticket.
+        self._group_lock = sanitizer.make_lock("wal.group.queue")
+        self._group_pending: list[tuple[bytes, CommitTicket]] = []
+        self._group_wake = threading.Event()
+        self._group_space = threading.Event()
+        self._group_closing = False
+        self._group_dead: Optional[BaseException] = None
+        self._flusher: Optional[threading.Thread] = None
+        if fsync == "group":
+            self._flusher = threading.Thread(
+                target=self._flusher_loop,
+                name=f"wal-group-flusher-{self.directory.name}",
+                daemon=True,
+            )
+            self._flusher.start()
 
     # ------------------------------------------------------------------
     # Appending
@@ -510,6 +626,39 @@ class WriteAheadLog:
         """
         self._append((OP_EPOCH, int(epoch)))
 
+    # -- asynchronous (pipelined) appends ------------------------------
+
+    def submit_insert(self, key: Key, value: Any = None) -> CommitTicket:
+        """Enqueue an upsert record; the ticket resolves at durability."""
+        return self._submit_op((OP_INSERT, key, value))
+
+    def submit_delete(self, key: Key) -> CommitTicket:
+        """Enqueue a delete record; the ticket resolves at durability."""
+        return self._submit_op((OP_DELETE, key))
+
+    def submit_insert_many(
+        self, items: list[tuple[Key, Any]]
+    ) -> CommitTicket:
+        """Enqueue a batched upsert as one record (one queue slot)."""
+        return self._submit_op((OP_INSERT_MANY, items))
+
+    def _submit_op(self, op: tuple) -> CommitTicket:
+        """Async append: a ticket that resolves when ``op`` is durable.
+
+        Under ``fsync="group"`` the record is enqueued for the flusher
+        and the ticket resolves after its batch's fsync.  Under every
+        other policy the append happens synchronously right here (with
+        that policy's durability semantics) and the ticket comes back
+        already resolved — callers get one programming model for all
+        policies.
+        """
+        if self.fsync_policy != "group":
+            self._append(op)
+            ticket = CommitTicket()
+            ticket._resolve()
+            return ticket
+        return self._enqueue_group(op)
+
     def tail_position(self) -> WALPosition:
         """Position one past the last appended byte.
 
@@ -522,6 +671,12 @@ class WriteAheadLog:
             return WALPosition(self._seq - 1, self._active_size)
 
     def _append(self, op: tuple) -> None:
+        if self.fsync_policy == "group":
+            # Synchronous call under group commit: enqueue, then block
+            # until the batch carrying this record has been fsynced —
+            # identical ack semantics to "always", amortized fsync cost.
+            self._enqueue_group(op).wait()
+            return
         payload = _encode(op)
         record = (
             _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
@@ -543,7 +698,52 @@ class WriteAheadLog:
                 fh.flush()
                 if self._since_sync >= self.fsync_interval:
                     self._sync_locked(fh)
+                else:
+                    # This ack is NOT durable yet: it rides the page
+                    # cache until the interval's next fsync.
+                    self.unsynced_acks += 1
+            else:  # "none": every ack is unsynced by definition.
+                self.unsynced_acks += 1
             failpoints.fire("wal.after_append")
+
+    # ------------------------------------------------------------------
+    # Group commit: writer side
+    # ------------------------------------------------------------------
+
+    def _enqueue_group(self, op: tuple) -> CommitTicket:
+        """Encode ``op`` and hand it to the flusher; returns its ticket.
+
+        Blocks (bounded backpressure) while the queue holds
+        ``group_queue_max`` records.  The returned ticket resolves only
+        after the batch containing this record has been fsynced.
+        """
+        payload = _encode(op)
+        record = (
+            _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+        )
+        failpoints.fire("wal.before_append")
+        ticket = CommitTicket()
+        while True:
+            with self._group_lock:
+                if self._group_dead is not None:
+                    raise WALError(
+                        "group-commit flusher is dead "
+                        f"({self._group_dead!r}); the WAL accepts no "
+                        "further appends"
+                    )
+                if self._group_closing:
+                    raise WALError("WAL is closed")
+                if len(self._group_pending) < self.group_queue_max:
+                    self._group_pending.append((record, ticket))
+                    break
+                # Full: wait for the flusher to drain, then retry.  The
+                # event is cleared before releasing the lock so a drain
+                # that happens in between still wakes us.
+                self._group_space.clear()
+            self._group_space.wait(0.05)
+        self._group_wake.set()
+        failpoints.fire("wal.after_append")
+        return ticket
 
     def _rotate_locked(self) -> IO[bytes]:
         """Close the active segment (fsynced) and open the next one."""
@@ -574,8 +774,146 @@ class WriteAheadLog:
         self.syncs += 1
         self._since_sync = 0
 
+    # ------------------------------------------------------------------
+    # Group commit: flusher side
+    # ------------------------------------------------------------------
+
+    def _flusher_loop(self) -> None:
+        """Drain → write → one fsync → release the whole batch.
+
+        Runs on the dedicated flusher thread.  An ordinary exception
+        (injected fsync failure, disk error) fails only that batch's
+        tickets and the flusher keeps serving; a ``SimulatedCrash`` (or
+        any other ``BaseException``) models process death — every
+        pending ticket is failed with it and the flusher exits, leaving
+        the WAL dead to further appends.
+        """
+        while True:
+            self._group_wake.wait(0.05)
+            self._group_wake.clear()
+            with self._group_lock:
+                if self._group_dead is not None:
+                    return  # abort(): a dead process flushes nothing
+                batch = self._group_pending
+                if batch:
+                    self._group_pending = []
+                closing = self._group_closing
+            self._group_space.set()
+            if batch:
+                try:
+                    self._flush_batch(batch)
+                except Exception as exc:
+                    # Recoverable failure: nobody in this batch is
+                    # acknowledged, but the flusher stays up.
+                    for _, ticket in batch:
+                        ticket._fail(exc)
+                except BaseException as exc:
+                    for _, ticket in batch:
+                        ticket._fail(exc)
+                    self._group_die(exc)
+                    return
+                continue  # drain again before honoring `closing`
+            if closing:
+                return
+
+    def _flush_batch(
+        self, batch: list[tuple[bytes, CommitTicket]]
+    ) -> None:
+        """Write every record of ``batch``, fsync once, resolve all.
+
+        Contiguous records (no rotation in between) are written with a
+        single ``os.write``; empty records are :meth:`sync` barriers —
+        they claim no bytes but share the batch's fsync.
+        """
+        with self._lock:
+            fh = self._fh
+            run: list[bytes] = []
+            run_len = 0
+            for record, _ in batch:
+                if not record:
+                    continue  # sync barrier
+                if fh is None or (
+                    self._active_size + run_len + len(record)
+                    > self.segment_bytes
+                ):
+                    if run:
+                        fh.write(b"".join(run))
+                        self._active_size += run_len
+                        run = []
+                        run_len = 0
+                    fh = self._rotate_locked()
+                run.append(record)
+                run_len += len(record)
+                self.records_appended += 1
+                self.bytes_appended += len(record)
+            if run:
+                fh.write(b"".join(run))
+                self._active_size += run_len
+            failpoints.fire("wal.group.pre_fsync")
+            if fh is not None:
+                self._sync_locked(fh)
+            failpoints.fire("wal.group.post_fsync")
+            self.group_batches += 1
+            self.group_batch_records += len(batch)
+            if len(batch) > self.group_batch_max:
+                self.group_batch_max = len(batch)
+        # Acks strictly after the fsync returned, outside every lock.
+        failpoints.fire("wal.group.ack")
+        for _, ticket in batch:
+            ticket._resolve()
+
+    def _group_die(self, exc: BaseException) -> None:
+        """Mark the group pipeline dead and fail every queued ticket."""
+        with self._group_lock:
+            self._group_dead = exc
+            leftover = self._group_pending
+            self._group_pending = []
+        for _, ticket in leftover:
+            ticket._fail(exc)
+        self._group_space.set()
+
+    def _flusher_alive(self) -> bool:
+        flusher = self._flusher
+        return flusher is not None and flusher.is_alive()
+
+    def abort(self) -> None:
+        """Simulate process death for the group pipeline.
+
+        Stops the flusher **without flushing**: queued records are
+        dropped (their tickets fail) and nothing further reaches the
+        filesystem — the on-disk state is exactly what a real crash at
+        this moment would leave.  Used by crash tests and the chaos
+        harness's ``kill()``; a no-op under non-group policies, where
+        an inert appender already writes nothing on its own.
+        """
+        flusher = self._flusher
+        if flusher is None:
+            return
+        self._group_die(WALError("WAL aborted (simulated process death)"))
+        self._group_wake.set()
+        if flusher.is_alive():
+            flusher.join(timeout=5.0)
+        self._flusher = None
+
     def sync(self) -> None:
-        """Force an fsync of the active segment."""
+        """Force an fsync covering everything appended so far.
+
+        Under group commit this is a *barrier*: an empty record is
+        enqueued and the call returns once the batch carrying it has
+        been fsynced, so every record enqueued before the barrier is
+        durable on return.
+        """
+        if self.fsync_policy == "group" and self._flusher_alive():
+            ticket = CommitTicket()
+            with self._group_lock:
+                if self._group_dead is None and not self._group_closing:
+                    self._group_pending.append((b"", ticket))
+                else:
+                    ticket = None
+            if ticket is not None:
+                self._group_wake.set()
+                ticket.wait()
+                return
         with self._lock:
             if self._fh is not None:
                 self._sync_locked(self._fh)
@@ -606,7 +944,22 @@ class WriteAheadLog:
             return removed
 
     def close(self) -> None:
-        """Flush, fsync, and close the active segment."""
+        """Flush, fsync, and close the active segment.
+
+        Under group commit the flusher is drained first: records already
+        enqueued are flushed (their tickets resolve), then the thread
+        exits; appends racing with close fail with :class:`WALError`.
+        """
+        flusher = self._flusher
+        if flusher is not None:
+            with self._group_lock:
+                self._group_closing = True
+            self._group_wake.set()
+            if flusher.is_alive():
+                flusher.join(timeout=10.0)
+            self._flusher = None
+            # If the flusher died rather than drained, fail stragglers.
+            self._group_die(WALError("WAL is closed"))
         with self._lock:
             if self._fh is not None:
                 self._sync_locked(self._fh)
@@ -623,5 +976,8 @@ class WriteAheadLog:
         if exc_info[0] is not None and issubclass(
             exc_info[0], failpoints.SimulatedCrash
         ):
+            # Stop the group flusher *without* flushing: queued records
+            # die with the process, exactly as a real crash would.
+            self.abort()
             return
         self.close()

@@ -62,6 +62,7 @@ CANONICAL: Dict[Tuple[str, str], str] = {
     ("concurrent_tree", "_leaf_locks"): "concurrent.leaf",
     ("durable", "_gate"): "durable.gate",
     ("wal", "_lock"): "wal.append",
+    ("wal", "_group_lock"): "wal.group.queue",
     ("replica", "_lock"): "repl.replica",
     ("primary", "_meta_lock"): "repl.primary.meta",
     ("coordinator", "_lock"): "repl.epoch",
@@ -108,11 +109,18 @@ GUARDED_FIELDS: Dict[str, FrozenSet[str]] = {
             "_active_size",
             "_fh",
             "_seq",
+            "unsynced_acks",
+            "group_batches",
+            "group_batch_records",
+            "group_batch_max",
+            "_group_pending",
+            "_group_closing",
+            "_group_dead",
         }
     ),
     "DurableTree": frozenset({"checkpoints", "last_checkpoint_position"}),
     "Replica": frozenset({"position", "durable"}),
-    "Primary": frozenset({"_base"}),
+    "Primary": frozenset({"_base", "_pending_tickets"}),
 }
 
 # Classes where *every* `self.*` write outside __init__ must be locked.

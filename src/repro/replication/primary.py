@@ -122,7 +122,15 @@ class Primary:
         self.writes_rejected = 0
         self.batches_served = 0
         self.records_served = 0
+        #: Quorum-confirmation rounds run by :meth:`_await_acks` — with
+        #: the pipelined submit surface one round covers a whole batch
+        #: of writes, so ``ack_rounds`` ≪ writes is the amortization.
+        self.ack_rounds = 0
         self._replicas: list = []
+        #: Commit tickets handed out by ``submit_*`` whose quorum
+        #: confirmation is still owed; drained (one shipping round for
+        #: all of them) by :meth:`drain_acks`.  Guarded by `_meta_lock`.
+        self._pending_tickets: list = []
         self._meta_lock = sanitizer.make_lock("repl.primary.meta")
         self._reader = WALReader(self.wal.directory)
         stored = read_epoch(self.directory)
@@ -235,9 +243,68 @@ class Primary:
         self._await_acks()
         return added
 
+    # -- pipelined writes ----------------------------------------------
+
+    def submit_insert(self, key, value: Any = None):
+        """Pipelined fenced upsert: returns the local-durability ticket.
+
+        Leadership is checked *at submit* (a fenced primary must not
+        even enqueue).  The ticket resolves at local durability — under
+        ``fsync="group"``, when the batch's fsync returns.  In sync
+        mode (``required_acks > 0``) the write is quorum-confirmed only
+        at the next :meth:`drain_acks`, which ships **one** catch-up
+        round for every ticket submitted since the last drain — that is
+        how quorum acks amortize over group-commit batch boundaries.
+        """
+        self._check_leadership()
+        ticket = self.durable.submit_insert(key, value)
+        self._track_ticket(ticket)
+        return ticket
+
+    def submit_delete(self, key):
+        """Pipelined fenced delete; ``result()`` is whether it existed."""
+        self._check_leadership()
+        ticket = self.durable.submit_delete(key)
+        self._track_ticket(ticket)
+        return ticket
+
+    def submit_many(self, items: Iterable[tuple]):
+        """Pipelined fenced batched upsert (one WAL record)."""
+        self._check_leadership()
+        ticket = self.durable.submit_many(items)
+        self._track_ticket(ticket)
+        return ticket
+
+    def _track_ticket(self, ticket) -> None:
+        if self.required_acks <= 0:
+            return
+        with self._meta_lock:
+            self._pending_tickets.append(ticket)
+
+    def drain_acks(self, timeout: Optional[float] = None) -> int:
+        """Await local durability of every pending submit, then run one
+        quorum round covering all of them.
+
+        Returns the number of tickets drained.  Raises the first
+        ticket's failure (never acked), :class:`FencedError`, or
+        :class:`AckQuorumError` exactly as the synchronous write path
+        would — but the replica catch-up cost is paid once per drain,
+        not once per write.
+        """
+        with self._meta_lock:
+            pending = self._pending_tickets
+            self._pending_tickets = []
+        for ticket in pending:
+            ticket.wait(timeout)
+        if pending:
+            self._check_leadership()
+            self._await_acks()
+        return len(pending)
+
     def _await_acks(self) -> None:
         if self.required_acks <= 0:
             return
+        self.ack_rounds += 1
         target = self.wal.tail_position()
         acks = 0
         for replica in list(self._replicas):
@@ -379,8 +446,12 @@ class Primary:
         return count
 
     def kill(self) -> None:
-        """Simulate process death: transports refuse, nothing flushes."""
+        """Simulate process death: transports refuse, nothing flushes.
+
+        The WAL's group flusher (if any) is aborted without a final
+        flush — queued records die with the process."""
         self.alive = False
+        self.durable.abort()
 
     def close(self) -> None:
         self.durable.close()

@@ -186,9 +186,15 @@ class Replica:
             self.state = ReplicaState.FOLLOWING
 
     def kill(self) -> None:
-        """Simulate process death (nothing flushed, nothing closed)."""
+        """Simulate process death (nothing flushed, nothing closed).
+
+        The local WAL's group flusher — if the replica persists with
+        ``fsync="group"`` — is aborted without a final flush, exactly
+        as a dead process would leave it."""
         self.alive = False
         self.state = ReplicaState.STOPPED
+        if self.durable is not None:
+            self.durable.abort()
 
     def close(self) -> None:
         if self.durable is not None:

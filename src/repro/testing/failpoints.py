@@ -46,6 +46,15 @@ KNOWN_FAILPOINTS: tuple[str, ...] = (
     "wal.before_fsync",
     "wal.before_rotate",
     "wal.before_truncate_segment",
+    # Group-commit pipeline (fsync="group"): fired on the flusher
+    # thread around each batch's single fsync, and just before the
+    # batch's tickets resolve.  A "crash" at any of them models the
+    # process dying mid-batch: pre_fsync loses the whole batch (none of
+    # it was acked), post_fsync/ack keep the batch durable but unacked
+    # — either way no acknowledged write is ever lost.
+    "wal.group.pre_fsync",
+    "wal.group.post_fsync",
+    "wal.group.ack",
     "snapshot.before_tmp_write",
     "snapshot.after_tmp_write",
     "snapshot.after_replace",

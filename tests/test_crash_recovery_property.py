@@ -71,14 +71,19 @@ def apply_op(oracle: dict, op: tuple) -> None:
     # "c" (checkpoint) changes no logical state.
 
 
-def run_workload(directory, ops):
+def run_workload(directory, ops, fsync="always"):
     """Apply ops until completion or SimulatedCrash.
 
     Returns ``(oracle_of_acked_ops, inflight_op_or_None, facade_or_None)``.
     On a crash the facade is NOT closed — a dead process flushes
-    nothing, which is exactly the state recovery must cope with.
+    nothing, which is exactly the state recovery must cope with.  Under
+    ``fsync="group"`` the WAL is *aborted* instead: the flusher thread
+    would otherwise keep absorbing appends after the "process died",
+    which no real crash allows.
     """
-    t = DurableTree(QuITTree(CFG), directory, segment_bytes=SEGMENT_BYTES)
+    t = DurableTree(
+        QuITTree(CFG), directory, segment_bytes=SEGMENT_BYTES, fsync=fsync
+    )
     oracle: dict = {}
     op = None
     try:
@@ -94,6 +99,7 @@ def run_workload(directory, ops):
             apply_op(oracle, op)  # acknowledged
         return oracle, None, t
     except SimulatedCrash:
+        t.abort()
         return oracle, op, None
 
 
@@ -110,7 +116,18 @@ def allowed_states(oracle: dict, inflight) -> list[dict]:
 
 # The single-node workload below cannot reach replication sites; those
 # are crash-tested by tests/test_replication.py and the chaos soak.
+# The wal.group.* sites only exist on the group-commit flusher, which
+# fsync="always" never starts — they get their own sweep below.
 CORE_FAILPOINTS = [
+    name
+    for name in KNOWN_FAILPOINTS
+    if not name.startswith(("repl.", "wal.group."))
+]
+
+#: Under fsync="group" every core site fires — the shared ones from the
+#: flusher thread (write/fsync/rotate) or the writer thread (enqueue),
+#: plus the three batch-boundary sites unique to the pipeline.
+GROUP_FAILPOINTS = [
     name for name in KNOWN_FAILPOINTS if not name.startswith("repl.")
 ]
 
@@ -181,6 +198,77 @@ class TestCrashAtEveryFailpoint:
         final, report = DurableTree.recover(tmp_path, QuITTree, CFG)
         got2 = dict(final.tree.items())
         assert any(got2 == s for s in allowed_states(oracle2, op))
+        assert final.check(check_min_fill=False) == []
+
+
+class TestCrashAtEveryGroupFailpoint:
+    """The same acceptance property under ``fsync="group"``.
+
+    A crash mid-batch — before the fsync, after it, or between the
+    fsync and the acks — must never lose an acknowledged write and
+    never invent one.  The workload is single-threaded, so at most one
+    data record is in flight; the batch carrying it is the only
+    ambiguity and the standard two-state oracle still applies.
+    """
+
+    @pytest.mark.parametrize("hits_before", [0, 2], ids=["hit0", "hit2"])
+    @pytest.mark.parametrize("failpoint", GROUP_FAILPOINTS)
+    def test_recovers_to_oracle(self, tmp_path, failpoint, hits_before):
+        seed = GROUP_FAILPOINTS.index(failpoint) * 100 + hits_before
+        ops = make_ops(seed)
+        with failpoints.active(
+            failpoint, mode="crash", hits_before=hits_before
+        ) as state:
+            oracle, inflight, survivor = run_workload(
+                tmp_path, ops, fsync="group"
+            )
+        assert survivor is None and state.fired == 1, (
+            f"{failpoint} never fired under fsync='group'"
+        )
+        recovered, report = DurableTree.recover(tmp_path, QuITTree, CFG)
+        got = dict(recovered.tree.items())
+        states = allowed_states(oracle, inflight)
+        assert any(got == s for s in states), (
+            f"group-commit crash at {failpoint}: recovered state is "
+            f"neither the acknowledged oracle ({len(oracle)} keys) nor "
+            f"oracle+inflight {inflight!r}; got {len(got)} keys "
+            f"(missing={len(set(oracle) - set(got))}, "
+            f"phantom={len(set(got) - set(states[-1]))})"
+        )
+        assert recovered.check(check_min_fill=False) == []
+        recovered.insert(10**9, "post-recovery")
+        assert recovered.get(10**9) == "post-recovery"
+        recovered.close()
+
+    def test_group_recovery_reopens_as_group(self, tmp_path):
+        """Crash under group commit, recover straight back into
+        ``fsync="group"``: the new facade's flusher works and acked
+        writes from both lives survive a clean close."""
+        ops = make_ops(seed=31337)
+        with failpoints.active(
+            "wal.group.pre_fsync", mode="crash", hits_before=50
+        ):
+            oracle, inflight, _ = run_workload(tmp_path, ops, fsync="group")
+        recovered, _ = DurableTree.recover(
+            tmp_path, QuITTree, CFG, fsync="group"
+        )
+        got = dict(recovered.tree.items())
+        assert any(got == s for s in allowed_states(oracle, inflight))
+        oracle2 = dict(got)
+        for op in make_ops(seed=31338, n=200):
+            if op[0] == "c":
+                recovered.checkpoint()
+            else:
+                if op[0] == "i":
+                    recovered.insert(op[1], op[2])
+                elif op[0] == "d":
+                    recovered.delete(op[1])
+                else:
+                    recovered.insert_many(op[1])
+                apply_op(oracle2, op)
+        recovered.close()
+        final, report = DurableTree.recover(tmp_path, QuITTree, CFG)
+        assert dict(final.tree.items()) == oracle2
         assert final.check(check_min_fill=False) == []
 
 
