@@ -19,7 +19,10 @@ Subcommands over a durability directory (``snapshot.quit`` +
 * ``promote DIR`` — turn a (former) replica directory into a primary:
   scrub, bump the epoch, checkpoint;
 * ``status DIR`` — inspect a node directory without recovering it:
-  role, epoch, cursor, snapshot and WAL footprint.
+  role, epoch, cursor, snapshot and WAL footprint, quarantine;
+* ``verify DIR`` — offline CRC verification of every artifact (the
+  scrubber's check, without recovering or mutating anything); with
+  ``--quarantine``, damaged artifacts are copied aside as evidence.
 
 The process installs SIGTERM/SIGINT handlers for the long-running
 commands so an orderly ``kill`` produces a checkpointed, truncated-WAL
@@ -36,6 +39,7 @@ from __future__ import annotations
 
 import argparse
 import os
+import shutil
 import signal
 import sys
 import tempfile
@@ -46,6 +50,7 @@ from typing import Optional, Sequence
 
 from ..core import DurableTree, RecoveryReport, TreeConfig
 from ..core.durable import SNAPSHOT_NAME, WAL_DIRNAME
+from ..core.scrubber import QUARANTINE_DIRNAME, verify_artifacts
 from ..core.wal import first_position, replay_wal, segment_paths
 from ..replication import (
     CURSOR_FILENAME,
@@ -179,6 +184,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="inspect a node directory: role, epoch, cursor, footprint",
     )
     st.add_argument("directory", type=Path)
+
+    ver = sub.add_parser(
+        "verify",
+        help="offline CRC-verify DIR's snapshot and WAL segments "
+             "without recovering (exit 1 when damage is found)",
+    )
+    ver.add_argument("directory", type=Path)
+    ver.add_argument(
+        "--quarantine", action="store_true",
+        help="copy damaged artifacts into DIR/quarantine/ as evidence",
+    )
 
     return parser
 
@@ -342,11 +358,15 @@ def cmd_bench(args: argparse.Namespace, out) -> int:
 
 def _print_cluster(primary: Primary, replicas, out) -> None:
     tail = primary.tail_position()
+    health = primary.durable.health.state.value
     print(f"primary {primary.node_id}: epoch {primary.epoch}, "
-          f"{len(primary)} entries, WAL tail {tail}", file=out)
+          f"{len(primary)} entries, health {health}, WAL tail {tail}",
+          file=out)
     for replica in replicas:
+        durable = replica.durable
+        rep_health = durable.health.state.value if durable else "n/a"
         print(f"  {replica.name}: applied_lsn {replica.position} "
-              f"lag {replica.lag_bytes}B "
+              f"lag {replica.lag_bytes}B health {rep_health} "
               f"({replica.records_applied} records applied)", file=out)
 
 
@@ -467,10 +487,46 @@ def cmd_status(args: argparse.Namespace, out) -> int:
     rows.append(("wal", f"{len(segments)} segment(s), {wal_bytes} bytes"))
     first = first_position(wal_dir) if wal_dir.exists() else None
     rows.append(("wal first position", first if first else "empty"))
+    qdir = directory / QUARANTINE_DIRNAME
+    quarantined = (
+        sum(1 for p in qdir.iterdir() if p.is_file()) if qdir.is_dir() else 0
+    )
+    rows.append(("quarantine", f"{quarantined} artifact(s)"))
     width = max(len(label) for label, _ in rows)
     for label, value in rows:
         print(f"  {label:<{width}}  {value}", file=out)
     return 0
+
+
+def cmd_verify(args: argparse.Namespace, out) -> int:
+    directory = args.directory
+    if not directory.exists():
+        print(f"{directory}: no such directory", file=out)
+        return 1
+    results = verify_artifacts(directory)
+    damaged = []
+    for artifact in sorted(results):
+        issues = results[artifact]
+        # "note:" entries describe expected conditions (a torn tail on
+        # the final segment is an in-flight append at crash time that
+        # recovery trims); anything else is real damage.
+        fatal = [issue for issue in issues if not issue.startswith("note:")]
+        verdict = "CORRUPT" if fatal else ("ok" if not issues else "ok*")
+        print(f"  {artifact}: {verdict}", file=out)
+        for issue in issues:
+            print(f"    - {issue}", file=out)
+        if fatal:
+            damaged.append(Path(artifact))
+    if args.quarantine and damaged:
+        qdir = directory / QUARANTINE_DIRNAME
+        qdir.mkdir(exist_ok=True)
+        for path in damaged:
+            dest = qdir / f"{path.name}.cli"
+            shutil.copy2(path, dest)
+            print(f"  quarantined -> {dest}", file=out)
+    print(f"{len(results)} artifact(s) checked, {len(damaged)} damaged",
+          file=out)
+    return 1 if damaged else 0
 
 
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
@@ -485,6 +541,7 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         "replicate": cmd_replicate,
         "promote": cmd_promote,
         "status": cmd_status,
+        "verify": cmd_verify,
     }
     return handlers[args.command](args, out)
 

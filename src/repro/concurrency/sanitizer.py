@@ -52,6 +52,7 @@ from typing import Union
 #: table against the AST, so the documented discipline, the runtime
 #: sanitizer, and ``quit-check`` can never drift apart.
 LOCK_ORDER: tuple[str, ...] = (
+    "scrub.cycle",         # Scrubber._lock: one scrub/repair cycle at a time
     "repl.replica",        # Replica._lock: held around apply + cursor persist
     "repl.primary.meta",   # Primary._meta_lock: snapshot/base consistency
     "durable.gate",        # DurableTree._gate: log+apply vs checkpoint
@@ -61,6 +62,8 @@ LOCK_ORDER: tuple[str, ...] = (
     "wal.group.queue",     # WriteAheadLog._group_lock: group-commit queue
     "wal.append",          # WriteAheadLog._lock: append/rotate/truncate
     "repl.epoch",          # EpochRegistry._lock: epoch counter
+    "health",              # HealthMonitor._lock: state-machine transitions
+    "iofaults",            # testing.iofaults._lock: fault-arming table
     "failpoints",          # testing.failpoints._lock: innermost everywhere
 )
 
@@ -79,6 +82,11 @@ FSYNC_UNSAFE: frozenset[str] = frozenset(
         # The group-commit queue lock is held only for enqueue/drain;
         # an fsync under it would stall every pipelined writer.
         "wal.group.queue",
+        # Health transitions and the fault-arming table are consulted on
+        # every instrumented I/O call — they must decide and release, not
+        # ride along into the disk.
+        "health",
+        "iofaults",
     }
 )
 

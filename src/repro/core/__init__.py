@@ -9,6 +9,13 @@ from .durable import DurableTree, RecoveryReport
 from .duplicates import DuplicateKeyIndex
 from .config import TreeConfig, reset_threshold
 from .fastpath import FastPathTree
+from .health import (
+    HealthMonitor,
+    HealthState,
+    ReadOnlyError,
+    RetryPolicy,
+    is_transient,
+)
 from .ikr import ikr_threshold, is_outlier
 from .lil_tree import LilBPlusTree
 from .metadata import (
@@ -19,12 +26,14 @@ from .metadata import (
     metadata_bytes,
 )
 from .node import InternalNode, LeafNode, Node
-from .persist import PersistenceError, load_tree, save_tree
+from .persist import PersistenceError, load_tree, save_tree, verify_snapshot
 from .pole_tree import PoleBPlusTree
 from .quit_tree import QuITTree
+from .scrubber import ScrubCycleReport, Scrubber, verify_artifacts
 from .stats import OccupancyStats, ScrubReport, TreeStats
 from .tail_tree import TailBPlusTree
 from .wal import (
+    WALDeadError,
     WALError,
     WALPosition,
     WALReader,
@@ -81,7 +90,17 @@ __all__ = [
     "ScrubReport",
     "DurableTree",
     "RecoveryReport",
+    "HealthMonitor",
+    "HealthState",
+    "ReadOnlyError",
+    "RetryPolicy",
+    "is_transient",
+    "Scrubber",
+    "ScrubCycleReport",
+    "verify_artifacts",
+    "verify_snapshot",
     "WriteAheadLog",
+    "WALDeadError",
     "WALError",
     "WALPosition",
     "WALReader",

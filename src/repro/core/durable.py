@@ -42,6 +42,7 @@ from ..concurrency.locks import RWLock
 from ..testing import failpoints
 from .bptree import BPlusTree
 from .config import TreeConfig
+from .health import HealthMonitor, HealthState, RetryPolicy
 from .node import Key
 from .persist import load_tree, save_tree
 from .stats import ScrubReport, TreeStats
@@ -51,6 +52,7 @@ from .wal import (
     OP_INSERT,
     OP_INSERT_MANY,
     CommitTicket,
+    WALError,
     WALPosition,
     WriteAheadLog,
     repair_wal,
@@ -79,6 +81,8 @@ class RecoveryReport:
             discarded by replay and trimmed by repair.
         unknown_records: intact records whose op tag this version does
             not understand (skipped, never fatal).
+        sequence_gap: replay stopped at a missing middle segment; the
+            orphaned post-gap segments were deleted by repair.
         epoch_markers: replication epoch markers seen in the log (they
             carry no tree data and are not counted as entries).
         last_epoch: highest epoch stamped in the log, 0 if none — a
@@ -95,6 +99,7 @@ class RecoveryReport:
     truncated_tail: bool = False
     tail_bytes_dropped: int = 0
     unknown_records: int = 0
+    sequence_gap: bool = False
     epoch_markers: int = 0
     last_epoch: int = 0
     scrub: Optional[ScrubReport] = None
@@ -151,16 +156,33 @@ class DurableTree:
         fsync_interval: int = 64,
         segment_bytes: int = 4 * 1024 * 1024,
         group_queue_max: int = 8192,
+        health: Optional[HealthMonitor] = None,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         self.tree = tree
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        #: One health monitor for the whole write path, shared with the
+        #: WAL: exhausted retries anywhere (append, fsync, snapshot)
+        #: degrade the facade as a unit.  Mutations consult it first;
+        #: reads never do.
+        self.health = (
+            health
+            if health is not None
+            else HealthMonitor(name=self.directory.name or "durable")
+        )
+        self.retry = retry if retry is not None else RetryPolicy()
+        #: Backref set by an attached Scrubber so ``stats`` can mirror
+        #: the scrub counters; None when no scrubber watches this tree.
+        self.scrubber: Optional[Any] = None
         self.wal = WriteAheadLog(
             self.directory / WAL_DIRNAME,
             fsync=fsync,
             fsync_interval=fsync_interval,
             segment_bytes=segment_bytes,
             group_queue_max=group_queue_max,
+            health=self.health,
+            retry=self.retry,
         )
         self.checkpoints = 0
         self.last_recovery: Optional[RecoveryReport] = None
@@ -182,6 +204,7 @@ class DurableTree:
 
     def insert(self, key: Key, value: Any = None) -> None:
         """Durable upsert: WAL append (per the fsync policy), then apply."""
+        self.health.require_writable()
         with self._gate.read_locked():
             self.wal.log_insert(key, value)
             self.tree.insert(key, value)
@@ -196,6 +219,7 @@ class DurableTree:
         log-then-apply cannot know beforehand, and replaying a delete of
         a missing key is a no-op.
         """
+        self.health.require_writable()
         with self._gate.read_locked():
             self.wal.log_delete(key)
             return self.tree.delete(key)
@@ -208,6 +232,7 @@ class DurableTree:
         batch = [(k, v) for k, v in items]
         if not batch:
             return 0
+        self.health.require_writable()
         with self._gate.read_locked():
             self.wal.log_insert_many(batch)
             return self.tree.insert_many(batch)
@@ -228,6 +253,7 @@ class DurableTree:
         is synchronous and the ticket comes back already resolved, so
         callers get one programming model for every policy.
         """
+        self.health.require_writable()
         with self._gate.read_locked():
             ticket = self.wal.submit_insert(key, value)
             self.tree.insert(key, value)
@@ -236,6 +262,7 @@ class DurableTree:
     def submit_delete(self, key: Key) -> CommitTicket:
         """Pipelined delete; ``ticket.result()`` is whether the key
         existed at apply time."""
+        self.health.require_writable()
         with self._gate.read_locked():
             ticket = self.wal.submit_delete(key)
             ticket.value = self.tree.delete(key)
@@ -251,6 +278,7 @@ class DurableTree:
             ticket.value = 0
             ticket._resolve()
             return ticket
+        self.health.require_writable()
         with self._gate.read_locked():
             ticket = self.wal.submit_insert_many(batch)
             ticket.value = self.tree.insert_many(batch)
@@ -311,6 +339,16 @@ class DurableTree:
         stats.wal_group_batch_records = self.wal.group_batch_records
         stats.wal_group_batch_max = self.wal.group_batch_max
         stats.wal_unsynced_acks = self.wal.unsynced_acks
+        stats.health_retries = self.health.retries
+        stats.health_degradations = self.health.degradations
+        stats.health_read_only_trips = self.health.read_only_trips
+        stats.health_recoveries = self.health.recoveries
+        scrubber = self.scrubber
+        if scrubber is not None:
+            stats.scrub_cycles = scrubber.cycles
+            stats.scrub_corruptions = scrubber.corruptions
+            stats.scrub_quarantines = scrubber.quarantines
+            stats.scrub_peer_repairs = scrubber.peer_repairs
         return stats
 
     def items(self) -> Iterable[tuple[Key, Any]]:
@@ -366,7 +404,13 @@ class DurableTree:
             return self._checkpoint_inner(base)
 
     def _checkpoint_inner(self, snapshot_source: Any) -> int:  # holds: durable.gate
-        count = save_tree(snapshot_source, self.snapshot_path, version=2)
+        count = save_tree(
+            snapshot_source,
+            self.snapshot_path,
+            version=2,
+            retry=self.retry,
+            health=self.health,
+        )
         failpoints.fire("checkpoint.before_truncate")
         # Captured before the truncate, under the exclusive gate: the
         # snapshot covers exactly the records below this position, so a
@@ -375,6 +419,12 @@ class DurableTree:
         self.wal.truncate()
         failpoints.fire("checkpoint.after_truncate")
         self.checkpoints += 1
+        # A full snapshot landed and the WAL restarted on a fresh
+        # segment: the disk demonstrably takes writes again, so a
+        # degraded or read-only tree is healed by exactly this call.
+        # (FAILED is terminal; restore() refuses it.)
+        if self.health.state is not HealthState.HEALTHY:
+            self.health.restore()
         return count
 
     def close(self) -> None:
@@ -419,6 +469,8 @@ class DurableTree:
         group_queue_max: int = 8192,
         wrap: Optional[Callable[[BPlusTree], Any]] = None,
         scrub: bool = True,
+        health: Optional[HealthMonitor] = None,
+        retry: Optional[RetryPolicy] = None,
     ) -> tuple["DurableTree", RecoveryReport]:
         """Rebuild a durable tree from ``directory``.
 
@@ -455,10 +507,24 @@ class DurableTree:
             tree = tree_class(config)
         wal_dir = directory / WAL_DIRNAME
         replay = replay_wal(wal_dir)
+        if replay.unreadable:
+            # The damage is a segment that cannot be *read*, not one
+            # that is provably corrupt: its bytes (and the acked writes
+            # inside them) may be intact on the medium.  Recovering
+            # past it would serve a state silently missing those acks,
+            # and repairing it would destroy them — refuse both,
+            # explicitly.
+            raise WALError(
+                f"WAL segment {replay.corrupt_segment} is unreadable "
+                f"after retries ({replay.read_failures} failed reads); "
+                "refusing destructive repair — restore the medium, or "
+                "rebuild this node from its replica"
+            )
         report.segments_scanned = replay.segments_scanned
         report.checksum_failures = replay.checksum_failures
         report.truncated_tail = replay.truncated_tail
         report.tail_bytes_dropped = replay.tail_bytes_dropped
+        report.sequence_gap = replay.sequence_gap
         for op in replay.ops:
             tag = op[0]
             if tag == OP_INSERT:
@@ -489,6 +555,8 @@ class DurableTree:
             fsync_interval=fsync_interval,
             segment_bytes=segment_bytes,
             group_queue_max=group_queue_max,
+            health=health,
+            retry=retry,
         )
         durable.last_recovery = report
         return durable, report

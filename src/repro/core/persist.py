@@ -30,15 +30,17 @@ rejected at save time rather than corrupting the file.
 from __future__ import annotations
 
 import ast
+import io
 import os
 import zlib
 from pathlib import Path
 from typing import Any, Optional, TextIO, Type, Union
 
 from ..concurrency import sanitizer
-from ..testing import failpoints
+from ..testing import failpoints, iofaults
 from .bptree import BPlusTree
 from .config import TreeConfig
+from .health import HealthMonitor, ReadOnlyError, RetryPolicy
 
 _FORMAT_TAG = "quit-tree-v1"
 _FORMAT_TAG_V2 = "quit-tree-v2"
@@ -89,7 +91,12 @@ def _write_entries(tree: BPlusTree, fh: TextIO, version: int) -> int:
 
 
 def save_tree(
-    tree: BPlusTree, path: Union[str, Path], *, version: int = 1
+    tree: BPlusTree,
+    path: Union[str, Path],
+    *,
+    version: int = 1,
+    retry: Optional[RetryPolicy] = None,
+    health: Optional[HealthMonitor] = None,
 ) -> int:
     """Atomically write ``tree`` to ``path``; returns the entry count.
 
@@ -98,24 +105,60 @@ def save_tree(
             and ``items()``).
         path: destination file, replaced atomically on success.
         version: 1 for the legacy format, 2 for per-record CRC32.
+        retry: when given, transient I/O faults (EIO/ENOSPC) on the
+            temp-file write/fsync and the final rename are retried per
+            the policy — each write attempt starts the temp file over,
+            so a torn attempt can never leave a half-written prefix in
+            front of the retried copy.
+        health: monitor fed by the retry loop (see
+            :class:`repro.core.health.HealthMonitor`).
+
+    The tree is serialized to memory first: a serialization error
+    (unserializable value) aborts before any byte touches the disk, and
+    the disk write becomes a single shimmed operation that fault
+    injection can tear or rot meaningfully.
     """
     if version not in (1, 2):
         raise PersistenceError(f"unknown snapshot version {version}")
     path = Path(path)
     tmp = path.with_name(path.name + ".tmp")
+    buffer = io.StringIO()
+    count = _write_entries(tree, buffer, version)
+    data = buffer.getvalue().encode("utf-8")
     failpoints.fire("snapshot.before_tmp_write")
-    try:
-        with tmp.open("w", encoding="utf-8") as fh:
-            count = _write_entries(tree, fh, version)
+
+    def write_tmp() -> None:
+        with tmp.open("wb") as fh:
+            iofaults.write("io.snapshot.write", fh, data)
             fh.flush()
             if sanitizer.enabled():
                 sanitizer.note_fsync("snapshot.tmp")
-            os.fsync(fh.fileno())
+            iofaults.fsync("io.snapshot.fsync", fh)
+
+    def discard_tmp() -> None:
+        tmp.unlink(missing_ok=True)
+
+    try:
+        if retry is None:
+            write_tmp()
+        else:
+            retry.run(write_tmp, monitor=health, recover=discard_tmp)
     except Exception:
         tmp.unlink(missing_ok=True)
         raise
     failpoints.fire("snapshot.after_tmp_write")
-    os.replace(tmp, path)
+
+    def rename() -> None:
+        iofaults.replace("io.snapshot.replace", tmp, path)
+
+    try:
+        if retry is None:
+            rename()
+        else:
+            retry.run(rename, monitor=health)
+    except Exception:
+        tmp.unlink(missing_ok=True)
+        raise
     _fsync_parent_dir(path)
     failpoints.fire("snapshot.after_replace")
     return count
@@ -153,71 +196,72 @@ def load_tree(
 
     Raises:
         PersistenceError: malformed header/entries, an entry count
-            mismatch, or (v2) a per-record checksum failure.
+            mismatch, (v2) a per-record checksum failure, or a snapshot
+            that stays unreadable after transient-I/O retries.
     """
     path = Path(path)
-    with path.open("r", encoding="utf-8") as fh:
-        header = fh.readline().rstrip("\n").split("\t")
-        if len(header) not in (4, 5) or header[0] not in (
-            _FORMAT_TAG,
-            _FORMAT_TAG_V2,
-        ):
-            raise PersistenceError(
-                f"{path} is not a {_FORMAT_TAG}/{_FORMAT_TAG_V2} file"
-            )
-        checksummed = header[0] == _FORMAT_TAG_V2
-        try:
-            expected = int(header[1])
-            leaf_capacity = int(header[2])
-            internal_capacity = int(header[3])
-        except ValueError:
-            raise PersistenceError(f"malformed header in {path}") from None
-        if config is None:
-            extra = {}
-            if len(header) == 5:  # pre-layout snapshots omit the column
-                if header[4] not in ("gapped", "list"):
-                    raise PersistenceError(
-                        f"unknown layout {header[4]!r} in {path}"
-                    )
-                extra["layout"] = header[4]
-            config = TreeConfig(
-                leaf_capacity=leaf_capacity,
-                internal_capacity=internal_capacity,
-                **extra,
-            )
-        pairs = []
-        for line_no, line in enumerate(fh, start=2):
-            line = line.rstrip("\n")
-            if not line:
-                continue
-            if checksummed:
-                crc_hex, sep, body = line.partition("\t")
-                if not sep:
-                    raise PersistenceError(
-                        f"malformed entry at {path}:{line_no}"
-                    )
-                try:
-                    crc = int(crc_hex, 16)
-                except ValueError:
-                    raise PersistenceError(
-                        f"malformed checksum at {path}:{line_no}"
-                    ) from None
-                if zlib.crc32(body.encode("utf-8")) != crc:
-                    raise PersistenceError(
-                        f"checksum mismatch at {path}:{line_no}"
-                    )
-            else:
-                body = line
-            try:
-                key_repr, value_repr = body.split("\t")
-                pairs.append((
-                    ast.literal_eval(key_repr),
-                    ast.literal_eval(value_repr),
-                ))
-            except (ValueError, SyntaxError):
+    text = _read_snapshot_text(path)
+    lines = text.split("\n")
+    header = lines[0].split("\t")
+    if len(header) not in (4, 5) or header[0] not in (
+        _FORMAT_TAG,
+        _FORMAT_TAG_V2,
+    ):
+        raise PersistenceError(
+            f"{path} is not a {_FORMAT_TAG}/{_FORMAT_TAG_V2} file"
+        )
+    checksummed = header[0] == _FORMAT_TAG_V2
+    try:
+        expected = int(header[1])
+        leaf_capacity = int(header[2])
+        internal_capacity = int(header[3])
+    except ValueError:
+        raise PersistenceError(f"malformed header in {path}") from None
+    if config is None:
+        extra = {}
+        if len(header) == 5:  # pre-layout snapshots omit the column
+            if header[4] not in ("gapped", "list"):
+                raise PersistenceError(
+                    f"unknown layout {header[4]!r} in {path}"
+                )
+            extra["layout"] = header[4]
+        config = TreeConfig(
+            leaf_capacity=leaf_capacity,
+            internal_capacity=internal_capacity,
+            **extra,
+        )
+    pairs = []
+    for line_no, line in enumerate(lines[1:], start=2):
+        if not line:
+            continue
+        if checksummed:
+            crc_hex, sep, body = line.partition("\t")
+            if not sep:
                 raise PersistenceError(
                     f"malformed entry at {path}:{line_no}"
+                )
+            try:
+                crc = int(crc_hex, 16)
+            except ValueError:
+                raise PersistenceError(
+                    f"malformed checksum at {path}:{line_no}"
                 ) from None
+            if zlib.crc32(body.encode("utf-8")) != crc:
+                raise PersistenceError(
+                    f"checksum mismatch at {path}:{line_no}"
+                )
+        else:
+            body = line
+        try:
+            key_repr, value_repr = body.split("\t")
+            pairs.append((
+                ast.literal_eval(key_repr),
+                ast.literal_eval(value_repr),
+            ))
+        except (ValueError, SyntaxError):
+            raise PersistenceError(
+                f"malformed entry at {path}:{line_no}"
+            ) from None
     if len(pairs) != expected:
         raise PersistenceError(
             f"{path} declares {expected} entries but holds {len(pairs)}"
@@ -225,3 +269,97 @@ def load_tree(
     tree = tree_class(config)
     tree.bulk_load(pairs, fill_factor=fill_factor)
     return tree
+
+
+#: Transient-retry policy for snapshot reads: a flaky read must not
+#: fail a recovery (and must never flip health — no monitor is fed).
+_SNAP_READ_RETRY = RetryPolicy(
+    attempts=3, base_delay=0.001, max_delay=0.01, deadline=0.25
+)
+
+
+def _read_snapshot_bytes(path: Path) -> bytes:
+    return _SNAP_READ_RETRY.run(
+        lambda: iofaults.read_bytes("io.snapshot.read", path)
+    )
+
+
+def _read_snapshot_text(path: Path) -> str:
+    """Read + decode a snapshot; all failures become PersistenceError
+    (except a genuinely missing file, which stays FileNotFoundError)."""
+    try:
+        raw = _read_snapshot_bytes(path)
+    except ReadOnlyError as exc:
+        cause = exc.__cause__
+        if isinstance(cause, FileNotFoundError):
+            raise cause
+        raise PersistenceError(f"{path} is unreadable: {exc}") from exc
+    try:
+        return raw.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise PersistenceError(
+            f"{path} is not valid UTF-8 (corrupt?): {exc}"
+        ) from exc
+
+
+def verify_snapshot(path: Union[str, Path]) -> list[str]:
+    """CRC/structure-verify a snapshot without rebuilding the tree.
+
+    Returns a list of human-readable issues — empty means intact (or no
+    snapshot at all, which is a legal state).  Unlike :func:`load_tree`
+    this never raises and never stops at the first bad record, so the
+    scrubber and the CLI ``verify`` subcommand can report the full
+    damage picture (capped at 8 issues).
+    """
+    path = Path(path)
+    if not path.exists():
+        return []
+    issues: list[str] = []
+    try:
+        raw = _read_snapshot_bytes(path)
+    except (ReadOnlyError, OSError) as exc:
+        return [f"unreadable: {exc}"]
+    try:
+        text = raw.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        return [f"not valid UTF-8: {exc}"]
+    lines = text.split("\n")
+    header = lines[0].split("\t")
+    if len(header) not in (4, 5) or header[0] not in (
+        _FORMAT_TAG,
+        _FORMAT_TAG_V2,
+    ):
+        return [f"bad header: {lines[0][:80]!r}"]
+    checksummed = header[0] == _FORMAT_TAG_V2
+    try:
+        expected = int(header[1])
+    except ValueError:
+        return [f"malformed entry count {header[1]!r}"]
+    entries = 0
+    suppressed = False
+    for line_no, line in enumerate(lines[1:], start=2):
+        if not line:
+            continue
+        if len(issues) >= 8:
+            issues.append("... (further issues suppressed)")
+            suppressed = True
+            break
+        if checksummed:
+            crc_hex, sep, body = line.partition("\t")
+            if not sep:
+                issues.append(f"line {line_no}: malformed entry")
+                continue
+            try:
+                crc = int(crc_hex, 16)
+            except ValueError:
+                issues.append(f"line {line_no}: malformed checksum")
+                continue
+            if zlib.crc32(body.encode("utf-8")) != crc:
+                issues.append(f"line {line_no}: checksum mismatch")
+                continue
+        entries += 1
+    if not suppressed and entries != expected:
+        issues.append(
+            f"declares {expected} entries but holds {entries}"
+        )
+    return issues

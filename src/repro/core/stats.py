@@ -96,6 +96,22 @@ class TreeStats:
             bytes were fsynced (``fsync="interval"``/``"none"`` only):
             the size of the durability loss window.  Always 0 under
             ``"always"`` and ``"group"``.
+        health_retries: transient write-path I/O faults retried
+            (mirrored from the tree's ``HealthMonitor``).
+        health_degradations: HEALTHY→DEGRADED transitions (first retry
+            of an episode).
+        health_read_only_trips: times exhausted retries degraded the
+            tree to read-only.
+        health_recoveries: explicit heals (``restore()`` after a
+            successful checkpoint/repair) out of a degraded state.
+        scrub_cycles: background scrubber verification cycles run
+            (mirrored from the attached ``Scrubber``, if any).
+        scrub_corruptions: corrupt artifacts (WAL segments/snapshots)
+            the scrubber detected.
+        scrub_quarantines: corrupt artifacts copied into the
+            ``quarantine/`` directory as evidence before repair.
+        scrub_peer_repairs: corruptions healed by re-fetching state
+            from the replication peer.
     """
 
     fast_inserts: int = 0
@@ -136,6 +152,14 @@ class TreeStats:
     wal_group_batch_records: int = 0
     wal_group_batch_max: int = 0
     wal_unsynced_acks: int = 0
+    health_retries: int = 0
+    health_degradations: int = 0
+    health_read_only_trips: int = 0
+    health_recoveries: int = 0
+    scrub_cycles: int = 0
+    scrub_corruptions: int = 0
+    scrub_quarantines: int = 0
+    scrub_peer_repairs: int = 0
 
     @property
     def wal_group_batch_mean(self) -> float:

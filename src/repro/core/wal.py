@@ -43,6 +43,7 @@ so post-recovery appends are never hidden behind garbage.
 from __future__ import annotations
 
 import ast
+import errno
 import os
 import struct
 import threading
@@ -52,7 +53,8 @@ from pathlib import Path
 from typing import IO, Any, Iterable, Optional, Union
 
 from ..concurrency import sanitizer
-from ..testing import failpoints
+from ..testing import failpoints, iofaults
+from .health import HealthMonitor, ReadOnlyError, RetryPolicy
 from .node import Key
 
 _HEADER = struct.Struct("<II")
@@ -73,6 +75,17 @@ _FSYNC_POLICIES = ("always", "interval", "none", "group")
 
 class WALError(ValueError):
     """Raised for unloggable values or misuse of the WAL API."""
+
+
+class WALDeadError(WALError):
+    """The group-commit flusher died and can never acknowledge again.
+
+    Every :class:`CommitTicket` that was pending when the flusher died —
+    drained or still queued — is failed with this error, so callers
+    blocked in ``wait()``/``sync()`` return immediately instead of
+    hanging against a dead thread.  ``__cause__`` carries the exception
+    that killed the flusher.
+    """
 
 
 class CommitTicket:
@@ -184,6 +197,14 @@ class WALReplayResult:
         corrupt_segment: segment file where replay stopped, if any.
         valid_offset: byte offset of the last valid record boundary in
             ``corrupt_segment`` (used by :func:`repair_wal`).
+        sequence_gap: True when replay stopped because a *middle*
+            segment is missing (``corrupt_segment`` is then the first
+            post-gap segment, whole but orphaned).
+        read_failures: segment read attempts that raised ``OSError``
+            (each is retried; persistent failure marks ``unreadable``).
+        unreadable: True when a segment could not be read at all —
+            :func:`repair_wal` refuses to act on it, since the bytes on
+            the medium may be intact.
     """
 
     ops: list[tuple] = field(default_factory=list)
@@ -194,6 +215,9 @@ class WALReplayResult:
     tail_bytes_dropped: int = 0
     corrupt_segment: Optional[Path] = None
     valid_offset: int = 0
+    sequence_gap: bool = False
+    read_failures: int = 0
+    unreadable: bool = False
 
     @property
     def clean(self) -> bool:
@@ -201,56 +225,161 @@ class WALReplayResult:
         return self.corrupt_segment is None
 
 
+#: Small retry for segment reads: transient EIO on a read path should
+#: never fail a replay or declare corruption.  No health monitor — a
+#: flaky read does not make the tree read-only.
+_READ_RETRY = RetryPolicy(
+    attempts=3, base_delay=0.001, max_delay=0.01, deadline=0.25
+)
+
+#: Full re-parses of a damaged segment before the damage is believed:
+#: a checksum failure that heals on re-read was read-path noise, one
+#: that persists is media rot.
+_REREAD_ATTEMPTS = 3
+
+
+def _read_segment(path: Path) -> bytes:
+    """Read one segment through the fault shim, retrying transients.
+
+    A *short* read (fewer bytes than the file holds) is indistinguishable
+    from a torn tail by content alone — but not by length: the bytes are
+    on the medium, the read just didn't return them.  Believing it would
+    let recovery's repair truncate acknowledged records, so it is
+    converted into a transient ``EIO`` and retried.  (The size is
+    stat'ed *before* the read: a concurrent append can only make the
+    file longer, never trip the check.)
+    """
+
+    def read() -> bytes:
+        expected = path.stat().st_size
+        data = iofaults.read_bytes("io.wal.read", path)
+        if len(data) < expected:
+            raise OSError(
+                errno.EIO,
+                f"short read: {len(data)} of {expected} bytes",
+                str(path),
+            )
+        return data
+
+    return _READ_RETRY.run(read)
+
+
+@dataclass
+class _SegmentParse:
+    """Prefix-valid parse of one segment's bytes."""
+
+    ops: list[tuple]
+    offset: int  # last valid record boundary
+    size: int
+    truncated: bool
+    checksum_failures: int
+
+    @property
+    def intact(self) -> bool:
+        return self.offset == self.size and not self.truncated
+
+
+def _parse_segment(data: bytes) -> _SegmentParse:
+    ops: list[tuple] = []
+    offset = 0
+    n = len(data)
+    truncated = False
+    checksum_failures = 0
+    while offset < n:
+        if offset + _HEADER.size > n:
+            truncated = True
+            break
+        length, crc = _HEADER.unpack_from(data, offset)
+        start = offset + _HEADER.size
+        end = start + length
+        if end > n:
+            truncated = True
+            break
+        payload = data[start:end]
+        if zlib.crc32(payload) != crc:
+            checksum_failures += 1
+            break
+        try:
+            op = _decode(payload)
+        except (ValueError, SyntaxError):
+            # CRC-valid but undecodable: treat as corruption rather
+            # than crashing recovery.
+            checksum_failures += 1
+            break
+        ops.append(op)
+        offset = end
+    return _SegmentParse(ops, offset, n, truncated, checksum_failures)
+
+
 def replay_wal(directory: Union[str, Path]) -> WALReplayResult:
     """Scan every segment in ``directory``; never raises on damage.
 
     Replay is strictly prefix-valid: the first truncated or
-    checksum-failing record ends it, and everything at or after that
-    point — including later segments, whose records were appended after
-    the damaged one — counts as dropped tail bytes.
+    checksum-failing record — or the first *gap* in the segment
+    sequence (a missing middle segment) — ends it, and everything at or
+    after that point, including later segments whose records were
+    appended after the damage, counts as dropped tail bytes.  Reads go
+    through the :mod:`repro.testing.iofaults` shim with a transient
+    retry, and a damaged parse is re-read before it is believed, so
+    read-path noise (a flaky cable, an injected one-shot fault) never
+    masquerades as media corruption.
     """
     result = WALReplayResult()
     segments = segment_paths(directory)
     damaged = False
+    prev_seq: Optional[int] = None
     for seg in segments:
         if damaged:
             # Records here were logged after the corrupt one; applying
             # them would reorder history, so they are dropped too.
             result.tail_bytes_dropped += seg.stat().st_size
             continue
+        seq = _segment_seq(seg)
+        if prev_seq is not None and seq != prev_seq + 1:
+            # A middle segment is missing (quarantined by a scrub, or
+            # lost between repair steps): stop at the gap — the
+            # post-gap records are newer than the hole they sit behind.
+            damaged = True
+            result.sequence_gap = True
+            result.corrupt_segment = seg
+            result.valid_offset = 0
+            result.tail_bytes_dropped += seg.stat().st_size
+            continue
+        prev_seq = seq
         result.segments_scanned += 1
-        data = seg.read_bytes()
-        offset = 0
-        n = len(data)
-        while offset < n:
-            if offset + _HEADER.size > n:
-                result.truncated_tail = True
-                break
-            length, crc = _HEADER.unpack_from(data, offset)
-            start = offset + _HEADER.size
-            end = start + length
-            if end > n:
-                result.truncated_tail = True
-                break
-            payload = data[start:end]
-            if zlib.crc32(payload) != crc:
-                result.checksum_failures += 1
-                break
+        is_last = seg == segments[-1]
+        parse: Optional[_SegmentParse] = None
+        for _ in range(_REREAD_ATTEMPTS):
             try:
-                op = _decode(payload)
-            except (ValueError, SyntaxError):
-                # CRC-valid but undecodable: treat as corruption rather
-                # than crashing recovery.
-                result.checksum_failures += 1
+                data = _read_segment(seg)
+            except ReadOnlyError:
+                result.read_failures += 1
+                continue
+            parse = _parse_segment(data)
+            if parse.intact or (is_last and parse.checksum_failures == 0):
+                # Fully valid, or only a torn tail on the final segment
+                # (a legitimately in-flight append): believe it.
                 break
-            result.ops.append(op)
-            result.records += 1
-            offset = end
-        if offset < n or result.truncated_tail:
+            # Damage below the tail: re-read before believing it.
+        if parse is None:
+            # Unreadable after retries.  Stop replay here but leave the
+            # bytes alone — see WALReplayResult.unreadable.
+            damaged = True
+            result.unreadable = True
+            result.corrupt_segment = seg
+            result.valid_offset = 0
+            result.tail_bytes_dropped += seg.stat().st_size
+            continue
+        result.ops.extend(parse.ops)
+        result.records += len(parse.ops)
+        result.checksum_failures += parse.checksum_failures
+        if parse.truncated:
+            result.truncated_tail = True
+        if not parse.intact:
             damaged = True
             result.corrupt_segment = seg
-            result.valid_offset = offset
-            result.tail_bytes_dropped += n - offset
+            result.valid_offset = parse.offset
+            result.tail_bytes_dropped += parse.size - parse.offset
     return result
 
 
@@ -263,8 +392,29 @@ def repair_wal(
     segment is deleted — without this, records appended after recovery
     would sit behind the damaged region and be invisible to the next
     replay.
+
+    Two special cases never touch the damaged segment itself:
+
+    * ``unreadable`` — the segment failed to *read*; its bytes on the
+      medium may be intact, and truncating on the basis of a failed
+      read would destroy acknowledged history.  No repair happens.
+    * ``sequence_gap`` — the damage is a missing *middle* segment; the
+      surviving post-gap segments (``corrupt_segment`` onward) are
+      orphaned history and are deleted whole, so the next replay sees a
+      consecutive clean prefix.
     """
     if result.corrupt_segment is None:
+        return
+    if result.unreadable:
+        return
+    if result.sequence_gap:
+        drop = False
+        for seg in segment_paths(directory):
+            if seg == result.corrupt_segment:
+                drop = True
+            if drop:
+                seg.unlink()
+        _fsync_dir(Path(directory))
         return
     with open(result.corrupt_segment, "r+b") as fh:
         fh.truncate(result.valid_offset)
@@ -439,7 +589,12 @@ class WALReader:
         ordered = sorted(s for s in by_seq if s >= pos.segment)
         bytes_read = 0
         for idx, seq in enumerate(ordered):
-            data = by_seq[seq].read_bytes()
+            try:
+                data = _read_segment(by_seq[seq])
+            except ReadOnlyError as exc:
+                raise WALStreamError(
+                    f"segment {seq} unreadable after retries: {exc}"
+                ) from exc
             n = len(data)
             offset = pos.offset if seq == pos.segment else 0
             if offset > n:
@@ -546,6 +701,8 @@ class WriteAheadLog:
         fsync_interval: int = 64,
         segment_bytes: int = 4 * 1024 * 1024,
         group_queue_max: int = 8192,
+        health: Optional[HealthMonitor] = None,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         if fsync not in _FSYNC_POLICIES:
             raise WALError(
@@ -561,6 +718,17 @@ class WriteAheadLog:
             )
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        #: Write-path health: transient I/O faults are retried per
+        #: ``retry``; exhausted retries flip the monitor to READ_ONLY
+        #: and surface as :class:`ReadOnlyError`.  A DurableTree shares
+        #: its own monitor with the WAL so the whole stack degrades as
+        #: one unit.
+        self.health = (
+            health
+            if health is not None
+            else HealthMonitor(name=f"wal:{self.directory.name}")
+        )
+        self.retry = retry if retry is not None else RetryPolicy()
         self.fsync_policy = fsync
         self.fsync_interval = fsync_interval
         self.segment_bytes = segment_bytes
@@ -686,7 +854,7 @@ class WriteAheadLog:
             fh = self._fh
             if fh is None or self._active_size + len(record) > self.segment_bytes:
                 fh = self._rotate_locked()
-            fh.write(record)
+            self._write_locked(fh, record)
             self._active_size += len(record)
             self.records_appended += 1
             self.bytes_appended += len(record)
@@ -760,17 +928,58 @@ class WriteAheadLog:
         # Unbuffered: every record write is an os.write, so a simulated
         # crash can never leave bytes in a Python-level buffer that a
         # later GC flush would resurrect behind a repaired tail.
-        self._fh = open(path, "ab", buffering=0)
+        self._fh = self.retry.run(
+            lambda: open(path, "ab", buffering=0),
+            monitor=self.health,
+        )
         self._active_size = self._fh.tell()
         _fsync_dir(self.directory)
         return self._fh
+
+    def _write_locked(self, fh: IO[bytes], data: bytes) -> None:  # holds: wal.append
+        """Append ``data`` through the fault shim, retrying transients.
+
+        A failed attempt may have torn a prefix of ``data`` onto the
+        tail; the recovery hook rewinds to the last acknowledged
+        boundary before the rewrite, or the retried copy would sit
+        behind garbage and be invisible to replay.
+
+        The first attempt is inlined (and the retry closures built only
+        after it fails): this is every append's hot path, and the
+        fault-free cost must stay at one shim call over a bare write.
+        """
+        try:
+            iofaults.write("io.wal.write", fh, data)
+        except OSError as exc:
+            base = self._active_size
+
+            def rewind() -> None:
+                fh.truncate(base)
+
+            self.retry.resume(
+                lambda: iofaults.write("io.wal.write", fh, data),
+                exc,
+                monitor=self.health,
+                recover=rewind,
+            )
+        else:
+            self.health.record_success()
 
     def _sync_locked(self, fh: IO[bytes]) -> None:  # holds: wal.append
         fh.flush()
         failpoints.fire("wal.before_fsync")
         if sanitizer.enabled():
             sanitizer.note_fsync("wal.segment")
-        os.fsync(fh.fileno())
+        try:
+            iofaults.fsync("io.wal.fsync", fh)
+        except OSError as exc:
+            self.retry.resume(
+                lambda: iofaults.fsync("io.wal.fsync", fh),
+                exc,
+                monitor=self.health,
+            )
+        else:
+            self.health.record_success()
         self.syncs += 1
         self._since_sync = 0
 
@@ -786,35 +995,78 @@ class WriteAheadLog:
         tickets and the flusher keeps serving; a ``SimulatedCrash`` (or
         any other ``BaseException``) models process death — every
         pending ticket is failed with it and the flusher exits, leaving
-        the WAL dead to further appends.
+        the WAL dead to further appends.  A :class:`ReadOnlyError`
+        (write-path retries exhausted) additionally fails everything
+        still queued *fast* — nobody should sit blocked behind a disk
+        that has already degraded the tree to read-only.
+
+        The whole loop body — drain and wake machinery included — runs
+        under a last-resort guard: if anything outside ``_flush_batch``
+        raises, every pending ticket settles with a descriptive
+        :class:`WALDeadError` instead of leaving callers blocked in
+        ``wait()``/``sync()`` against a silently dead thread.
         """
-        while True:
-            self._group_wake.wait(0.05)
-            self._group_wake.clear()
-            with self._group_lock:
-                if self._group_dead is not None:
-                    return  # abort(): a dead process flushes nothing
-                batch = self._group_pending
+        batch: list[tuple[bytes, CommitTicket]] = []
+        try:
+            while True:
+                self._group_wake.wait(0.05)
+                self._group_wake.clear()
+                with self._group_lock:
+                    if self._group_dead is not None:
+                        return  # abort(): a dead process flushes nothing
+                    batch = self._group_pending
+                    if batch:
+                        self._group_pending = []
+                    closing = self._group_closing
+                self._group_space.set()
                 if batch:
-                    self._group_pending = []
-                closing = self._group_closing
-            self._group_space.set()
-            if batch:
-                try:
-                    self._flush_batch(batch)
-                except Exception as exc:
-                    # Recoverable failure: nobody in this batch is
-                    # acknowledged, but the flusher stays up.
-                    for _, ticket in batch:
-                        ticket._fail(exc)
-                except BaseException as exc:
-                    for _, ticket in batch:
-                        ticket._fail(exc)
-                    self._group_die(exc)
+                    try:
+                        self._flush_batch(batch)
+                    except ReadOnlyError as exc:
+                        self._settle(batch, exc)
+                        self._fail_queued(exc)
+                    except Exception as exc:
+                        # Recoverable failure: nobody in this batch is
+                        # acknowledged, but the flusher stays up.
+                        self._settle(batch, exc)
+                    except BaseException as exc:
+                        self._settle(batch, exc)
+                        self._group_die(exc)
+                        return
+                    batch = []
+                    continue  # drain again before honoring `closing`
+                if closing:
                     return
-                continue  # drain again before honoring `closing`
-            if closing:
-                return
+        except BaseException as exc:
+            dead = WALDeadError(
+                "group-commit flusher died outside a batch flush "
+                f"({exc!r}); pending commits can never be acknowledged"
+            )
+            dead.__cause__ = exc
+            self._settle(batch, dead)
+            self._group_die(dead)
+
+    @staticmethod
+    def _settle(
+        batch: list[tuple[bytes, CommitTicket]], exc: BaseException
+    ) -> None:
+        """Fail every ticket in ``batch`` with ``exc``."""
+        for _, ticket in batch:
+            ticket._fail(exc)
+
+    def _fail_queued(self, exc: BaseException) -> None:
+        """Fail-fast every ticket still waiting in the queue.
+
+        Used when the write path degrades to read-only: the queued
+        records can never become durable on this disk, so their writers
+        learn it now rather than after a retry-deadline each.
+        """
+        with self._group_lock:
+            leftover = self._group_pending
+            self._group_pending = []
+        for _, ticket in leftover:
+            ticket._fail(exc)
+        self._group_space.set()
 
     def _flush_batch(
         self, batch: list[tuple[bytes, CommitTicket]]
@@ -837,7 +1089,7 @@ class WriteAheadLog:
                     > self.segment_bytes
                 ):
                     if run:
-                        fh.write(b"".join(run))
+                        self._write_locked(fh, b"".join(run))
                         self._active_size += run_len
                         run = []
                         run_len = 0
@@ -847,7 +1099,7 @@ class WriteAheadLog:
                 self.records_appended += 1
                 self.bytes_appended += len(record)
             if run:
-                fh.write(b"".join(run))
+                self._write_locked(fh, b"".join(run))
                 self._active_size += run_len
             failpoints.fire("wal.group.pre_fsync")
             if fh is not None:

@@ -4,6 +4,7 @@ from . import (  # noqa: F401
     api_parity,
     bare_assert,
     failpoint_parity,
+    iofault_parity,
     layout_parity,
     lock_discipline,
     stats_parity,

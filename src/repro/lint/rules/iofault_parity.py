@@ -1,0 +1,151 @@
+"""iofault-parity: I/O fault sites and the registry must agree exactly.
+
+``repro.testing.iofaults`` keeps a ``KNOWN_IO_SITES`` registry so the
+fault-injection property suite can enumerate every shimmed disk
+operation and drive the full ``site × fault-kind`` matrix.  The same
+two drift modes as failpoint-parity rot that guarantee:
+
+* a shim call (``iofaults.write("io.x", ...)``) whose site is *not*
+  registered can never be armed — the site escapes the matrix;
+* a registered site that no shim call carries is dead weight — the
+  suite "covers" an operation that no longer exists.
+
+Only calls whose receiver is literally named ``iofaults`` are
+considered (``fh.write`` / ``os.replace`` must not match), and the
+site must be a string literal — dynamic names defeat static coverage
+accounting and are flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Tuple
+
+from ..engine import Finding, Project, register
+
+REGISTRY_NAME = "KNOWN_IO_SITES"
+REGISTRY_STEM = "iofaults"
+
+#: The shim surface: every fault-injectable disk operation.
+SHIM_ATTRS = frozenset({"write", "fsync", "replace", "read_bytes"})
+
+RULE = "iofault-parity"
+
+
+def _registry_literal(node: ast.AST) -> Optional[List[ast.Constant]]:
+    """String constants inside a tuple/list/set/frozenset(...) literal."""
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else None
+        if name in ("frozenset", "set", "tuple") and node.args:
+            return _registry_literal(node.args[0])
+        return None
+    if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+        out = []
+        for elt in node.elts:
+            if isinstance(elt, ast.Constant) and isinstance(elt.value, str):
+                out.append(elt)
+        return out
+    return None
+
+
+def _find_registry(project: Project) -> Optional[Tuple[str, Dict[str, int]]]:
+    """Locate ``KNOWN_IO_SITES`` → (file, {site: lineno})."""
+    for src in project.files:
+        if src.stem != REGISTRY_STEM:
+            continue
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.Assign):
+                targets = [
+                    t.id for t in node.targets if isinstance(t, ast.Name)
+                ]
+                if REGISTRY_NAME not in targets:
+                    continue
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                if not (
+                    isinstance(node.target, ast.Name)
+                    and node.target.id == REGISTRY_NAME
+                ):
+                    continue
+            else:
+                continue
+            value = node.value
+            if value is None:
+                continue
+            consts = _registry_literal(value)
+            if consts is not None:
+                return src.display, {c.value: c.lineno for c in consts}
+    return None
+
+
+def _iter_shim_calls(project: Project):
+    for src in project.files:
+        if src.stem == REGISTRY_STEM:
+            continue  # the shim module's own plumbing
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (
+                isinstance(func, ast.Attribute)
+                and func.attr in SHIM_ATTRS
+                and isinstance(func.value, ast.Name)
+                and func.value.id == REGISTRY_STEM
+            ):
+                continue
+            yield src, node
+
+
+@register(
+    RULE,
+    "every iofaults shim call's site literal must be registered in "
+    "KNOWN_IO_SITES, and vice versa",
+)
+def check(project: Project) -> List[Finding]:
+    registry = _find_registry(project)
+    if registry is None:
+        # Linting a subtree without the registry: nothing to compare.
+        return []
+    registry_file, registered = registry
+
+    findings: List[Finding] = []
+    used: Dict[str, bool] = {}
+    for src, call in _iter_shim_calls(project):
+        if not call.args:
+            continue
+        arg = call.args[0]
+        if not (isinstance(arg, ast.Constant) and isinstance(arg.value, str)):
+            findings.append(
+                Finding(
+                    RULE,
+                    src.display,
+                    call.lineno,
+                    "I/O fault site is not a string literal; "
+                    "the site × kind matrix cannot see it",
+                )
+            )
+            continue
+        site = arg.value
+        used[site] = True
+        if site not in registered:
+            findings.append(
+                Finding(
+                    RULE,
+                    src.display,
+                    call.lineno,
+                    f'I/O fault site "{site}" is shimmed here but not '
+                    f"registered in {REGISTRY_NAME}",
+                )
+            )
+    for site, lineno in registered.items():
+        if site not in used:
+            findings.append(
+                Finding(
+                    RULE,
+                    registry_file,
+                    lineno,
+                    f'I/O fault site "{site}" is registered but no shim '
+                    "call in the scanned tree carries it",
+                )
+            )
+    return findings

@@ -67,6 +67,11 @@ CANONICAL: Dict[Tuple[str, str], str] = {
     ("primary", "_meta_lock"): "repl.primary.meta",
     ("coordinator", "_lock"): "repl.epoch",
     ("failpoints", "_lock"): "failpoints",
+    ("iofaults", "_lock"): "iofaults",
+    ("health", "_lock"): "health",
+    ("scrubber", "_lock"): "scrub.cycle",
+    # The scrubber verifies under the owning tree's checkpoint gate.
+    ("scrubber", "_gate"): "durable.gate",
 }
 
 # `with <name>():` calls that acquire a lock without naming it.
@@ -82,6 +87,9 @@ ATTR_TYPES: Dict[Tuple[str, str], str] = {
     ("Replica", "durable"): "DurableTree",
     ("Replica", "transport"): "Primary",
     ("FailoverCoordinator", "registry"): "EpochRegistry",
+    ("FailoverCoordinator", "primary"): "Primary",
+    ("DurableTree", "health"): "HealthMonitor",
+    ("WriteAheadLog", "health"): "HealthMonitor",
 }
 
 # Module aliases whose attribute calls resolve to module-level functions.
@@ -95,6 +103,8 @@ PRIMARY_LOCK: Dict[str, str] = {
     "DurableTree": "durable.gate",
     "Primary": "repl.primary.meta",
     "EpochRegistry": "repl.epoch",
+    "HealthMonitor": "health",
+    "Scrubber": "scrub.cycle",
 }
 
 # Fields the concurrency design requires a lock around every write to.
@@ -121,6 +131,26 @@ GUARDED_FIELDS: Dict[str, FrozenSet[str]] = {
     "DurableTree": frozenset({"checkpoints", "last_checkpoint_position"}),
     "Replica": frozenset({"position", "durable"}),
     "Primary": frozenset({"_base", "_pending_tickets"}),
+    "HealthMonitor": frozenset(
+        {
+            "_state",
+            "_last_error",
+            "retries",
+            "degradations",
+            "read_only_trips",
+            "recoveries",
+        }
+    ),
+    "Scrubber": frozenset(
+        {
+            "_cursor_seq",
+            "cycles",
+            "corruptions",
+            "quarantines",
+            "repairs",
+            "peer_repairs",
+        }
+    ),
 }
 
 # Classes where *every* `self.*` write outside __init__ must be locked.

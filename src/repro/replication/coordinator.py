@@ -114,6 +114,7 @@ class ClusterStatus:
     epoch: int
     strikes: int
     failovers: int
+    primary_health: str = "healthy"
     replicas: list = field(default_factory=list)
 
 
@@ -165,12 +166,22 @@ class FailoverCoordinator:
     # -- health loop ---------------------------------------------------
 
     def tick(self) -> Optional[PromotionReport]:
-        """One health-check round; returns a report when it failed over."""
+        """One health-check round; returns a report when it failed over.
+
+        A primary that answers pings but has degraded to read-only (its
+        :class:`~repro.core.health.HealthMonitor` tripped on exhausted
+        write retries) is just as unable to acknowledge writes as a dead
+        one — it strikes the same way, so the cluster fails over to a
+        replica whose disk still works instead of serving errors.
+        """
         failpoints.fire("repl.health_check")
         self.health_checks += 1
         try:
             self.primary_transport.ping()
+            healthy = self.primary.durable.health.writable
         except (TransportError, failpoints.FailpointError):
+            healthy = False
+        if not healthy:
             self.strikes += 1
             if self.strikes >= self.failure_threshold:
                 return self.failover()
@@ -269,6 +280,7 @@ class FailoverCoordinator:
             epoch=self.registry.current(),
             strikes=self.strikes,
             failovers=self.failovers,
+            primary_health=self.primary.durable.health.state.value,
             replicas=[
                 {
                     "name": r.name,
@@ -277,6 +289,11 @@ class FailoverCoordinator:
                     "applied_lsn": str(r.position),
                     "lag_bytes": r.lag_bytes,
                     "epoch": r.epoch,
+                    "health": (
+                        r.durable.health.state.value
+                        if r.durable is not None
+                        else "n/a"
+                    ),
                 }
                 for r in self.replicas
             ],

@@ -40,6 +40,7 @@ from ..core.durable import DurableTree
 from ..core.wal import (
     WALPosition,
     WALReader,
+    WALStreamError,
     WALTruncatedError,
     first_position,
 )
@@ -126,6 +127,12 @@ class Primary:
         #: the pipelined submit surface one round covers a whole batch
         #: of writes, so ``ack_rounds`` ≪ writes is the amortization.
         self.ack_rounds = 0
+        #: Serve-time corruption repairs: a :class:`WALStreamError`
+        #: while shipping records (bit rot below the tail) healed by a
+        #: checkpoint — the live tree still holds every acked write, so
+        #: snapshotting it and truncating the damaged log is a full
+        #: repair; the asking replica re-bootstraps from the result.
+        self.stream_repairs = 0
         self._replicas: list = []
         #: Commit tickets handed out by ``submit_*`` whose quorum
         #: confirmation is still owed; drained (one shipping round for
@@ -400,30 +407,45 @@ class Primary:
                 tail=tail, truncated=True,
             )
         try:
-            records, resume = self._reader.read(
-                position, max_records=max_records, max_bytes=max_bytes
-            )
-        except WALTruncatedError:
-            # position == base whose segment a checkpoint deleted:
-            # nothing exists between the base and the earliest surviving
-            # byte, so skip the cursor ahead rather than re-bootstrap.
-            restart = first_position(self.wal.directory)
-            if restart is None:
-                # Truncate emptied the directory and no append has
-                # recreated a segment yet: everything at or below the
-                # base is in the snapshot, so the cursor jumps straight
-                # to the tail.
-                return FetchResult(
-                    records=[], position=tail, epoch=self.epoch,
-                    tail=tail, lag_bytes=0, truncated=False,
+            try:
+                records, resume = self._reader.read(
+                    position, max_records=max_records, max_bytes=max_bytes
                 )
-            if restart < position:
-                return FetchResult(
-                    records=[], position=position, epoch=self.epoch,
-                    tail=tail, truncated=True,
+            except WALTruncatedError:
+                # position == base whose segment a checkpoint deleted:
+                # nothing exists between the base and the earliest
+                # surviving byte, so skip the cursor ahead rather than
+                # re-bootstrap.
+                restart = first_position(self.wal.directory)
+                if restart is None:
+                    # Truncate emptied the directory and no append has
+                    # recreated a segment yet: everything at or below
+                    # the base is in the snapshot, so the cursor jumps
+                    # straight to the tail.
+                    return FetchResult(
+                        records=[], position=tail, epoch=self.epoch,
+                        tail=tail, lag_bytes=0, truncated=False,
+                    )
+                if restart < position:
+                    return FetchResult(
+                        records=[], position=position, epoch=self.epoch,
+                        tail=tail, truncated=True,
+                    )
+                records, resume = self._reader.read(
+                    restart, max_records=max_records, max_bytes=max_bytes
                 )
-            records, resume = self._reader.read(
-                restart, max_records=max_records, max_bytes=max_bytes
+        except WALStreamError:
+            # Bit rot below the tail, caught while *serving*: the bytes
+            # on disk are damaged, but the live tree applied every one
+            # of those records before they rotted.  Checkpoint — a fresh
+            # snapshot of authoritative state plus a WAL truncate — is a
+            # complete repair; answering ``truncated`` sends the replica
+            # to that snapshot instead of the corrupt range.
+            self.stream_repairs += 1
+            self.checkpoint()
+            return FetchResult(
+                records=[], position=position, epoch=self.epoch,
+                tail=self.wal.tail_position(), truncated=True,
             )
         self.batches_served += 1
         self.records_served += len(records)

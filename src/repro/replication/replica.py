@@ -46,11 +46,14 @@ from ..concurrency.locks import RWLock
 from ..core.bptree import BPlusTree
 from ..core.config import TreeConfig
 from ..core.durable import SNAPSHOT_NAME, WAL_DIRNAME, DurableTree
+from ..core.persist import PersistenceError
+from ..core.scrubber import Scrubber
 from ..core.wal import (
     OP_DELETE,
     OP_EPOCH,
     OP_INSERT,
     OP_INSERT_MANY,
+    WALError,
     WALPosition,
 )
 from ..testing import failpoints
@@ -83,6 +86,7 @@ class Replica:
         fsync: local WAL fsync policy; the cursor is only persisted
             after an explicit sync, so even ``"none"`` cannot resume
             ahead of durable state.
+        segment_bytes: local WAL segment rotation size.
         name: node identity (used as ``node_id`` on promotion).
     """
 
@@ -94,6 +98,7 @@ class Replica:
         tree_class: Type[BPlusTree] = BPlusTree,
         config: Optional[TreeConfig] = None,
         fsync: str = "none",
+        segment_bytes: int = 4 * 1024 * 1024,
         name: str = "replica",
     ) -> None:
         self.directory = Path(directory)
@@ -102,6 +107,7 @@ class Replica:
         self.tree_class = tree_class
         self.config = config
         self.fsync = fsync
+        self.segment_bytes = segment_bytes
         self.name = name
         self.state = ReplicaState.IDLE
         self.alive = True
@@ -115,6 +121,7 @@ class Replica:
         self.crc_failures = 0
         self.stale_epoch_rejects = 0
         self.bootstraps = 0
+        self.peer_heals = 0
         self._lock = RWLock(name="repl.replica")
 
     #: ``applied_lsn`` is the durable cursor: the stream position of the
@@ -155,7 +162,7 @@ class Replica:
                 os.replace(tmp, snap)
             self.durable, _ = DurableTree.recover(
                 self.directory, self.tree_class, self.config,
-                fsync=self.fsync,
+                fsync=self.fsync, segment_bytes=self.segment_bytes,
             )
             self.position = payload.base
             self.epoch = max(self.epoch, payload.epoch)
@@ -168,22 +175,72 @@ class Replica:
 
         Rebuilds ``snapshot + local WAL`` and resumes streaming from the
         persisted cursor; falls back to a full bootstrap when no cursor
-        was ever written.
+        was ever written — or when the local artifacts are too damaged
+        to replay (corrupt snapshot, unreadable WAL): a replica always
+        has a stronger copy one fetch away, so it rebuilds from the
+        primary instead of refusing to start the way a standalone
+        :meth:`DurableTree.recover` must.
         """
         self.alive = True
         cursor = self._read_cursor()
         if cursor is None:
             self.bootstrap()
             return
-        with self._lock.write_locked():
-            if self.durable is not None:
-                self.durable.close()
-            self.durable, _ = DurableTree.recover(
-                self.directory, self.tree_class, self.config,
-                fsync=self.fsync,
-            )
-            self.epoch, self.position = cursor
-            self.state = ReplicaState.FOLLOWING
+        try:
+            with self._lock.write_locked():
+                if self.durable is not None:
+                    self.durable.close()
+                    self.durable = None
+                self.durable, _ = DurableTree.recover(
+                    self.directory, self.tree_class, self.config,
+                    fsync=self.fsync, segment_bytes=self.segment_bytes,
+                )
+                self.epoch, self.position = cursor
+                self.state = ReplicaState.FOLLOWING
+        except (PersistenceError, WALError):
+            self.bootstrap()
+
+    def heal_from_peer(self) -> bool:
+        """Rebuild this node from its primary after local corruption.
+
+        This is the :class:`~repro.core.scrubber.Scrubber`'s
+        ``peer_heal`` hook: when a scrub finds a rotted local artifact
+        (already quarantined — the wipe below leaves ``quarantine/``
+        untouched), the replica throws its damaged local state away,
+        re-bootstraps from the primary's snapshot, and streams back to
+        the tail.  Returns True on success; False when the peer is
+        unreachable or this node is not following (the scrubber then
+        falls back to its local repair, or leaves the quarantine for an
+        operator).
+        """
+        if not self.alive or self.state is not ReplicaState.FOLLOWING:
+            return False
+        try:
+            self.bootstrap()
+            self.catch_up()
+        except (TransportError, ReplicationError):
+            return False
+        self.peer_heals += 1
+        return True
+
+    def make_scrubber(self, **kwargs) -> Scrubber:
+        """A :class:`Scrubber` bound to this replica's *current* tree.
+
+        The provider indirection matters: every bootstrap (including a
+        peer heal) replaces ``self.durable``, so the scrubber must
+        re-resolve it each cycle rather than hold a stale reference.
+        """
+        def current() -> DurableTree:
+            durable = self.durable
+            if durable is None:
+                raise ReplicationError(
+                    f"replica {self.name} has no local state to scrub "
+                    "(bootstrap first)"
+                )
+            return durable
+
+        kwargs.setdefault("peer_heal", self.heal_from_peer)
+        return Scrubber(current, **kwargs)
 
     def kill(self) -> None:
         """Simulate process death (nothing flushed, nothing closed).

@@ -1,5 +1,6 @@
 """Fault-injection utilities shared by the durability layer and tests."""
 
+from . import iofaults
 from .failpoints import (
     KNOWN_FAILPOINTS,
     FailpointError,
@@ -14,6 +15,7 @@ from .failpoints import (
 )
 
 __all__ = [
+    "iofaults",
     "KNOWN_FAILPOINTS",
     "FailpointError",
     "SimulatedCrash",

@@ -35,7 +35,9 @@ from typing import Optional, Type, Union
 from ..core.bptree import BPlusTree
 from ..core.config import TreeConfig
 from ..core.durable import DurableTree
+from ..core.health import HealthState, ReadOnlyError
 from ..core.quit_tree import QuITTree
+from ..core.wal import segment_paths
 from ..replication import (
     AckQuorumError,
     EpochRegistry,
@@ -48,7 +50,7 @@ from ..replication import (
     TransportChaos,
     TransportError,
 )
-from . import failpoints
+from . import failpoints, iofaults
 
 
 @dataclass
@@ -519,3 +521,340 @@ def run_soak(
     """Convenience wrapper: build, run, and report one soak schedule."""
     failpoints.reset()
     return ChaosSoak(root, config or ChaosConfig()).run()
+
+
+# ======================================================================
+# io-fault soak: disk faults instead of process/network faults
+# ======================================================================
+
+
+@dataclass
+class IOFaultConfig:
+    """One seeded disk-fault schedule (the ``io-fault`` chaos mode).
+
+    Three fault phases fire at deterministic points in the op stream:
+
+    * **EIO bursts** (``eio_bursts`` of them): ``io.wal.write`` returns
+      ``EIO`` a couple of times — the retry loop must absorb them so
+      every op in the burst still acks;
+    * **one ENOSPC window**: ``io.wal.fsync`` fails unboundedly for
+      ``enospc_window_ops`` ops — the primary must degrade to
+      read-only (mutations refused fast, reads served from memory),
+      then heal via a checkpoint when the "disk" clears;
+    * **one bit-rot event**: a byte is flipped in a *closed* replica
+      WAL segment; the replica's scrubber must detect it, quarantine
+      the evidence, and rebuild from the primary.
+    """
+
+    seed: int = 0
+    ops: int = 600
+    key_space: int = 200
+    batch_max: int = 8
+    eio_bursts: int = 3
+    enospc_window_ops: int = 20
+    scrub_every: int = 50
+    leaf_capacity: int = 8
+    segment_bytes: int = 1024
+    tree_class: Type[BPlusTree] = QuITTree
+
+
+@dataclass
+class IOFaultReport:
+    """Counters and verdicts from one io-fault soak."""
+
+    seed: int = 0
+    ops: int = 0
+    acked: int = 0
+    eio_bursts: int = 0
+    read_only_refusals: int = 0
+    reads_served_degraded: int = 0
+    bitrot_events: int = 0
+    health_retries: int = 0
+    read_only_trips: int = 0
+    recoveries: int = 0
+    scrub_cycles: int = 0
+    scrub_corruptions: int = 0
+    scrub_quarantines: int = 0
+    peer_repairs: int = 0
+    injected: dict = field(default_factory=dict)
+    final_entries: int = 0
+    lost_writes: list = field(default_factory=list)
+    divergent_replicas: list = field(default_factory=list)
+    recovered_matches: bool = True
+    converged: bool = False
+
+    @property
+    def ok(self) -> bool:
+        """Zero acked-write loss, full convergence, *and* every fault
+        phase demonstrably bit (a schedule whose faults never fired
+        proves nothing)."""
+        return (
+            not self.lost_writes
+            and not self.divergent_replicas
+            and self.recovered_matches
+            and self.converged
+            and self.health_retries > 0
+            and self.read_only_trips > 0
+            and self.read_only_refusals > 0
+            and self.reads_served_degraded > 0
+            and self.recoveries > 0
+            and self.scrub_corruptions > 0
+            and self.scrub_quarantines > 0
+            and self.peer_repairs > 0
+        )
+
+    def summary(self) -> str:
+        verdict = "OK" if self.ok else "FAILED"
+        return (
+            f"seed={self.seed} {verdict}: {self.acked}/{self.ops} acked, "
+            f"{self.eio_bursts} EIO bursts ({self.health_retries} "
+            f"retries), {self.read_only_refusals} read-only refusals "
+            f"({self.reads_served_degraded} degraded reads), "
+            f"{self.bitrot_events} bit-rot -> {self.scrub_quarantines} "
+            f"quarantined / {self.peer_repairs} peer-repaired, "
+            f"{len(self.lost_writes)} lost, "
+            f"{len(self.divergent_replicas)} divergent, "
+            f"{self.final_entries} entries"
+        )
+
+
+class IOFaultSoak:
+    """Primary + 1 sync replica under a seeded disk-fault schedule.
+
+    The primary persists with ``fsync="group"`` so the fault phases
+    also exercise the group-commit settlement paths (a batch that meets
+    ``ReadOnlyError`` must fail its tickets fast, not hang them).
+    """
+
+    def __init__(self, root: Union[str, Path], config: IOFaultConfig) -> None:
+        from ..replication import InProcessTransport  # local: avoid cycle churn
+
+        self.root = Path(root)
+        self.config = config
+        self.rng = random.Random(config.seed)
+        self.report = IOFaultReport(seed=config.seed)
+        self.tree_config = TreeConfig(
+            leaf_capacity=config.leaf_capacity,
+            internal_capacity=config.leaf_capacity,
+        )
+        self.primary = Primary(
+            DurableTree(
+                config.tree_class(self.tree_config),
+                self.root / "primary",
+                fsync="group",
+                segment_bytes=config.segment_bytes,
+            ),
+            node_id="primary",
+            required_acks=1,
+        )
+        self.replica = Replica(
+            self.root / "replica",
+            InProcessTransport(self.primary),
+            tree_class=config.tree_class,
+            config=self.tree_config,
+            fsync="none",
+            segment_bytes=config.segment_bytes,
+            name="replica",
+        )
+        self.replica.bootstrap()
+        self.primary.attach(self.replica)
+        # Peer-heal only: a replica with a live primary should rebuild
+        # from the stronger copy, and a soak that silently fell back to
+        # a local checkpoint repair would mask a broken heal path.
+        self.scrubber = self.replica.make_scrubber(
+            max_bytes_per_cycle=1 << 30, auto_repair=False
+        )
+
+    # -- fault phases --------------------------------------------------
+
+    def _eio_burst(self) -> None:
+        """Two consecutive EIO on the WAL write: retries must absorb it
+        so the in-flight op still acks."""
+        iofaults.arm("io.wal.write", "eio", times=2)
+        self.report.eio_bursts += 1
+
+    def _enospc_window(self, certain: dict) -> None:
+        """Unbounded fsync ENOSPC: degrade to read-only, keep serving
+        reads, refuse mutations fast, heal when the disk clears."""
+        cfg = self.config
+        iofaults.arm("io.wal.fsync", "enospc")
+        try:
+            for _ in range(cfg.enospc_window_ops):
+                key = self.rng.randrange(cfg.key_space)
+                self.report.ops += 1
+                try:
+                    self.primary.insert(key, "doomed")
+                except ReadOnlyError:
+                    self.report.read_only_refusals += 1
+                else:
+                    # The first op of the window may land if its batch
+                    # was flushed before the fault armed took effect —
+                    # but once the monitor trips, nothing may.
+                    health = self.primary.durable.health
+                    if not health.writable:
+                        raise AssertionError(
+                            "mutation acknowledged while read-only"
+                        )
+                    certain[key] = ("present", "doomed")
+                    self.report.acked += 1
+                # Reads must keep serving the acked history throughout.
+                probe = self._any_certain(certain)
+                if probe is not None:
+                    k, v = probe
+                    if self.primary.get(k, _MISSING) == v:
+                        self.report.reads_served_degraded += 1
+        finally:
+            iofaults.disarm("io.wal.fsync")
+        # The disk came back: a checkpoint proves it end-to-end (full
+        # snapshot write + WAL truncate) and restores HEALTHY.
+        self.primary.checkpoint()
+        if self.primary.durable.health.state is not HealthState.HEALTHY:
+            raise AssertionError(
+                "checkpoint on the freed disk did not restore HEALTHY"
+            )
+
+    def _any_certain(self, certain: dict) -> Optional[tuple]:
+        for key, (kind, value) in certain.items():
+            if kind == "present":
+                return key, value
+        return None
+
+    def _bitrot_event(self) -> bool:
+        """Flip one byte mid-record in a closed replica segment, then
+        scrub: detect -> quarantine -> rebuild from the primary."""
+        wal_dir = self.replica.durable.wal.directory
+        closed = segment_paths(wal_dir)[:-1]
+        if not closed:
+            return False  # not rotated yet; caller retries later
+        victim = self.rng.choice(closed)
+        data = bytearray(victim.read_bytes())
+        if len(data) < 12:
+            return False
+        data[len(data) // 2] ^= 0xFF
+        victim.write_bytes(bytes(data))
+        self.report.bitrot_events += 1
+        cycle = self.scrubber.scrub_once(full=True)
+        if cycle.peer_repaired:
+            # Post-heal: the replica must scrub clean and match the
+            # primary byte-for-byte (a failed repair is captured by the
+            # final counters instead).
+            recheck = self.scrubber.scrub_once(full=True)
+            if not recheck.clean:
+                raise AssertionError(
+                    f"replica still corrupt after peer heal: "
+                    f"{recheck.issues}"
+                )
+            if self.replica.items() != list(self.primary.items()):
+                raise AssertionError(
+                    "replica diverged from primary after peer heal"
+                )
+        return True
+
+    # -- the schedule --------------------------------------------------
+
+    def run(self) -> IOFaultReport:
+        cfg = self.config
+        report = self.report
+        certain: dict = {}
+        # Deterministic fault placement: bursts in the middle half,
+        # the ENOSPC window at midpoint, bit rot at the 3/4 mark.
+        burst_at = set(
+            self.rng.sample(
+                range(cfg.ops // 4, cfg.ops // 2 - 1), cfg.eio_bursts
+            )
+        )
+        enospc_at = cfg.ops // 2
+        bitrot_due = False
+        for step in range(cfg.ops):
+            if step in burst_at:
+                self._eio_burst()
+            if step == enospc_at:
+                self._enospc_window(certain)
+            if step == cfg.ops * 3 // 4:
+                bitrot_due = True
+            if bitrot_due:
+                bitrot_due = not self._bitrot_event()
+            elif cfg.scrub_every and step and step % cfg.scrub_every == 0:
+                # Routine paced scrubbing between fault phases must
+                # stay clean (no false positives against live appends).
+                cycle = self.scrubber.scrub_once()
+                if not cycle.clean:
+                    raise AssertionError(
+                        f"routine scrub false positive: {cycle.issues}"
+                    )
+            report.ops += 1
+            key = self.rng.randrange(cfg.key_space)
+            value = step
+            roll = self.rng.random()
+            try:
+                if roll < 0.60:
+                    self.primary.insert(key, value)
+                    certain[key] = ("present", value)
+                elif roll < 0.75:
+                    self.primary.delete(key)
+                    certain[key] = ("absent", None)
+                else:
+                    batch = [
+                        ((key + j) % cfg.key_space, value)
+                        for j in range(1 + self.rng.randrange(cfg.batch_max))
+                    ]
+                    self.primary.insert_many(batch)
+                    for k, v in batch:
+                        certain[k] = ("present", v)
+                report.acked += 1
+            except ReadOnlyError:
+                # Refused before any state change: nothing was acked,
+                # the oracle entry for this key is still exactly right.
+                report.read_only_refusals += 1
+        self._finish(certain)
+        return report
+
+    # -- convergence and verdicts --------------------------------------
+
+    def _finish(self, certain: dict) -> None:
+        report = self.report
+        cfg = self.config
+        report.injected = {
+            f"{site}:{kind}": count
+            for (site, kind), count in iofaults.injected_counts().items()
+        }
+        iofaults.reset()
+        self.replica.catch_up(self.primary.tail_position(), max_rounds=64)
+        health = self.primary.durable.health
+        report.health_retries = health.retries
+        report.read_only_trips = health.read_only_trips
+        report.recoveries = health.recoveries
+        report.scrub_cycles = self.scrubber.cycles
+        report.scrub_corruptions = self.scrubber.corruptions
+        report.scrub_quarantines = self.scrubber.quarantines
+        report.peer_repairs = self.scrubber.peer_repairs
+        primary_items = list(self.primary.items())
+        report.final_entries = len(primary_items)
+        state = dict(primary_items)
+        for key, (kind, value) in sorted(certain.items()):
+            if kind == "present":
+                if state.get(key, _MISSING) != value:
+                    report.lost_writes.append(
+                        (key, value, state.get(key, None))
+                    )
+            elif key in state:
+                report.lost_writes.append((key, None, state[key]))
+        if self.replica.items() != primary_items:
+            report.divergent_replicas.append(self.replica.name)
+        report.converged = not report.divergent_replicas
+        self.primary.close()
+        recovered, _ = DurableTree.recover(
+            self.primary.directory, cfg.tree_class, self.tree_config
+        )
+        report.recovered_matches = list(recovered.items()) == primary_items
+        recovered.close()
+        self.replica.close()
+
+
+def run_iofault_soak(
+    root: Union[str, Path], config: Optional[IOFaultConfig] = None
+) -> IOFaultReport:
+    """Build, run, and report one seeded disk-fault soak."""
+    failpoints.reset()
+    iofaults.reset()
+    return IOFaultSoak(root, config or IOFaultConfig()).run()

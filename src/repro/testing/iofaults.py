@@ -1,0 +1,336 @@
+"""Injectable disk faults for the durability stack.
+
+Where :mod:`repro.testing.failpoints` models *process* failure (raise or
+die at a named control-flow site), this module models *disk* failure:
+the storage layer routes every file operation it performs through the
+shims below (:func:`write`, :func:`fsync`, :func:`replace`,
+:func:`read_bytes`), each tagged with a registered ``io.*`` site name,
+and tests arm faults against those sites:
+
+* ``"eio"`` — the call raises ``OSError(EIO)`` (transient device error);
+* ``"enospc"`` — the call raises ``OSError(ENOSPC)`` (disk full);
+* ``"torn"`` — a write persists only a prefix of the payload before
+  raising ``EIO`` (short/torn write); a read returns only a prefix;
+* ``"bitrot"`` — the operation *succeeds* but the bytes are silently
+  corrupted (one byte flipped), modelling latent media rot that only a
+  checksum scrub can catch.  For ``fsync`` the flip lands in the file
+  that was just synced — rot discovered long after the ack.
+
+Faults fire deterministically (``hits_before``/``times``) or
+probabilistically (``probability``/``seed``), exactly like failpoints.
+The passthrough fast path is a single module-dict truthiness check so
+the production hot path pays nothing measurable; the arming lock is
+only ever held to *decide*, never across actual I/O (the runtime lock
+sanitizer would flag an fsync under it).
+
+Site names are compile-time checked against call sites by the
+``iofault-parity`` lint rule, the same bidirectional guarantee
+``failpoint-parity`` gives the crash sites.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import random
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import IO, Iterator, Optional, Union
+
+from repro.concurrency import sanitizer
+
+#: Every instrumented I/O site in the package.  ``inject``/``arm``
+#: reject unknown names so a typo cannot silently never fire, and the
+#: ``iofault-parity`` lint rule checks this tuple against the shim call
+#: sites in both directions.
+KNOWN_IO_SITES: tuple[str, ...] = (
+    "io.wal.write",         # WAL record/batch append
+    "io.wal.fsync",         # WAL segment fsync
+    "io.wal.read",          # WAL segment read (replay, reader, scrub)
+    "io.snapshot.write",    # checkpoint temp-file write
+    "io.snapshot.fsync",    # checkpoint temp-file fsync
+    "io.snapshot.replace",  # atomic rename into place
+    "io.snapshot.read",     # snapshot load/verify read
+)
+
+#: The fault taxonomy: how an armed site misbehaves.
+KNOWN_KINDS: tuple[str, ...] = ("eio", "enospc", "torn", "bitrot")
+
+
+class IOFaultConfigError(ValueError):
+    """Bad arming request: unknown site/kind or invalid knobs."""
+
+
+@dataclass
+class _Fault:
+    """One armed fault and its firing discipline (mirrors failpoints'
+    ``_Armed``)."""
+
+    site: str
+    kind: str
+    hits_before: int = 0
+    times: Optional[int] = None  # fires remaining; None = unlimited
+    probability: float = 1.0
+    rng: Optional[random.Random] = None
+    hits: int = 0
+    fired: int = 0
+
+    def should_fire(self) -> bool:
+        self.hits += 1
+        if self.hits <= self.hits_before:
+            return False
+        if self.times is not None and self.fired >= self.times:
+            return False
+        if self.probability < 1.0:
+            roll = (self.rng or random).random()
+            if roll >= self.probability:
+                return False
+        self.fired += 1
+        return True
+
+
+_lock = sanitizer.make_lock("iofaults")
+_active: dict[str, _Fault] = {}
+
+
+def _validate(site: str, kind: str) -> None:
+    if site not in KNOWN_IO_SITES:
+        raise IOFaultConfigError(
+            f"unknown io-fault site {site!r}; known: "
+            f"{', '.join(KNOWN_IO_SITES)}"
+        )
+    if kind not in KNOWN_KINDS:
+        raise IOFaultConfigError(
+            f"unknown io-fault kind {kind!r}; known: "
+            f"{', '.join(KNOWN_KINDS)}"
+        )
+
+
+def arm(
+    site: str,
+    kind: str,
+    *,
+    hits_before: int = 0,
+    times: Optional[int] = None,
+    probability: float = 1.0,
+    seed: Optional[int] = None,
+) -> None:
+    """Arm ``site`` to misbehave as ``kind`` until :func:`disarm`.
+
+    ``hits_before`` skips that many calls first; ``times`` caps how
+    often the fault fires (``None`` = every matching call);
+    ``probability``/``seed`` make firing a seeded coin flip.
+    """
+    _validate(site, kind)
+    if times is not None and times < 0:
+        raise IOFaultConfigError("times must be >= 0")
+    if not 0.0 <= probability <= 1.0:
+        raise IOFaultConfigError("probability must be within [0, 1]")
+    fault = _Fault(
+        site=site,
+        kind=kind,
+        hits_before=hits_before,
+        times=times,
+        probability=probability,
+        rng=random.Random(seed) if seed is not None else None,
+    )
+    with _lock:
+        _active[site] = fault
+
+
+def disarm(site: str) -> None:
+    """Disarm ``site`` (no-op when it was not armed)."""
+    with _lock:
+        _active.pop(site, None)
+
+
+def reset() -> None:
+    """Disarm everything and clear counters (test isolation)."""
+    with _lock:
+        _active.clear()
+        _counts.clear()
+
+
+@contextmanager
+def inject(
+    site: str,
+    kind: str,
+    *,
+    hits_before: int = 0,
+    times: Optional[int] = None,
+    probability: float = 1.0,
+    seed: Optional[int] = None,
+) -> Iterator[None]:
+    """Context manager: arm on entry, disarm on exit."""
+    arm(
+        site,
+        kind,
+        hits_before=hits_before,
+        times=times,
+        probability=probability,
+        seed=seed,
+    )
+    try:
+        yield
+    finally:
+        disarm(site)
+
+
+def armed() -> dict[str, str]:
+    """Currently armed sites mapped to their fault kind."""
+    with _lock:
+        return {site: fault.kind for site, fault in _active.items()}
+
+
+#: Cumulative fired-fault counts per ``(site, kind)`` — lets tests
+#: assert a schedule really injected what it claims to have injected.
+_counts: dict[tuple[str, str], int] = {}
+
+
+def injected_counts() -> dict[tuple[str, str], int]:
+    """Snapshot of fired faults per ``(site, kind)``."""
+    with _lock:
+        return dict(_counts)
+
+
+def injected_total() -> int:
+    """Total faults fired since the last :func:`reset`."""
+    with _lock:
+        return sum(_counts.values())
+
+
+def _claim(site: str) -> Optional[_Fault]:
+    """Decide (under the lock) whether ``site`` fires right now.
+
+    Returns the armed fault when it fires; the caller performs the
+    faulty behaviour *outside* the lock.
+    """
+    with _lock:
+        fault = _active.get(site)
+        if fault is None or not fault.should_fire():
+            return None
+        key = (site, fault.kind)
+        _counts[key] = _counts.get(key, 0) + 1
+        return fault
+
+
+def _os_error(fault: _Fault, site: str) -> OSError:
+    code = errno.ENOSPC if fault.kind == "enospc" else errno.EIO
+    return OSError(
+        code, f"injected {fault.kind} at {site}", site
+    )
+
+
+def _flip_byte(data: bytes, position: Optional[int] = None) -> bytes:
+    if not data:
+        return data
+    i = (len(data) // 2) if position is None else position
+    corrupted = bytearray(data)
+    corrupted[i] ^= 0xFF
+    return bytes(corrupted)
+
+
+# ---------------------------------------------------------------------------
+# The shims.  Fast path: one module-dict truthiness check, then the real
+# operation.  Sites are string literals at every call site so the
+# iofault-parity rule can see them.
+# ---------------------------------------------------------------------------
+
+
+def write(site: str, fh: IO[bytes], data: bytes) -> int:
+    """``fh.write(data)`` through the fault table.
+
+    ``torn`` persists roughly half the payload and then raises ``EIO``
+    (the caller must assume the tail is garbage until rewound);
+    ``bitrot`` writes the full length with one byte flipped and
+    *returns success*.
+    """
+    if _active:
+        fault = _claim(site)
+        if fault is not None:
+            if fault.kind in ("eio", "enospc"):
+                raise _os_error(fault, site)
+            if fault.kind == "torn":
+                fh.write(data[: max(1, len(data) // 2)])
+                raise _os_error(fault, site)
+            # bitrot: silent corruption, reported as a clean write.
+            fh.write(_flip_byte(data))
+            return len(data)
+    fh.write(data)
+    return len(data)
+
+
+def fsync(site: str, fh: IO[bytes]) -> None:
+    """``os.fsync(fh.fileno())`` through the fault table.
+
+    ``torn`` degenerates to ``EIO`` (there is no partial fsync);
+    ``bitrot`` lets the fsync succeed and then flips a byte of the
+    synced file in place — the ack was honest, the media was not.
+    """
+    if _active:
+        fault = _claim(site)
+        if fault is not None:
+            if fault.kind in ("eio", "enospc", "torn"):
+                raise _os_error(fault, site)
+            os.fsync(fh.fileno())
+            _rot_file_tail(fh)
+            return
+    os.fsync(fh.fileno())
+
+
+def _rot_file_tail(fh: IO[bytes]) -> None:
+    # The WAL opens segments write-only, so the rot needs its own
+    # read-write handle on the same path.
+    path = getattr(fh, "name", None)
+    if not isinstance(path, (str, bytes, os.PathLike)):
+        return
+    with open(path, "r+b") as rot:
+        rot.seek(0, os.SEEK_END)
+        size = rot.tell()
+        if size == 0:
+            return
+        offset = size // 2
+        rot.seek(offset)
+        byte = rot.read(1)
+        if byte:
+            rot.seek(offset)
+            rot.write(bytes([byte[0] ^ 0xFF]))
+
+
+def replace(
+    site: str, src: Union[str, Path], dst: Union[str, Path]
+) -> None:
+    """``os.replace(src, dst)`` through the fault table.
+
+    ``eio``/``enospc``/``torn`` fail the rename and leave ``src`` in
+    place (rename is atomic — there is no torn middle state, so
+    ``torn`` degenerates to ``EIO``); ``bitrot`` performs the rename
+    but flips a byte of the file first.
+    """
+    if _active:
+        fault = _claim(site)
+        if fault is not None:
+            if fault.kind in ("eio", "enospc", "torn"):
+                raise _os_error(fault, site)
+            path = Path(src)
+            path.write_bytes(_flip_byte(path.read_bytes()))
+    os.replace(src, dst)
+
+
+def read_bytes(site: str, path: Union[str, Path]) -> bytes:
+    """``Path(path).read_bytes()`` through the fault table.
+
+    ``torn`` returns a prefix (short read); ``bitrot`` returns the full
+    payload with one byte flipped.
+    """
+    if _active:
+        fault = _claim(site)
+        if fault is not None:
+            if fault.kind in ("eio", "enospc"):
+                raise _os_error(fault, site)
+            data = Path(path).read_bytes()
+            if fault.kind == "torn":
+                return data[: len(data) // 2]
+            return _flip_byte(data)
+    return Path(path).read_bytes()

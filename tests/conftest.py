@@ -7,7 +7,7 @@ import random
 import pytest
 
 from repro.concurrency import sanitizer
-from repro.testing import failpoints
+from repro.testing import failpoints, iofaults
 from repro.core import (
     BPlusTree,
     LilBPlusTree,
@@ -39,6 +39,13 @@ def _disarm_failpoints():
     """Failpoint arming is process-global; never leak across tests."""
     yield
     failpoints.reset()
+
+
+@pytest.fixture(autouse=True)
+def _disarm_iofaults():
+    """I/O fault arming is process-global; never leak across tests."""
+    yield
+    iofaults.reset()
 
 
 @pytest.fixture(autouse=True)

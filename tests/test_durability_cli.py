@@ -242,3 +242,63 @@ class TestGracefulShutdown:
         assert report.clean and report.snapshot_loaded
         assert len(recovered) == 150
         recovered.close()
+
+
+class TestVerify:
+    def _segmented_state(self, directory):
+        t = DurableTree(
+            QuITTree(CFG), directory, fsync="none", segment_bytes=512
+        )
+        for i in range(200):
+            t.insert(i, i)
+        t.close()
+        return segment_paths(directory / WAL_DIRNAME)
+
+    def test_clean_directory_exits_zero(self, tmp_path, capsys):
+        self._segmented_state(tmp_path)
+        assert main(["verify", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "0 damaged" in out
+        assert "CORRUPT" not in out
+
+    def test_damaged_segment_exits_one(self, tmp_path, capsys):
+        segs = self._segmented_state(tmp_path)
+        target = segs[len(segs) // 2]
+        data = bytearray(target.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        target.write_bytes(bytes(data))
+        assert main(["verify", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "CORRUPT" in out
+        assert "1 damaged" in out
+
+    def test_quarantine_flag_copies_evidence(self, tmp_path, capsys):
+        segs = self._segmented_state(tmp_path)
+        target = segs[0]
+        data = bytearray(target.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        target.write_bytes(bytes(data))
+        assert main(["verify", str(tmp_path), "--quarantine"]) == 1
+        out = capsys.readouterr().out
+        assert "quarantined ->" in out
+        copies = list((tmp_path / "quarantine").iterdir())
+        assert len(copies) == 1
+        assert copies[0].read_bytes() == bytes(data)
+        # The damaged original stays put (evidence is a copy).
+        assert target.exists()
+        # status surfaces the quarantine footprint.
+        assert main(["status", str(tmp_path)]) == 0
+        assert "quarantine" in capsys.readouterr().out
+
+    def test_torn_tail_on_final_segment_is_not_damage(
+        self, tmp_path, capsys
+    ):
+        segs = self._segmented_state(tmp_path)
+        last = segs[-1]
+        last.write_bytes(last.read_bytes()[:-3])
+        assert main(["verify", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "note: torn tail" in out
+
+    def test_missing_directory_exits_one(self, tmp_path, capsys):
+        assert main(["verify", str(tmp_path / "nope")]) == 1

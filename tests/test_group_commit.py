@@ -15,7 +15,13 @@ import pytest
 
 from repro.concurrency import ConcurrentTree, sanitizer
 from repro.core import DurableTree, QuITTree, TreeConfig
-from repro.core.wal import CommitTicket, WALError, WriteAheadLog, replay_wal
+from repro.core.wal import (
+    CommitTicket,
+    WALDeadError,
+    WALError,
+    WriteAheadLog,
+    replay_wal,
+)
 from repro.replication import InProcessTransport, Primary, Replica
 from repro.testing import FailpointError, SimulatedCrash, failpoints
 
@@ -148,6 +154,36 @@ class TestGroupFailureSemantics:
         wal.abort()
         ops = replay_wal(tmp_path).ops
         assert ops and ops[-1][1] == 7
+
+    def test_flusher_death_outside_a_flush_settles_tickets(
+        self, tmp_path
+    ):
+        """Regression: an exception in the flusher's own loop machinery
+        (not inside a batch flush) used to leave pending tickets
+        unsettled — writers blocked forever against a dead thread.  Now
+        every pending ticket fails with WALDeadError and later
+        submits/syncs are refused instead of hanging."""
+        wal = WriteAheadLog(tmp_path, fsync="group")
+        wal.log_insert(0, 0)  # flusher demonstrably alive
+
+        def broken_clear():
+            raise RuntimeError("wake machinery broke")
+
+        wal._group_wake.clear = broken_clear
+        ticket = wal.submit_insert(1, 1)
+        with pytest.raises(WALDeadError) as exc_info:
+            ticket.wait(5)
+        # The killer rides along for diagnosis.
+        assert isinstance(exc_info.value.__cause__, RuntimeError)
+        # Refused fast, not queued behind a corpse.
+        with pytest.raises(WALError):
+            wal.submit_insert(2, 2)
+        # sync() must return (not hang): the pipeline is dead, there is
+        # nothing group-buffered to wait for.
+        wal.sync()
+        wal.abort()
+        # Only the pre-death append is on disk.
+        assert [op[1] for op in replay_wal(tmp_path).ops] == [0]
 
 
 class TestDurableTreeSubmit:

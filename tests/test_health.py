@@ -1,0 +1,198 @@
+"""Failure taxonomy, retry/backoff, and the HealthMonitor state machine.
+
+The integration side (a DurableTree actually degrading under injected
+disk faults) lives in tests/test_iofaults.py; this file covers the
+machinery in isolation: which errors are transient, how RetryPolicy
+escalates, and every legal (and illegal) HealthMonitor transition.
+"""
+
+import errno
+
+import pytest
+
+from repro.core.health import (
+    HealthMonitor,
+    HealthState,
+    ReadOnlyError,
+    RetryPolicy,
+    is_transient,
+)
+
+FAST = RetryPolicy(attempts=4, base_delay=0.0001, max_delay=0.001,
+                   deadline=5.0)
+
+
+def _err(code):
+    return OSError(code, "injected")
+
+
+class TestTaxonomy:
+    def test_transient_errnos(self):
+        for code in (errno.EIO, errno.ENOSPC, errno.EAGAIN, errno.EINTR):
+            assert is_transient(_err(code))
+
+    def test_permanent_errnos(self):
+        for code in (errno.EROFS, errno.EBADF, errno.EACCES):
+            assert not is_transient(_err(code))
+
+    def test_non_oserror_is_not_transient(self):
+        assert not is_transient(ValueError("nope"))
+
+
+class TestRetryPolicy:
+    def test_returns_result_on_first_success(self):
+        assert FAST.run(lambda: 42) == 42
+
+    def test_retries_transient_until_success(self):
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise _err(errno.EIO)
+            return "ok"
+
+        assert FAST.run(flaky) == "ok"
+        assert len(calls) == 3
+
+    def test_recover_hook_runs_between_attempts(self):
+        rewinds = []
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 2:
+                raise _err(errno.EIO)
+            return "ok"
+
+        assert FAST.run(flaky, recover=lambda: rewinds.append(1)) == "ok"
+        assert rewinds == [1]
+
+    def test_exhausted_transient_raises_read_only(self):
+        def always():
+            raise _err(errno.ENOSPC)
+
+        with pytest.raises(ReadOnlyError) as exc_info:
+            FAST.run(always)
+        # The underlying OSError rides along for diagnosis.
+        assert isinstance(exc_info.value.__cause__, OSError)
+        assert exc_info.value.__cause__.errno == errno.ENOSPC
+
+    def test_permanent_fault_escalates_immediately(self):
+        calls = []
+
+        def dead():
+            calls.append(1)
+            raise _err(errno.EROFS)
+
+        with pytest.raises(ReadOnlyError):
+            FAST.run(dead)
+        assert len(calls) == 1  # no retries for a permanent fault
+
+    def test_deadline_cuts_retries_short(self):
+        policy = RetryPolicy(attempts=1000, base_delay=0.001,
+                             max_delay=0.001, deadline=0.02)
+        calls = []
+
+        def always():
+            calls.append(1)
+            raise _err(errno.EIO)
+
+        with pytest.raises(ReadOnlyError):
+            policy.run(always)
+        assert len(calls) < 1000
+
+    def test_monitor_sees_every_outcome(self):
+        monitor = HealthMonitor("t")
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 2:
+                raise _err(errno.EIO)
+            return "ok"
+
+        FAST.run(flaky, monitor=monitor)
+        assert monitor.retries == 1
+        assert monitor.state is HealthState.HEALTHY  # success restored it
+
+    def test_monitor_goes_read_only_on_exhaustion(self):
+        monitor = HealthMonitor("t")
+        with pytest.raises(ReadOnlyError):
+            FAST.run(lambda: (_ for _ in ()).throw(_err(errno.EIO)),
+                     monitor=monitor)
+        assert monitor.state is HealthState.READ_ONLY
+        assert monitor.read_only_trips == 1
+
+    def test_monitor_goes_failed_on_permanent(self):
+        monitor = HealthMonitor("t")
+
+        def dead():
+            raise _err(errno.EROFS)
+
+        with pytest.raises(ReadOnlyError):
+            FAST.run(dead, monitor=monitor)
+        assert monitor.state is HealthState.FAILED
+
+
+class TestHealthMonitor:
+    def test_starts_healthy_and_writable(self):
+        m = HealthMonitor()
+        assert m.state is HealthState.HEALTHY
+        assert m.writable
+        m.require_writable()  # must not raise
+
+    def test_retry_degrades_success_restores(self):
+        m = HealthMonitor()
+        m.record_retry(_err(errno.EIO))
+        assert m.state is HealthState.DEGRADED
+        assert m.writable  # degraded still takes writes
+        assert m.degradations == 1
+        m.record_success()
+        assert m.state is HealthState.HEALTHY
+        # Re-degrading counts again.
+        m.record_retry(_err(errno.EIO))
+        assert m.degradations == 2
+
+    def test_read_only_refuses_mutations(self):
+        m = HealthMonitor("demo")
+        m.mark_read_only(_err(errno.EIO))
+        assert m.state is HealthState.READ_ONLY
+        assert not m.writable
+        with pytest.raises(ReadOnlyError, match="demo"):
+            m.require_writable()
+
+    def test_read_only_trip_counted_once(self):
+        m = HealthMonitor()
+        m.mark_read_only(_err(errno.EIO))
+        m.mark_read_only(_err(errno.EIO))
+        assert m.read_only_trips == 1
+
+    def test_restore_heals_and_counts(self):
+        m = HealthMonitor()
+        m.mark_read_only(_err(errno.EIO))
+        assert m.restore()
+        assert m.state is HealthState.HEALTHY
+        assert m.recoveries == 1
+        # Restoring an already-healthy monitor is a quiet no-op.
+        assert m.restore()
+        assert m.recoveries == 1
+
+    def test_failed_is_terminal(self):
+        m = HealthMonitor()
+        m.mark_failed(_err(errno.EROFS))
+        assert m.state is HealthState.FAILED
+        assert not m.restore()
+        assert m.state is HealthState.FAILED
+        m.mark_read_only(_err(errno.EIO))  # cannot downgrade FAILED
+        assert m.state is HealthState.FAILED
+        with pytest.raises(ReadOnlyError):
+            m.require_writable()
+
+    def test_snapshot_is_operator_readable(self):
+        m = HealthMonitor()
+        m.record_retry(_err(errno.EIO))
+        snap = m.snapshot()
+        assert snap["state"] == "degraded"
+        assert snap["retries"] == 1
+        assert "injected" in snap["last_error"]

@@ -238,6 +238,69 @@ class TestRepair:
         repair_wal(wal_dir, res)
         assert [(s, s.stat().st_size) for s in segment_paths(wal_dir)] == before
 
+    def test_replay_stops_at_a_missing_middle_segment(self, wal_dir):
+        """A gap in the segment sequence ends replay: the post-gap
+        records are newer than the hole they sit behind, so applying
+        them would reorder history."""
+        with WriteAheadLog(wal_dir, segment_bytes=128) as wal:
+            fill(wal, 30)
+        segs = segment_paths(wal_dir)
+        assert len(segs) >= 4
+        pre_gap = replay_wal(wal_dir)  # ground truth before the damage
+        gap_records = len(
+            replay_wal(wal_dir).ops
+        )  # full count, for contrast below
+        segs[1].unlink()
+        res = replay_wal(wal_dir)
+        assert not res.clean
+        assert res.sequence_gap
+        assert res.corrupt_segment == segs[2]  # first orphaned segment
+        assert res.segments_scanned == 1  # only the pre-gap prefix
+        assert len(res.ops) < gap_records
+        # Every surviving op is a prefix of the undamaged history.
+        assert res.ops == pre_gap.ops[: len(res.ops)]
+
+    def test_repair_after_gap_deletes_orphaned_segments(self, wal_dir):
+        with WriteAheadLog(wal_dir, segment_bytes=128) as wal:
+            fill(wal, 30)
+        segs = segment_paths(wal_dir)
+        segs[1].unlink()
+        res = replay_wal(wal_dir)
+        repair_wal(wal_dir, res)
+        # Only the consecutive clean prefix survives, whole: a gap
+        # repair never truncates inside a segment.
+        assert segment_paths(wal_dir) == [segs[0]]
+        after = replay_wal(wal_dir)
+        assert after.clean
+        assert after.ops == res.ops
+        # The log accepts appends again and replays them.
+        with WriteAheadLog(wal_dir) as wal:
+            wal.log_insert(777, "post-gap-repair")
+        assert replay_wal(wal_dir).ops[-1] == ("i", 777, "post-gap-repair")
+
+    def test_corruption_and_gap_across_segments_stops_at_first(
+        self, wal_dir
+    ):
+        """Multi-segment damage: a checksum failure in an early segment
+        wins over a gap later in the sequence — replay is strictly
+        prefix-valid and repair acts on the first damage only."""
+        with WriteAheadLog(wal_dir, segment_bytes=128) as wal:
+            fill(wal, 40)
+        segs = segment_paths(wal_dir)
+        assert len(segs) >= 5
+        data = bytearray(segs[1].read_bytes())
+        data[-1] ^= 0x10
+        segs[1].write_bytes(bytes(data))
+        segs[3].unlink()
+        res = replay_wal(wal_dir)
+        assert not res.clean
+        assert not res.sequence_gap  # the CRC damage came first
+        assert res.corrupt_segment == segs[1]
+        repair_wal(wal_dir, res)
+        survivors = segment_paths(wal_dir)
+        assert survivors == segs[:2]
+        assert replay_wal(wal_dir).clean
+
 
 class TestWALFailpoints:
     def test_raise_mode_surfaces_and_log_stays_consistent(self, wal_dir):
