@@ -628,6 +628,153 @@ def run_durability_regression(
     return {"meta": meta, "results": results}
 
 
+#: Pipelining windows (outstanding frames per client) swept by
+#: ``--mode network``.  window=1 is classic request/response RPC;
+#: deeper windows let group commit batch the WAL fsyncs across frames.
+NETWORK_WINDOWS = (1, 8, 32)
+
+
+def _network_ingest_once(
+    keys: list[int],
+    writers: int,
+    batch_size: int,
+    window: int,
+    scale: BenchScale,
+) -> tuple[float, dict[str, Any]]:
+    """One timed network-ingest run; returns ``(seconds, server_stats)``.
+
+    A loopback :class:`~repro.net.server.QuitServer` fronts the same
+    ``DurableTree(ConcurrentTree(QuIT), fsync="group")`` the in-process
+    baseline uses; ``writers`` clients each pipeline their shard as
+    ``PUT_MANY`` frames with up to ``window`` outstanding.  The timed
+    section ends when every ack has been reaped — like the in-process
+    baseline, no acknowledgement is left in flight.
+    """
+    from ..net import BackgroundServer, QuitClient
+
+    directory = tempfile.mkdtemp(prefix="quit-netbench-")
+    try:
+        tree = DurableTree(
+            ConcurrentTree(QuITTree(scale.tree_config)),
+            directory,
+            fsync="group",
+        )
+        shards = [keys[i::writers] for i in range(writers)]
+        errors: list[BaseException] = []
+        with BackgroundServer(tree, max_inflight=max(64, writers * window)) as bg:
+            clients = [
+                QuitClient("127.0.0.1", bg.port, deadline=120.0)
+                for _ in shards
+            ]
+
+            def run(client: "QuitClient", shard: list[int]) -> None:
+                try:
+                    batches = [
+                        [(k, k) for k in shard[lo : lo + batch_size]]
+                        for lo in range(0, len(shard), batch_size)
+                    ]
+                    client.pipeline_insert_many(batches, window=window)
+                except BaseException as exc:  # surfaced after join
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=run, args=(client, shard))
+                for client, shard in zip(clients, shards)
+            ]
+            with _gc_paused():
+                start = time.perf_counter()
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join()
+                elapsed = time.perf_counter() - start
+            for client in clients:
+                client.close()
+            stats = bg.stats.as_dict()
+        if errors:
+            raise errors[0]
+        tree.close()
+        return elapsed, stats
+    finally:
+        shutil.rmtree(directory, ignore_errors=True)
+
+
+def run_network_regression(
+    scale: BenchScale,
+    k_fraction: float,
+    l_fraction: float,
+    batch_size: int,
+    writers_axis: Sequence[int],
+    windows: Sequence[int] = NETWORK_WINDOWS,
+) -> dict[str, Any]:
+    """Network-served ingest vs the in-process pipelined baseline.
+
+    Every row compares ``writers`` loopback clients pipelining
+    ``PUT_MANY`` frames (``window`` outstanding each) against the same
+    number of in-process writer threads on the pipelined
+    ``submit_many`` surface, identical tree/WAL/fsync configuration.
+    ``network_over_inprocess`` is the wall-clock factor the socket hop,
+    framing, and admission layer cost on top of the in-process path —
+    the number the CI gate bounds.
+    """
+    keys = [
+        int(k)
+        for k in generate_keys(
+            scale.n, k_fraction, l_fraction, seed=scale.seed
+        )
+    ]
+    repeats = max(1, scale.repeats)
+    results = []
+    for writers in writers_axis:
+        inprocess_s = float("inf")
+        for _ in range(repeats):
+            elapsed, _stats = _durable_ingest_once(
+                "group", keys, writers, batch_size, scale
+            )
+            inprocess_s = min(inprocess_s, elapsed)
+        for window in windows:
+            net_s = float("inf")
+            net_stats: dict[str, Any] = {}
+            for _ in range(repeats):
+                elapsed, stats = _network_ingest_once(
+                    keys, writers, batch_size, window, scale
+                )
+                if elapsed < net_s:
+                    net_s = elapsed
+                    net_stats = stats
+            results.append(
+                {
+                    "writers": writers,
+                    "window": window,
+                    "batch_size": batch_size,
+                    "inprocess_seconds": round(inprocess_s, 6),
+                    "network_seconds": round(net_s, 6),
+                    "inprocess_ops": round(scale.n / inprocess_s, 1),
+                    "network_ops": round(scale.n / net_s, 1),
+                    "network_over_inprocess": round(net_s / inprocess_s, 3),
+                    "server_stats": {
+                        key: net_stats[key]
+                        for key in (
+                            "net_requests",
+                            "net_applied",
+                            "net_inflight_max",
+                            "net_sheds",
+                        )
+                        if key in net_stats
+                    },
+                }
+            )
+    meta = _meta(
+        "network-served pipelined ingest vs in-process submit_many",
+        "network", scale, k_fraction, l_fraction, batch_size,
+    )
+    meta["writers_axis"] = list(writers_axis)
+    meta["windows"] = list(windows)
+    meta["index"] = "QuitServer(DurableTree(ConcurrentTree(QuIT)))"
+    meta["transport"] = "loopback TCP, length-prefixed frames"
+    return {"meta": meta, "results": results}
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Argument parser for quit-regress."""
     parser = argparse.ArgumentParser(
@@ -642,7 +789,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the JSON document here (default: stdout only)",
     )
     parser.add_argument(
-        "--mode", choices=("ingest", "reads", "mixed", "layout", "durability"),
+        "--mode",
+        choices=(
+            "ingest", "reads", "mixed", "layout", "durability", "network",
+        ),
         default="ingest",
         help=(
             "ingest: insert vs insert_many (PR 1 baseline); "
@@ -651,7 +801,9 @@ def build_parser() -> argparse.ArgumentParser:
             "layout: gapped vs list per-key insert A/B, interleaved "
             "in-process; "
             "durability: durable-ingest fsync-policy A/B over "
-            "writers x batch size (default: ingest)"
+            "writers x batch size; "
+            "network: loopback-served pipelined ingest vs in-process "
+            "submit_many (default: ingest)"
         ),
     )
     parser.add_argument("--n", type=int, default=100_000)
@@ -753,6 +905,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         doc = run_durability_regression(
             scale, args.k, args.l, writers_axis, batch_sizes
         )
+    elif args.mode == "network":
+        try:
+            writers_axis = [int(w) for w in args.writers.split(",") if w]
+        except ValueError:
+            parser.error("--writers must be comma-separated integers")
+        if not writers_axis or any(w <= 0 for w in writers_axis):
+            parser.error(f"--writers must be positive, got {args.writers!r}")
+        doc = run_network_regression(
+            scale, args.k, args.l, args.batch_size, writers_axis
+        )
     else:
         doc = run_regression(scale, args.k, args.l, args.batch_size)
     text = json.dumps(doc, indent=2) + "\n"
@@ -767,6 +929,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 f"  group {row['group_ops']:>9.0f} ops/s"
                 f"  group/always {row['group_over_always']:.2f}x"
                 f"  (batch mean {row['group_wal'].get('group_batch_mean', 0)})"
+            )
+        elif args.mode == "network":
+            print(
+                f"writers {row['writers']:>2d} window {row['window']:>3d}"
+                f"  in-proc {row['inprocess_ops']:>9.0f} ops/s"
+                f"  network {row['network_ops']:>9.0f} ops/s"
+                f"  net/in-proc {row['network_over_inprocess']:.2f}x"
             )
         elif args.mode == "layout":
             print(

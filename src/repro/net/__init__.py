@@ -1,0 +1,50 @@
+"""Network tier: serve a durable QuIT over a socket, robustly.
+
+``repro.net`` is the RPC boundary of the stack: a length-prefixed
+binary protocol (:mod:`~repro.net.protocol`), an asyncio server with
+admission control and graceful drain (:mod:`~repro.net.server`,
+:mod:`~repro.net.admission`), and a resilient synchronous client with
+deadlines, idempotent retries, and typed refusals
+(:mod:`~repro.net.client`).  The ``quit-serve`` CLI
+(:mod:`~repro.net.cli`) wraps both ends.
+"""
+
+from .admission import (
+    AdmissionController,
+    QueueDeadlineError,
+    ServerStats,
+    ShedError,
+)
+from .client import (
+    Ack,
+    DeadlineError,
+    NetError,
+    QuitClient,
+    RequestError,
+    RetriesExhaustedError,
+    ServerFencedError,
+    ServerReadOnlyError,
+    TransientNetworkError,
+)
+from .protocol import PROTOCOL_VERSION, ProtocolError
+from .server import BackgroundServer, QuitServer
+
+__all__ = [
+    "Ack",
+    "AdmissionController",
+    "BackgroundServer",
+    "DeadlineError",
+    "NetError",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "QueueDeadlineError",
+    "QuitClient",
+    "QuitServer",
+    "RequestError",
+    "RetriesExhaustedError",
+    "ServerFencedError",
+    "ServerReadOnlyError",
+    "ServerStats",
+    "ShedError",
+    "TransientNetworkError",
+]

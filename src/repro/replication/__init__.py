@@ -20,6 +20,7 @@ from .primary import (
     AckQuorumError,
     FencedError,
     Primary,
+    QuorumTimeoutError,
     read_epoch,
     write_epoch,
 )
@@ -48,6 +49,7 @@ __all__ = [
     "InProcessTransport",
     "Primary",
     "PromotionReport",
+    "QuorumTimeoutError",
     "read_epoch",
     "Replica",
     "ReplicaState",

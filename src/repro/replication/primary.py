@@ -32,6 +32,7 @@ assert that no acknowledged write is ever lost across failovers.
 from __future__ import annotations
 
 import os
+import time
 from pathlib import Path
 from typing import Any, Iterable, Iterator, Optional
 
@@ -68,6 +69,16 @@ class AckQuorumError(ReplicationError):
         self.required = required
 
 
+class QuorumTimeoutError(AckQuorumError):
+    """The ack quorum did not confirm within the configured
+    ``ack_deadline``.  Same contract as :class:`AckQuorumError` — the
+    write is durable locally but **not acknowledged** — but typed so
+    callers can tell "replicas refused/failed" from "replicas are slow
+    or hung": the former warrants a topology look, the latter a retry
+    after backoff.  Without a deadline a single hung replica transport
+    blocks acked writers forever; this is the bound."""
+
+
 def read_epoch(directory: Path) -> int:
     """Epoch persisted in ``directory`` (0 when never written)."""
     try:
@@ -102,6 +113,11 @@ class Primary:
         node_id: this node's identity at the registry.
         required_acks: replicas that must apply a write before it is
             acknowledged (0 = asynchronous replication).
+        ack_deadline: seconds any single quorum wait may take before it
+            degrades to :class:`QuorumTimeoutError` (``None`` preserves
+            the historical unbounded wait).  Applies to the implicit
+            wait after every synchronous write and, unless overridden
+            per call, to :meth:`drain_acks`.
     """
 
     def __init__(
@@ -112,11 +128,16 @@ class Primary:
         registry=None,
         node_id: str = "primary",
         required_acks: int = 0,
+        ack_deadline: Optional[float] = None,
     ) -> None:
         self.durable = durable
         self.registry = registry
         self.node_id = node_id
         self.required_acks = required_acks
+        self.ack_deadline = ack_deadline
+        #: Quorum waits that hit ``ack_deadline`` and degraded to
+        #: :class:`QuorumTimeoutError` instead of blocking on.
+        self.quorum_timeouts = 0
         self.alive = True
         self.fenced = False
         self.fenced_by: Optional[int] = None
@@ -292,29 +313,47 @@ class Primary:
         """Await local durability of every pending submit, then run one
         quorum round covering all of them.
 
-        Returns the number of tickets drained.  Raises the first
-        ticket's failure (never acked), :class:`FencedError`, or
-        :class:`AckQuorumError` exactly as the synchronous write path
-        would — but the replica catch-up cost is paid once per drain,
+        ``timeout`` bounds the whole drain (local waits + quorum round);
+        when ``None`` it falls back to the primary's ``ack_deadline``
+        (which may itself be ``None`` = unbounded).  Returns the number
+        of tickets drained.  Raises the first ticket's failure (never
+        acked), :class:`FencedError`, :class:`AckQuorumError`, or —
+        when the bound trips during the quorum round —
+        :class:`QuorumTimeoutError`, exactly as the synchronous write
+        path would; the replica catch-up cost is paid once per drain,
         not once per write.
         """
+        if timeout is None:
+            timeout = self.ack_deadline
+        deadline = None if timeout is None else time.monotonic() + timeout
         with self._meta_lock:
             pending = self._pending_tickets
             self._pending_tickets = []
         for ticket in pending:
-            ticket.wait(timeout)
+            remaining = (
+                None
+                if deadline is None
+                else max(0.001, deadline - time.monotonic())
+            )
+            ticket.wait(remaining)
         if pending:
             self._check_leadership()
-            self._await_acks()
+            self._await_acks(deadline)
         return len(pending)
 
-    def _await_acks(self) -> None:
+    def _await_acks(self, deadline: Optional[float] = None) -> None:
         if self.required_acks <= 0:
             return
+        if deadline is None and self.ack_deadline is not None:
+            deadline = time.monotonic() + self.ack_deadline
         self.ack_rounds += 1
         target = self.wal.tail_position()
         acks = 0
+        timed_out = False
         for replica in list(self._replicas):
+            if deadline is not None and time.monotonic() >= deadline:
+                timed_out = True
+                break
             try:
                 if replica.epoch != self.epoch:
                     # The replica's cursor belongs to a different tenure;
@@ -325,12 +364,23 @@ class Primary:
                     replica.poll()
                     if replica.epoch != self.epoch:
                         continue
-                replica.catch_up(target)
+                replica.catch_up(target, deadline=deadline)
                 acks += 1
             except (TransportError, ReplicationError, failpoints.FailpointError):
                 continue
             if acks >= self.required_acks:
                 return
+        if timed_out or (
+            deadline is not None and time.monotonic() >= deadline
+        ):
+            self.quorum_timeouts += 1
+            raise QuorumTimeoutError(
+                f"write durable locally but only {acks}/"
+                f"{self.required_acks} required replicas confirmed "
+                f"within the ack deadline",
+                acks=acks,
+                required=self.required_acks,
+            )
         raise AckQuorumError(
             f"write durable locally but replicated to {acks}/"
             f"{self.required_acks} required replicas",

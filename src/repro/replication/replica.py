@@ -37,6 +37,7 @@ from __future__ import annotations
 import enum
 import os
 import shutil
+import time
 import zlib
 from pathlib import Path
 from typing import Any, Optional, Type, Union
@@ -407,18 +408,26 @@ class Replica:
         target: Optional[WALPosition] = None,
         *,
         max_rounds: int = 8,
+        deadline: Optional[float] = None,
     ) -> WALPosition:
         """Poll until ``applied_lsn`` reaches ``target`` (or the tail).
 
         Raises :class:`TransportError` when ``max_rounds`` polls cannot
-        get there (link too lossy, primary gone) — the caller decides
-        whether that fails an ack or just retries later.
+        get there (link too lossy, primary gone) or when ``deadline``
+        (absolute ``time.monotonic()`` seconds, checked between polls)
+        passes first — the caller decides whether that fails an ack or
+        just retries later.
         """
         self._check_alive()
         if target is not None and self.position is not None \
                 and self.position >= target:
             return self.position
         for _ in range(max_rounds):
+            if deadline is not None and time.monotonic() >= deadline:
+                raise TransportError(
+                    f"replica {self.name}: catch-up deadline expired at "
+                    f"{self.position} (target {target})"
+                )
             self.poll()
             if target is not None and self.position >= target:
                 return self.position

@@ -858,3 +858,13 @@ def run_iofault_soak(
     failpoints.reset()
     iofaults.reset()
     return IOFaultSoak(root, config or IOFaultConfig()).run()
+
+
+# The network-tier soak lives in its own module (it manages OS
+# processes, not in-process nodes) but is part of the same harness
+# family; re-exported here so every soak has one import home.
+from .netchaos import (  # noqa: E402
+    ERROR_WINDOW_BOUND,
+    NetChaosReport,
+    run_network_soak,
+)

@@ -1,0 +1,175 @@
+"""Admission-control tests: unit behavior of the controller plus the
+overload satellite — a saturating client swarm must observe shedding,
+the in-flight budget must hold (``net_inflight_max``), and every acked
+response must survive a post-kill recovery."""
+
+import asyncio
+import threading
+import time
+
+import pytest
+
+from repro.core import DurableTree, TreeConfig
+from repro.core.quit_tree import QuITTree
+from repro.net import (
+    BackgroundServer,
+    QuitClient,
+    NetError,
+)
+from repro.net.admission import (
+    AdmissionController,
+    QueueDeadlineError,
+    ServerStats,
+    ShedError,
+)
+
+CFG = TreeConfig(leaf_capacity=8, internal_capacity=8)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestAdmissionController:
+    def _ctl(self, **kw):
+        stats = ServerStats()
+        kw.setdefault("max_inflight", 2)
+        kw.setdefault("queue_high_water", 2)
+        kw.setdefault("queue_wait", 0.05)
+        return AdmissionController(stats=stats, **kw), stats
+
+    def test_admit_and_release(self):
+        async def go():
+            ctl, stats = self._ctl()
+            await ctl.admit(time.monotonic() + 1.0)
+            assert ctl.inflight == 1
+            ctl.release()
+            assert ctl.inflight == 0
+            assert stats.net_inflight_max == 1
+        run(go())
+
+    def test_inflight_budget_blocks_then_sheds(self):
+        async def go():
+            ctl, stats = self._ctl()
+            await ctl.admit(time.monotonic() + 1.0)
+            await ctl.admit(time.monotonic() + 1.0)
+            # Budget full; the queue deadline (0.05s) trips with budget
+            # left -> shed, not queue-forever.
+            with pytest.raises(ShedError):
+                await ctl.admit(time.monotonic() + 1.0)
+            assert stats.net_sheds == 1
+            assert stats.net_queue_waits == 1
+        run(go())
+
+    def test_expired_budget_is_deadline_not_shed(self):
+        async def go():
+            ctl, stats = self._ctl()
+            with pytest.raises(QueueDeadlineError):
+                await ctl.admit(time.monotonic() - 0.001)
+            assert stats.net_deadline_refusals == 1
+        run(go())
+
+    def test_queue_past_high_water_sheds_fast(self):
+        async def go():
+            ctl, stats = self._ctl(queue_high_water=0)
+            await ctl.admit(time.monotonic() + 1.0)
+            await ctl.admit(time.monotonic() + 1.0)
+            start = time.monotonic()
+            with pytest.raises(ShedError):
+                await ctl.admit(time.monotonic() + 1.0)
+            # Shed before any queue wait: refusal is cheap.
+            assert time.monotonic() - start < 0.05
+        run(go())
+
+    def test_draining_sheds_with_reason(self):
+        async def go():
+            ctl, stats = self._ctl()
+            ctl.draining = True
+            with pytest.raises(ShedError) as exc:
+                await ctl.admit(time.monotonic() + 1.0)
+            assert exc.value.reason == "draining"
+        run(go())
+
+    def test_advisory_grows_with_backlog(self):
+        async def go():
+            ctl, _ = self._ctl(max_inflight=4)
+            empty = ctl.advisory()
+            await ctl.admit(time.monotonic() + 1.0)
+            await ctl.admit(time.monotonic() + 1.0)
+            assert ctl.advisory() > empty
+        run(go())
+
+    def test_bad_config_refused(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_inflight=0, stats=ServerStats())
+        with pytest.raises(ValueError):
+            AdmissionController(queue_high_water=-1, stats=ServerStats())
+
+
+class TestOverload:
+    """Satellite: saturate a tiny server with a client swarm."""
+
+    MAX_INFLIGHT = 4
+
+    def _swarm(self, port, threads, per_thread, observed):
+        def worker(tid):
+            sheds = 0
+            acked = []
+            client = QuitClient(
+                "127.0.0.1", port, deadline=8.0,
+            )
+            for i in range(per_thread):
+                key = tid * 10_000 + i
+                try:
+                    ack = client.insert_acked(key, key)
+                    acked.append((key, key, ack.applied or ack.deduped))
+                except NetError:
+                    sheds += 1
+            client.close()
+            observed[tid] = (acked, sheds)
+
+        workers = [
+            threading.Thread(target=worker, args=(tid,))
+            for tid in range(threads)
+        ]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join(120.0)
+
+    def test_swarm_sheds_but_never_exceeds_budget(self, tmp_path):
+        durable = DurableTree(
+            QuITTree(CFG), tmp_path / "state", fsync="group"
+        )
+        observed = {}
+        with BackgroundServer(
+            durable,
+            max_inflight=self.MAX_INFLIGHT,
+            queue_high_water=2,
+            queue_wait=0.02,
+        ) as bg:
+            self._swarm(bg.port, threads=12, per_thread=40, observed=observed)
+            stats = bg.stats
+            # The budget held: concurrency never exceeded the limit.
+            assert 1 <= stats.net_inflight_max <= self.MAX_INFLIGHT
+            # The slow path bit: shedding was observed at the wire
+            # (clients retried through most of it; the counter is the
+            # authoritative witness).
+            assert stats.net_sheds > 0
+            # The queue high water held too: admission state lives on
+            # the event-loop thread, so check-and-count is atomic.
+            assert stats.net_queued_max <= 2
+            acked = [a for acks, _ in observed.values() for a in acks]
+            assert acked, "swarm acked nothing; overload setup is broken"
+            # Kill the server AND the process's group flusher: every
+            # acked response must still be on disk.
+            bg.kill()
+        durable.abort()
+        recovered, _ = DurableTree.recover(tmp_path / "state", QuITTree, CFG)
+        try:
+            for key, value, _ in acked:
+                assert recovered.get(key) == value, (
+                    f"acked write {key} lost after kill"
+                )
+        finally:
+            recovered.close()

@@ -1,0 +1,77 @@
+"""Multi-process network chaos soak (tentpole acceptance test).
+
+Client processes drive a served tree over real sockets while the
+harness SIGKILLs and restarts the server, arms ``io.*`` disk faults,
+and partitions the replica link.  The invariants:
+
+* **zero acked-write loss** — every response a client saw is in the
+  cold-recovered state;
+* **zero duplicate applies** — dedup probes (same request id sent
+  twice) never observe a second apply within a server tenure;
+* **bounded error windows** — client-visible outages stay under
+  ``ERROR_WINDOW_BOUND``;
+* **graceful drain** — the final SIGTERM settles in-flight requests,
+  checkpoints, and exits 0.
+
+The default run keeps tier-1 fast; CI fans out with environment
+knobs::
+
+    NETCHAOS_DURATION=20 NETCHAOS_CLIENTS=4 CHAOS_SEED_OFFSET=10 pytest ...
+"""
+
+import os
+
+import pytest
+
+from repro.testing.chaos import run_network_soak
+
+DURATION = float(os.environ.get("NETCHAOS_DURATION", "6"))
+CLIENTS = int(os.environ.get("NETCHAOS_CLIENTS", "3"))
+KILLS = int(os.environ.get("NETCHAOS_KILLS", "1"))
+SEED_OFFSET = int(os.environ.get("CHAOS_SEED_OFFSET", "0"))
+
+posix_only = pytest.mark.skipif(
+    os.name != "posix", reason="POSIX signals/multiprocessing required"
+)
+
+
+@posix_only
+def test_network_soak_loses_no_acked_write(tmp_path):
+    report = run_network_soak(
+        tmp_path,
+        clients=CLIENTS,
+        duration=DURATION,
+        kills=KILLS,
+        seed=SEED_OFFSET,
+    )
+    assert report.ok, report.summary()
+    assert report.lost_acks == 0
+    assert report.duplicate_applies == 0
+    assert report.result_mismatches == 0
+    assert report.drain_exit_code == 0
+
+
+@posix_only
+def test_network_soak_actually_bites(tmp_path):
+    """The soak must inject real adversity, not idle to green."""
+    report = run_network_soak(
+        tmp_path, clients=2, duration=DURATION, kills=1,
+        seed=SEED_OFFSET + 1,
+    )
+    assert report.kills >= 1
+    assert report.io_faults_armed >= 1
+    assert report.partitions >= 1
+    assert report.dedup_probes >= 1
+    assert report.acked_puts > 0
+    # Clients rode through at least one server tenure change.
+    assert report.boot_ids_seen >= 2
+
+
+@posix_only
+def test_report_summary_is_printable(tmp_path):
+    report = run_network_soak(
+        tmp_path, clients=2, duration=3.0, kills=1, seed=SEED_OFFSET + 2
+    )
+    text = report.summary()
+    assert "acked" in text
+    assert "drain" in text

@@ -1,0 +1,152 @@
+"""Wire-protocol tests: framing, payload encoding, and EOF semantics."""
+
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.net import protocol
+
+
+class TestPayloadCodec:
+    @pytest.mark.parametrize("obj", [
+        None, 0, -17, 3.5, "hello", b"\x00\xff", True,
+        (1, "two", 3.0), [(1, 2), (3, 4)], {"k": [1, 2]}, (),
+        "uniçode →", ("nested", (1, (2, (3,)))),
+    ])
+    def test_round_trip(self, obj):
+        assert protocol.decode_payload(protocol.encode_payload(obj)) == obj
+
+    def test_empty_payload_is_none(self):
+        assert protocol.decode_payload(b"") is None
+
+    def test_non_literal_object_refused(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.encode_payload(object())
+
+    def test_undecodable_bytes_refused(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.decode_payload(b"__import__('os')")
+        with pytest.raises(protocol.ProtocolError):
+            protocol.decode_payload(b"\xff\xfe")
+
+
+class TestRequestFrames:
+    def test_round_trip(self):
+        frame = protocol.encode_request(
+            protocol.OP_PUT, 12345, 2.5, (1, "v")
+        )
+        (length,) = struct.unpack("!I", frame[:4])
+        assert length == len(frame) - 4
+        op, rid, budget, payload = protocol.decode_request(frame[4:])
+        assert (op, rid, payload) == (protocol.OP_PUT, 12345, (1, "v"))
+        assert budget == pytest.approx(2.5)
+
+    def test_unknown_opcode_refused(self):
+        body = struct.pack("!BQd", 200, 1, 1.0)
+        with pytest.raises(protocol.ProtocolError):
+            protocol.decode_request(body)
+
+    def test_short_frame_refused(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.decode_request(b"\x01\x02")
+
+    def test_oversize_refused_at_encode(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.encode_request(
+                protocol.OP_PUT, 1, 1.0, "x" * (protocol.MAX_FRAME + 1)
+            )
+
+
+class TestResponseFrames:
+    def test_round_trip_with_flags(self):
+        frame = protocol.encode_response(
+            protocol.ST_OK, 99, 0xDEADBEEF,
+            protocol.FLAG_APPLIED | protocol.FLAG_DEDUPED, [1, 2],
+        )
+        status, rid, boot, flags, payload = protocol.decode_response(
+            frame[4:]
+        )
+        assert status == protocol.ST_OK
+        assert rid == 99
+        assert boot == 0xDEADBEEF
+        assert flags & protocol.FLAG_APPLIED
+        assert flags & protocol.FLAG_DEDUPED
+        assert payload == [1, 2]
+
+    def test_unknown_status_refused(self):
+        body = struct.pack("!BQIB", 250, 1, 0, 0)
+        with pytest.raises(protocol.ProtocolError):
+            protocol.decode_response(body)
+
+
+class TestBlockingFrameReader:
+    def _pair(self):
+        a, b = socket.socketpair()
+        return a, b
+
+    def test_reads_one_frame(self):
+        a, b = self._pair()
+        try:
+            frame = protocol.encode_request(protocol.OP_GET, 7, 1.0, "k")
+            a.sendall(frame)
+            body = protocol.read_frame_blocking(b)
+            op, rid, _, payload = protocol.decode_request(body)
+            assert (op, rid, payload) == (protocol.OP_GET, 7, "k")
+        finally:
+            a.close()
+            b.close()
+
+    def test_clean_eof_returns_none(self):
+        a, b = self._pair()
+        a.close()
+        try:
+            assert protocol.read_frame_blocking(b) is None
+        finally:
+            b.close()
+
+    def test_eof_mid_frame_raises_connection_error(self):
+        a, b = self._pair()
+        try:
+            frame = protocol.encode_request(protocol.OP_GET, 7, 1.0, "key")
+            a.sendall(frame[:-2])  # truncate inside the body
+            a.close()
+            with pytest.raises(ConnectionError):
+                protocol.read_frame_blocking(b)
+        finally:
+            b.close()
+
+    def test_oversize_length_prefix_refused(self):
+        a, b = self._pair()
+        try:
+            a.sendall(struct.pack("!I", protocol.MAX_FRAME + 1))
+            with pytest.raises(protocol.ProtocolError):
+                protocol.read_frame_blocking(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_frame_split_across_sends(self):
+        a, b = self._pair()
+        try:
+            frame = protocol.encode_request(
+                protocol.OP_PUT, 3, 1.0, (1, "x" * 500)
+            )
+            done = threading.Event()
+
+            def dribble():
+                for i in range(0, len(frame), 37):
+                    a.sendall(frame[i:i + 37])
+                done.set()
+
+            t = threading.Thread(target=dribble)
+            t.start()
+            body = protocol.read_frame_blocking(b)
+            t.join()
+            assert done.is_set()
+            op, rid, _, payload = protocol.decode_request(body)
+            assert payload == (1, "x" * 500)
+        finally:
+            a.close()
+            b.close()

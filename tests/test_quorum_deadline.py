@@ -1,0 +1,155 @@
+"""Regression tests for the bounded quorum wait (satellite of the
+network PR): ``Primary(ack_deadline=...)`` turns a stalled replica
+transport into a typed :class:`QuorumTimeoutError` instead of an
+unbounded wait, and ``ack_deadline=None`` preserves the old behavior."""
+
+import time
+
+import pytest
+
+from repro.core import DurableTree, QuITTree, TreeConfig
+from repro.replication import (
+    AckQuorumError,
+    InProcessTransport,
+    Primary,
+    QuorumTimeoutError,
+    Replica,
+)
+from repro.replication.transport import FetchResult
+
+CFG = TreeConfig(leaf_capacity=8, internal_capacity=8)
+
+
+class StalledTransport(InProcessTransport):
+    """A transport that, once stalled, burns wall-clock on every fetch
+    and never delivers progress — the shape of a half-dead link that a
+    plain partition (fast ``TransportError``) does not model."""
+
+    def __init__(self, primary, *, stall=0.05):
+        super().__init__(primary)
+        self.stall = stall
+        self.stalled = False
+        self.stalled_calls = 0
+
+    def fetch_records(self, position, *, max_records=512, max_bytes=1 << 20):
+        if self.stalled:
+            self.stalled_calls += 1
+            time.sleep(self.stall)
+            return FetchResult(
+                records=[], position=position, epoch=self.primary.epoch,
+                tail=self.primary.tail_position(), lag_bytes=1,
+            )
+        return super().fetch_records(
+            position, max_records=max_records, max_bytes=max_bytes
+        )
+
+
+@pytest.fixture
+def cluster(tmp_path):
+    def build(ack_deadline, stall=0.05):
+        durable = DurableTree(QuITTree(CFG), tmp_path / "p", fsync="none")
+        primary = Primary(
+            durable, node_id="p", required_acks=1,
+            ack_deadline=ack_deadline,
+        )
+        transport = StalledTransport(primary, stall=stall)
+        replica = Replica(
+            tmp_path / "r0", transport,
+            tree_class=QuITTree, config=CFG, name="r0",
+        )
+        replica.bootstrap()
+        primary.attach(replica)
+        return primary, replica, transport
+
+    made = []
+
+    def factory(*a, **kw):
+        out = build(*a, **kw)
+        made.append(out)
+        return out
+
+    yield factory
+    for primary, replica, _ in made:
+        primary.close()
+        replica.close()
+
+
+class TestAckDeadline:
+    def test_stalled_quorum_degrades_in_bounded_time(self, cluster):
+        primary, replica, transport = cluster(ack_deadline=0.2, stall=0.1)
+        primary.insert(1, "ok")  # healthy link: quorum confirms
+        transport.stalled = True
+        start = time.monotonic()
+        with pytest.raises(QuorumTimeoutError) as exc:
+            primary.insert(2, "stalled")
+        elapsed = time.monotonic() - start
+        # Unbounded would poll max_rounds x stall (~0.8s); the deadline
+        # cuts it off well before that.
+        assert elapsed < 0.6
+        assert exc.value.acks == 0
+        assert exc.value.required == 1
+        assert primary.quorum_timeouts == 1
+        # The write is still locally durable (same contract as
+        # AckQuorumError): refused the ack, kept the data.
+        assert primary.get(2) == "stalled"
+
+    def test_quorum_timeout_is_an_ack_quorum_error(self, cluster):
+        """Callers catching AckQuorumError keep working unchanged."""
+        primary, replica, transport = cluster(ack_deadline=0.1)
+        transport.stalled = True
+        with pytest.raises(AckQuorumError):
+            primary.insert(1, 1)
+
+    def test_none_deadline_preserves_unbounded_behavior(self, cluster):
+        primary, replica, transport = cluster(ack_deadline=None, stall=0.02)
+        transport.stalled = True
+        # Without a deadline the wait is bounded only by the replica's
+        # max_rounds polling; it ends in the classic AckQuorumError,
+        # never the timeout subtype.
+        with pytest.raises(AckQuorumError) as exc:
+            primary.insert(1, 1)
+        assert not isinstance(exc.value, QuorumTimeoutError)
+        assert primary.quorum_timeouts == 0
+        assert transport.stalled_calls >= 1
+
+    def test_recovery_after_heal(self, cluster):
+        primary, replica, transport = cluster(ack_deadline=0.15, stall=0.1)
+        transport.stalled = True
+        with pytest.raises(QuorumTimeoutError):
+            primary.insert(1, "during")
+        transport.stalled = False
+        primary.insert(2, "after")  # quorum confirms again
+        assert replica.durable.get(2) == "after"
+        # The stalled write replicated too once the link healed.
+        assert replica.durable.get(1) == "during"
+
+
+class TestDrainAcksDeadline:
+    def test_drain_acks_falls_back_to_ack_deadline(self, cluster):
+        primary, replica, transport = cluster(ack_deadline=0.2, stall=0.1)
+        ticket = primary.submit_insert(1, 1)
+        transport.stalled = True
+        start = time.monotonic()
+        with pytest.raises(QuorumTimeoutError):
+            primary.drain_acks()
+        assert time.monotonic() - start < 0.8
+        assert ticket.done()  # locally durable regardless
+        assert primary.quorum_timeouts == 1
+
+    def test_drain_acks_explicit_timeout_overrides(self, cluster):
+        primary, replica, transport = cluster(ack_deadline=5.0, stall=0.1)
+        primary.submit_insert(1, 1)
+        transport.stalled = True
+        start = time.monotonic()
+        with pytest.raises(QuorumTimeoutError):
+            primary.drain_acks(timeout=0.2)
+        assert time.monotonic() - start < 1.0
+
+    def test_drain_acks_healthy_link_confirms(self, cluster):
+        primary, replica, transport = cluster(ack_deadline=2.0)
+        for i in range(20):
+            primary.submit_insert(i, i)
+        settled = primary.drain_acks()
+        assert settled == 20
+        assert primary.quorum_timeouts == 0
+        assert replica.durable.get(19) == 19
