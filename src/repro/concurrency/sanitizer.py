@@ -1,4 +1,4 @@
-"""Runtime lock sanitizer: order-inversion and fsync-hazard detection.
+"""Runtime sanitizers: lock discipline auditing and event-loop stalls.
 
 The repo's one confirmed production-grade bug so far — the
 lost-acknowledged-write race between ``DurableTree.checkpoint`` and
@@ -32,6 +32,15 @@ auditing.  Test suites drain them via :func:`take_violations` (the
 shared conftest asserts the drain is empty after every test when the
 sanitizer is on).
 
+Beyond locks, this module is also the runtime half of the **async
+discipline** contract (the static half is the ``quit-check`` rule
+``async-blocking``): :data:`BLOCKING_CALLS` / :data:`BLOCKING_METHODS`
+name every call the event-loop thread must never make inline, and
+:class:`LoopStallWatchdog` observes real loops — a heartbeat callback
+timestamps loop liveness while a monitor thread samples it; a stall
+past the threshold is recorded as a ``loop-stall`` violation carrying
+the loop thread's *current frame* (the code actually blocking).
+
 This module deliberately imports nothing from the rest of the package
 so that ``repro.concurrency.locks`` (and through it ``repro.core``)
 can depend on it without cycles.
@@ -40,11 +49,17 @@ can depend on it without cycles.
 from __future__ import annotations
 
 import _thread
+import linecache
 import os
+import sys
 import threading
+import time
 import traceback
 from dataclasses import dataclass
-from typing import Union
+from typing import TYPE_CHECKING, Optional, Union
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, keeps imports light
+    import asyncio
 
 #: Canonical lock-acquisition order, outermost first.  A thread holding
 #: a lock may only acquire locks that appear *later* in this list.  The
@@ -91,13 +106,77 @@ FSYNC_UNSAFE: frozenset[str] = frozenset(
 )
 
 
+#: Canonical blocking-call table — the single source of truth for the
+#: async-discipline contract.  Keys are *dotted call names* as they
+#: appear in source (``os.fsync``) or bare builtins (``open``); values
+#: say why the call must never run inline on an event-loop thread.  The
+#: static rule (``repro.lint`` rule ``async-blocking``) flags these
+#: reachable from ``async def`` bodies; :class:`LoopStallWatchdog` uses
+#: the same table to label the offending frame of an observed stall, so
+#: the documented contract, the linter, and the runtime watchdog cannot
+#: drift apart.  The only sanctioned escapes are an executor hop
+#: (``loop.run_in_executor`` / ``asyncio.to_thread``) or an explicit
+#: ``# loop-safe: <reason>`` pragma at the call site.
+BLOCKING_CALLS: dict[str, str] = {
+    "os.fsync": "disk flush",
+    "os.fdatasync": "disk flush",
+    "os.replace": "directory metadata write",
+    "os.write": "raw file write",
+    "os.read": "raw file read",
+    "time.sleep": "thread sleep",
+    "open": "file open (disk I/O)",
+    "socket.create_connection": "blocking connect",
+}
+
+#: Method-name half of the table: attribute calls that block on *any*
+#: receiver (``ticket.wait``, ``lock.acquire``, ``sock.sendall``, a
+#: backend ``drain_acks``/``checkpoint``).  An ``await``-ed call is
+#: exempt — ``await event.wait()`` is the asyncio flavor, and the
+#: executor bridges pass these as references, never as inline calls.
+BLOCKING_METHODS: dict[str, str] = {
+    "fsync": "disk flush",
+    "sleep": "thread sleep",
+    "wait": "blocking wait (ticket / event / condition)",
+    "acquire": "sync lock acquire",
+    "join": "thread join",
+    "drain_acks": "quorum drain",
+    "checkpoint": "snapshot write + fsync",
+    "scrub": "artifact CRC scan (file reads)",
+    "sendall": "blocking socket send",
+    "recv": "blocking socket receive",
+    "connect": "blocking socket connect",
+    "accept": "blocking socket accept",
+    "read_frame_blocking": "blocking frame read",
+}
+
+
+def classify_blocking_frame(filename: str, lineno: int, func: str) -> Optional[str]:
+    """Label a stalled frame against the canonical blocking tables.
+
+    Matches the frame's function name against :data:`BLOCKING_METHODS`
+    and its current source line against :data:`BLOCKING_CALLS` (the
+    builtins — ``time.sleep``, ``os.fsync`` — never appear as Python
+    frames, so the *calling* line is what the watchdog sees).  Returns
+    the table's reason, or ``None`` for a stall outside the tables
+    (still a violation: the loop was blocked either way).
+    """
+    if func in BLOCKING_METHODS:
+        return BLOCKING_METHODS[func]
+    line = linecache.getline(filename, lineno)
+    for name, reason in BLOCKING_CALLS.items():
+        if name in line:
+            return reason
+    return None
+
+
 @dataclass
 class Violation:
-    """One detected lock-discipline violation.
+    """One detected sanitizer violation.
 
     Attributes:
         kind: ``"order-inversion"``, ``"rank-inversion"``,
-            ``"self-reacquire"``, or ``"fsync-under-lock"``.
+            ``"self-reacquire"``, ``"fsync-under-lock"``, or
+            ``"loop-stall"``.
         message: human-readable description.
         held: locks the offending thread held, outermost first.
         stack: formatted acquisition stack at the violation site.
@@ -358,3 +437,154 @@ def make_lock(name: str) -> LockLike:
     if _enabled:
         return SanitizedLock(name)
     return threading.Lock()
+
+
+# ----------------------------------------------------------------------
+# Event-loop stall watchdog
+# ----------------------------------------------------------------------
+
+def _env_stall_threshold() -> float:
+    raw = os.environ.get("QUIT_STALL_THRESHOLD", "").strip()
+    if not raw:
+        return 0.5
+    try:
+        return max(0.001, float(raw))
+    except ValueError:
+        return 0.5
+
+
+class LoopStallWatchdog:
+    """Detect event-loop-thread stalls and report the offending frame.
+
+    A *heartbeat* callback re-schedules itself on the watched loop every
+    ``threshold / 4`` seconds, timestamping loop liveness; a daemon
+    *monitor* thread samples that timestamp.  When the heartbeat goes
+    stale past ``threshold`` while the loop reports running, the loop
+    thread is blocked inside a callback — the monitor captures that
+    thread's current stack via ``sys._current_frames()``, labels the
+    innermost frame against :data:`BLOCKING_CALLS` /
+    :data:`BLOCKING_METHODS`, and records a ``loop-stall``
+    :class:`Violation`.  One report per stall episode: the next
+    heartbeat re-arms detection.
+
+    The watchdog never raises into the loop and adds only a timestamp
+    store per interval, so it is safe to leave armed across whole test
+    suites (CI runs the network suite under it).  ``install`` must be
+    called from the loop thread; ``uninstall`` is thread-safe and
+    idempotent, and a loop that simply stops or closes silences the
+    monitor without a report.
+    """
+
+    def __init__(
+        self,
+        threshold: Optional[float] = None,
+        interval: Optional[float] = None,
+    ) -> None:
+        self.threshold = _env_stall_threshold() if threshold is None else threshold
+        self.interval = (
+            max(0.005, self.threshold / 4.0) if interval is None else interval
+        )
+        self.stalls_reported = 0
+        self._loop: Optional["asyncio.AbstractEventLoop"] = None
+        self._thread_id: Optional[int] = None
+        self._last_beat = 0.0
+        self._reported_beat = -1.0
+        self._stop = threading.Event()
+        self._monitor: Optional[threading.Thread] = None
+
+    def install(self, loop: "asyncio.AbstractEventLoop") -> "LoopStallWatchdog":
+        """Arm on ``loop`` (call from the loop thread) and start the
+        monitor.  Returns ``self`` for chaining."""
+        self._loop = loop
+        self._thread_id = threading.get_ident()
+        self._last_beat = time.monotonic()
+        self._stop.clear()
+        loop.call_soon(self._beat)
+        self._monitor = threading.Thread(
+            target=self._watch, name="quit-loop-watchdog", daemon=True
+        )
+        self._monitor.start()
+        return self
+
+    def uninstall(self) -> None:
+        """Stop monitoring (thread-safe, idempotent).  The heartbeat
+        callback sees the stop flag and stops re-scheduling itself."""
+        self._stop.set()
+        monitor = self._monitor
+        if monitor is not None and monitor is not threading.current_thread():
+            monitor.join(timeout=2.0)
+        self._monitor = None
+
+    # -- loop side ------------------------------------------------------
+
+    def _beat(self) -> None:
+        if self._stop.is_set():
+            return
+        self._last_beat = time.monotonic()
+        loop = self._loop
+        if loop is not None and not loop.is_closed():
+            try:
+                loop.call_later(self.interval, self._beat)
+            except RuntimeError:  # pragma: no cover - loop shutting down
+                pass
+
+    # -- monitor side ---------------------------------------------------
+
+    def _watch(self) -> None:
+        poll = max(0.001, self.interval / 2.0)
+        while not self._stop.wait(poll):
+            loop = self._loop
+            if loop is None or loop.is_closed():
+                return
+            if not loop.is_running():
+                # Between run_until_complete calls / after shutdown:
+                # silence, and restart the staleness clock for the next
+                # run so the pause is never misread as a stall.
+                self._last_beat = time.monotonic()
+                continue
+            beat = self._last_beat
+            stalled = time.monotonic() - beat
+            if stalled < self.threshold or beat == self._reported_beat:
+                continue
+            self._reported_beat = beat
+            self._report(stalled)
+
+    def _report(self, stalled: float) -> None:
+        self.stalls_reported += 1
+        frame = sys._current_frames().get(self._thread_id or -1)
+        if frame is not None:
+            top = frame
+            label = classify_blocking_frame(
+                top.f_code.co_filename, top.f_lineno, top.f_code.co_name
+            )
+            site = (
+                f"{top.f_code.co_filename}:{top.f_lineno} "
+                f"in {top.f_code.co_name}"
+            )
+            stack = "".join(traceback.format_stack(frame, limit=12))
+        else:  # pragma: no cover - loop thread already gone
+            label, site, stack = None, "<thread exited>", ""
+        _record(
+            Violation(
+                kind="loop-stall",
+                message=(
+                    f"event-loop thread stalled {stalled * 1000.0:.0f}ms "
+                    f"(threshold {self.threshold * 1000.0:.0f}ms) at {site}"
+                    + (f" — {label}" if label else "")
+                    + "; blocking work belongs in an executor "
+                    "(see BLOCKING_CALLS)"
+                ),
+                stack=stack,
+            )
+        )
+
+
+def make_loop_watchdog(
+    loop: "asyncio.AbstractEventLoop",
+) -> Optional[LoopStallWatchdog]:
+    """Arm a :class:`LoopStallWatchdog` on ``loop`` when the sanitizer
+    is enabled; ``None`` (and zero overhead) otherwise.  Call from the
+    loop thread — the server does this in ``QuitServer.start``."""
+    if not _enabled:
+        return None
+    return LoopStallWatchdog().install(loop)

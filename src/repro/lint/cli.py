@@ -6,6 +6,11 @@ Usage::
     quit-check --rule no-bare-assert src/
     quit-check --list-rules
     quit-check --format json src/
+    quit-check --format summary src/   # rule inventory + per-rule counts
+
+``--format summary`` emits a stable JSON object — every registered rule
+with its finding count (zeros included) plus the number of files
+scanned — suitable for committing as a baseline and diffing in CI.
 
 Exit status: 0 when clean, 1 when findings were reported, 2 on usage
 errors.
@@ -52,9 +57,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "summary"),
         default="text",
-        help="output format (default: text)",
+        help="output format (default: text); summary = per-rule counts",
     )
     return parser
 
@@ -85,6 +90,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.format == "json":
         print(json.dumps([f.as_dict() for f in findings], indent=2))
+    elif args.format == "summary":
+        selected = args.rules or [rule.name for rule in all_rules()]
+        counts = {name: 0 for name in sorted(selected)}
+        for finding in findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        print(
+            json.dumps(
+                {"files": len(project.files), "findings": counts},
+                indent=2,
+                sort_keys=True,
+            )
+        )
     else:
         for finding in findings:
             print(finding.format())

@@ -2,7 +2,10 @@
 
 from . import (  # noqa: F401
     api_parity,
+    async_blocking,
     bare_assert,
+    deadline_discipline,
+    exception_flow,
     failpoint_parity,
     iofault_parity,
     layout_parity,

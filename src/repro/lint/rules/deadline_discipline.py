@@ -1,0 +1,94 @@
+"""deadline-discipline: executor bridges to waits must carry a budget.
+
+``async-blocking`` forces blocking waits off the loop thread and into
+``run_in_executor``/``asyncio.to_thread`` — but an *unbounded* wait in
+the executor is still a bug: it pins a pool slot forever, outlives the
+request's deadline, and stalls drain.  Every request in the server
+carries a deadline (``budget`` on the wire, clamped to ``MAX_BUDGET``),
+so every bridged wait has a bound available; this rule asserts it is
+actually threaded through.
+
+Concretely: any ``<loop>.run_in_executor(pool, fnref, *args)`` or
+``asyncio.to_thread(fnref, *args)`` whose function reference is a
+known *wait-shaped* bridge (:data:`DEADLINE_BRIDGES` — ``wait``,
+``drain_acks``, ``acquire``, ``join``) must pass at least one extra
+positional argument (the timeout/deadline).  Bridges to bounded work
+(``checkpoint``, ``scrub`` — long, but disk-bound and finite) are not
+wait-shaped and are exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional
+
+from ..engine import Finding, Project, register
+
+RULE = "deadline-discipline"
+
+#: Function-reference names that block until *someone else* acts; an
+#: executor bridge to one of these without a timeout argument can wait
+#: forever.
+DEADLINE_BRIDGES: Dict[str, str] = {
+    "wait": "ticket/event/condition wait",
+    "drain_acks": "replica quorum drain",
+    "acquire": "lock acquisition",
+    "join": "thread join",
+}
+
+
+def _terminal_name(expr: ast.expr) -> Optional[str]:
+    if isinstance(expr, ast.Attribute):
+        return expr.attr
+    if isinstance(expr, ast.Name):
+        return expr.id
+    return None
+
+
+def _bridge_args(call: ast.Call) -> Optional[tuple[ast.expr, List[ast.expr]]]:
+    """``(fnref, extra_args)`` when *call* is an executor bridge."""
+    func = call.func
+    if not isinstance(func, ast.Attribute):
+        return None
+    if func.attr == "run_in_executor" and len(call.args) >= 2:
+        return call.args[1], list(call.args[2:])
+    if func.attr == "to_thread" and len(call.args) >= 1:
+        base = func.value
+        if isinstance(base, ast.Name) and base.id == "asyncio":
+            return call.args[0], list(call.args[1:])
+    return None
+
+
+@register(
+    RULE,
+    "executor bridges to wait-shaped calls must pass a deadline/budget",
+)
+def check(project: Project) -> List[Finding]:
+    findings: List[Finding] = []
+    for src in project.files:
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            bridge = _bridge_args(node)
+            if bridge is None:
+                continue
+            fnref, extra = bridge
+            name = _terminal_name(fnref)
+            if name is None or name not in DEADLINE_BRIDGES:
+                continue
+            if extra:
+                continue  # a bound is threaded through
+            findings.append(
+                Finding(
+                    RULE,
+                    src.display,
+                    node.lineno,
+                    f"executor bridge to `{name}` "
+                    f"({DEADLINE_BRIDGES[name]}) is awaited without a "
+                    "deadline/budget argument; pass the remaining budget "
+                    "(e.g. `deadline - time.monotonic()`) so the bridge "
+                    "cannot outlive its request",
+                )
+            )
+    findings.sort(key=lambda f: (f.path, f.line))
+    return findings

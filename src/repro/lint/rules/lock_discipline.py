@@ -16,8 +16,10 @@ This rule rebuilds the acquisition graph *statically*:
 
 2. **Inter-procedural summaries.**  Each function's *acquisition
    summary* (every lock it may take, transitively) is propagated to its
-   callers through a fixpoint over resolvable calls: ``self.method()``
-   through base classes, attribute chains typed by :data:`ATTR_TYPES`
+   callers through a fixpoint over resolvable calls, using the shared
+   :mod:`repro.lint.callgraph` machinery (:class:`~repro.lint.callgraph.
+   CallResolver` with :data:`ATTR_TYPES` as the facade-typing table):
+   ``self.method()`` through base classes, attribute chains
    (``self.durable.wal.sync`` → ``WriteAheadLog.sync``), class-name
    receivers (``DurableTree.recover``), the ``failpoints`` module
    alias, and bare-name calls to module-level functions.  Unresolvable
@@ -48,6 +50,15 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from ...concurrency.sanitizer import LOCK_ORDER
+from ..callgraph import (
+    CallResolver,
+    ClassMap,
+    FuncKey,
+    FunctionInfo,
+    collect_functions,
+    fixpoint,
+    module_function_index,
+)
 from ..engine import Finding, Project, SourceFile, register
 
 RULE = "lock-discipline"
@@ -164,8 +175,6 @@ LOCK_SUFFIXES: Tuple[str, ...] = ("_lock", "_locks", "_mutex", "_gate")
 
 HOLDS_PRAGMA = re.compile(r"#\s*holds:\s*([\w.\-]+)")
 
-FuncKey = Tuple[str, str]  # (owner: class name or "mod:<stem>", func name)
-
 
 @dataclass
 class _Edge:
@@ -189,40 +198,6 @@ class _FuncFacts:
     unguarded: List[Finding] = field(default_factory=list)
 
 
-class _ClassMap:
-    """Class name -> (bases, method map) across the whole project."""
-
-    def __init__(self, project: Project) -> None:
-        self.bases: Dict[str, List[str]] = {}
-        self.methods: Dict[FuncKey, bool] = {}
-        for src in project.files:
-            for node in ast.walk(src.tree):
-                if isinstance(node, ast.ClassDef):
-                    names = []
-                    for b in node.bases:
-                        if isinstance(b, ast.Name):
-                            names.append(b.id)
-                        elif isinstance(b, ast.Attribute):
-                            names.append(b.attr)
-                    self.bases[node.name] = names
-                    for stmt in node.body:
-                        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                            self.methods[(node.name, stmt.name)] = True
-
-    def resolve_method(self, cls: str, name: str) -> Optional[FuncKey]:
-        seen: Set[str] = set()
-        queue = [cls]
-        while queue:
-            cur = queue.pop(0)
-            if cur in seen:
-                continue
-            seen.add(cur)
-            if (cur, name) in self.methods:
-                return (cur, name)
-            queue.extend(self.bases.get(cur, []))
-        return None
-
-
 def _lock_attr_id(stem: str, attr: str) -> Optional[str]:
     canonical = CANONICAL.get((stem, attr))
     if canonical is not None:
@@ -235,18 +210,10 @@ def _lock_attr_id(stem: str, attr: str) -> Optional[str]:
 class _FunctionAnalyzer:
     """Collect facts for one function: acquisitions, edges, calls, writes."""
 
-    def __init__(
-        self,
-        facts: _FuncFacts,
-        class_map: _ClassMap,
-        module_funcs: Dict[Tuple[str, str], FuncKey],
-        class_names: Set[str],
-    ) -> None:
+    def __init__(self, facts: _FuncFacts, resolver: CallResolver) -> None:
         self.facts = facts
         self.stem = facts.src.stem
-        self.class_map = class_map
-        self.module_funcs = module_funcs
-        self.class_names = class_names
+        self.resolver = resolver
         self.aliases: Dict[str, str] = {}
         self._collect_aliases(facts.node)
 
@@ -285,43 +252,6 @@ class _FunctionAnalyzer:
                 return self.aliases[expr.id]
             if expr.id.endswith(LOCK_SUFFIXES):
                 return _lock_attr_id(self.stem, expr.id)
-        return None
-
-    # -- call resolution -----------------------------------------------
-
-    def _receiver_type(self, expr: ast.expr) -> Optional[str]:
-        """Static type of an attribute-chain receiver, or None."""
-        if isinstance(expr, ast.Name):
-            if expr.id == "self":
-                return self.facts.class_name
-            if expr.id in self.class_names:
-                return expr.id  # classmethod-style receiver
-            return None
-        if isinstance(expr, ast.Attribute):
-            base = self._receiver_type(expr.value)
-            if base is None:
-                return None
-            # Typed facade hop, e.g. Replica.durable -> DurableTree.
-            return ATTR_TYPES.get((base, expr.attr))
-        return None
-
-    def _resolve_call(self, call: ast.Call) -> Optional[FuncKey]:
-        func = call.func
-        if isinstance(func, ast.Attribute):
-            base = func.value
-            if isinstance(base, ast.Name) and base.id in MODULE_ALIASES:
-                return self.module_funcs.get((base.id, func.attr))
-            recv = self._receiver_type(base)
-            if recv is not None:
-                return self.class_map.resolve_method(recv, func.attr)
-            return None
-        if isinstance(func, ast.Name):
-            if func.id in NAME_CALL_LOCKS:
-                return None  # handled as a lock acquisition
-            key = self.module_funcs.get((self.stem, func.id))
-            if key is not None:
-                return key
-            return self.module_funcs.get(("*", func.id))
         return None
 
     # -- traversal ------------------------------------------------------
@@ -372,7 +302,7 @@ class _FunctionAnalyzer:
     def _scan_expr(self, expr: ast.AST, held: List[str]) -> None:
         for node in ast.walk(expr):
             if isinstance(node, ast.Call):
-                key = self._resolve_call(node)
+                key = self.resolver.resolve(node)
                 if key is not None:
                     self.facts.calls.append((key, tuple(held), node.lineno))
 
@@ -415,62 +345,39 @@ class _FunctionAnalyzer:
                 )
 
 
-def _collect_functions(project: Project, class_map: _ClassMap) -> List[_FuncFacts]:
+def _collect_facts(
+    project: Project, infos: Sequence["FunctionInfo"]
+) -> List[_FuncFacts]:
+    """Wrap the shared collector's output, layering on the lock pragmas."""
     out: List[_FuncFacts] = []
-    for src in project.files:
-        if src.stem in EXCLUDED_STEMS:
-            continue
-        lines = src.text.splitlines()
-
-        def pragmas(node: ast.AST) -> List[str]:
-            start = getattr(node, "lineno", 1) - 1
-            end = getattr(node, "end_lineno", start + 1)
-            found: List[str] = []
-            for raw in lines[start:end]:
-                m = HOLDS_PRAGMA.search(raw)
-                if m:
-                    found.append(m.group(1))
-            return found
-
-        def make(node: ast.AST, owner: str, cls: Optional[str]) -> None:
-            name = getattr(node, "name", "<lambda>")
-            facts = _FuncFacts(
-                key=(owner, name), src=src, node=node, class_name=cls
-            )
-            facts.assumed_held.extend(pragmas(node))
-            if name.endswith("_locked") and cls is not None:
-                primary = PRIMARY_LOCK.get(cls)
-                if primary is not None and primary not in facts.assumed_held:
-                    facts.assumed_held.append(primary)
-            out.append(facts)
-
-        for node in src.tree.body:
-            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                make(node, f"mod:{src.stem}", None)
-            elif isinstance(node, ast.ClassDef):
-                for stmt in node.body:
-                    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                        make(stmt, node.name, node.name)
+    line_cache: Dict[str, List[str]] = {}
+    for info in infos:
+        lines = line_cache.setdefault(info.src.display, info.src.text.splitlines())
+        facts = _FuncFacts(
+            key=info.key, src=info.src, node=info.node, class_name=info.class_name
+        )
+        start = getattr(info.node, "lineno", 1) - 1
+        end = getattr(info.node, "end_lineno", start + 1)
+        for raw in lines[start:end]:
+            m = HOLDS_PRAGMA.search(raw)
+            if m:
+                facts.assumed_held.append(m.group(1))
+        name = info.key[1]
+        if name.endswith("_locked") and info.class_name is not None:
+            primary = PRIMARY_LOCK.get(info.class_name)
+            if primary is not None and primary not in facts.assumed_held:
+                facts.assumed_held.append(primary)
+        out.append(facts)
     return out
 
 
 def _summaries(functions: Dict[FuncKey, _FuncFacts]) -> Dict[FuncKey, Set[str]]:
-    summary: Dict[FuncKey, Set[str]] = {
-        key: set(facts.direct) for key, facts in functions.items()
+    calls = {
+        key: [callee for callee, _held, _line in facts.calls]
+        for key, facts in functions.items()
     }
-    changed = True
-    while changed:
-        changed = False
-        for key, facts in functions.items():
-            mine = summary[key]
-            before = len(mine)
-            for callee, _held, _line in facts.calls:
-                callee_summary = summary.get(callee)
-                if callee_summary:
-                    mine |= callee_summary
-            if len(mine) != before:
-                changed = True
-    return summary
+    seed = {key: set(facts.direct) for key, facts in functions.items()}
+    return fixpoint(calls, seed)
 
 
 def _tarjan_sccs(edges: Dict[Tuple[str, str], _Edge]) -> List[Set[str]]:
@@ -531,21 +438,26 @@ def _tarjan_sccs(edges: Dict[Tuple[str, str], _Edge]) -> List[Set[str]]:
     "lock nesting must follow the canonical order; guarded fields need a lock",
 )
 def check(project: Project) -> List[Finding]:
-    class_map = _ClassMap(project)
-    class_names = set(class_map.bases)
-    module_funcs: Dict[Tuple[str, str], FuncKey] = {}
-    all_facts = _collect_functions(project, class_map)
-    for facts in all_facts:
-        owner, name = facts.key
-        if owner.startswith("mod:"):
-            stem = owner[4:]
-            module_funcs[(stem, name)] = facts.key
-            module_funcs.setdefault(("*", name), facts.key)
+    class_map = ClassMap(project)
+    class_names = frozenset(class_map.bases)
+    infos = collect_functions(project, excluded_stems=EXCLUDED_STEMS)
+    all_facts = _collect_facts(project, infos)
+    module_funcs = module_function_index(infos)
 
     functions: Dict[FuncKey, _FuncFacts] = {}
     for facts in all_facts:
         functions[facts.key] = facts
-        _FunctionAnalyzer(facts, class_map, module_funcs, class_names).run()
+        resolver = CallResolver(
+            class_name=facts.class_name,
+            stem=facts.src.stem,
+            class_map=class_map,
+            module_funcs=module_funcs,
+            class_names=class_names,
+            attr_types=ATTR_TYPES,
+            module_aliases=MODULE_ALIASES,
+            skip_names=frozenset(NAME_CALL_LOCKS),
+        )
+        _FunctionAnalyzer(facts, resolver).run()
 
     summary = _summaries(functions)
 

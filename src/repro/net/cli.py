@@ -32,7 +32,7 @@ import os
 import signal
 import sys
 from pathlib import Path
-from typing import Any, Optional, Sequence
+from typing import Any, Optional, Sequence, TextIO
 
 from ..bench.harness import VARIANTS
 from ..core import DurableTree, TreeConfig
@@ -170,7 +170,7 @@ def _config(args: argparse.Namespace) -> Optional[TreeConfig]:
 # serve
 # ----------------------------------------------------------------------
 
-def cmd_serve(args: argparse.Namespace, out) -> int:
+def cmd_serve(args: argparse.Namespace, out: TextIO) -> int:
     tree_class = VARIANTS[args.variant]
     durable, report = DurableTree.recover(
         args.directory, tree_class, _config(args), fsync=args.fsync
@@ -264,7 +264,7 @@ def _client(args: argparse.Namespace) -> QuitClient:
     return QuitClient(host, port, deadline=args.deadline)
 
 
-def cmd_get(args: argparse.Namespace, out) -> int:
+def cmd_get(args: argparse.Namespace, out: TextIO) -> int:
     with _client(args) as client:
         sentinel = object()
         value = client.get(_literal(args.key), sentinel)
@@ -275,7 +275,7 @@ def cmd_get(args: argparse.Namespace, out) -> int:
     return 0
 
 
-def cmd_put(args: argparse.Namespace, out) -> int:
+def cmd_put(args: argparse.Namespace, out: TextIO) -> int:
     with _client(args) as client:
         ack = client.insert_acked(_literal(args.key), _literal(args.value))
     print(
@@ -286,14 +286,14 @@ def cmd_put(args: argparse.Namespace, out) -> int:
     return 0
 
 
-def cmd_del(args: argparse.Namespace, out) -> int:
+def cmd_del(args: argparse.Namespace, out: TextIO) -> int:
     with _client(args) as client:
         existed = client.delete(_literal(args.key))
     print(f"ok existed={existed}", file=out)
     return 0
 
 
-def cmd_scan(args: argparse.Namespace, out) -> int:
+def cmd_scan(args: argparse.Namespace, out: TextIO) -> int:
     shown = 0
     with _client(args) as client:
         for key, value in client.range_iter(
@@ -307,7 +307,7 @@ def cmd_scan(args: argparse.Namespace, out) -> int:
     return 0
 
 
-def cmd_status(args: argparse.Namespace, out) -> int:
+def cmd_status(args: argparse.Namespace, out: TextIO) -> int:
     with _client(args) as client:
         status = client.status()
     stats = status.pop("stats", {})
@@ -328,7 +328,7 @@ COMMANDS = {
 }
 
 
-def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+def main(argv: Optional[Sequence[str]] = None, out: Optional[TextIO] = None) -> int:
     out = out if out is not None else sys.stdout
     args = build_parser().parse_args(argv)
     try:

@@ -43,7 +43,11 @@ from __future__ import annotations
 
 import ast
 import struct
-from typing import Any, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import asyncio
+    import socket
 
 #: Protocol revision; bumped on any frame-layout change.
 PROTOCOL_VERSION = 1
@@ -201,7 +205,7 @@ def decode_response(body: bytes) -> Tuple[int, int, int, int, Any]:
     )
 
 
-def read_frame_blocking(sock) -> Optional[bytes]:
+def read_frame_blocking(sock: socket.socket) -> Optional[bytes]:
     """Read one frame body from a blocking socket.
 
     Returns ``None`` on a clean EOF at a frame boundary; raises
@@ -220,7 +224,7 @@ def read_frame_blocking(sock) -> Optional[bytes]:
     return body
 
 
-def _read_exact(sock, n: int, *, eof_ok: bool) -> Optional[bytes]:
+def _read_exact(sock: socket.socket, n: int, *, eof_ok: bool) -> Optional[bytes]:
     parts = []
     remaining = n
     while remaining:
@@ -236,7 +240,9 @@ def _read_exact(sock, n: int, *, eof_ok: bool) -> Optional[bytes]:
     return b"".join(parts)
 
 
-async def read_frame_async(reader) -> Optional[bytes]:
+async def read_frame_async(
+    reader: "asyncio.StreamReader",
+) -> Optional[bytes]:
     """Read one frame body from an ``asyncio.StreamReader``.
 
     Same contract as :func:`read_frame_blocking`.

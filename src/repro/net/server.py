@@ -47,6 +47,7 @@ import threading
 import time
 from typing import Any, Optional
 
+from ..concurrency import sanitizer
 from ..core.health import ReadOnlyError
 from ..core.wal import WALError
 from ..testing import iofaults
@@ -150,8 +151,14 @@ class QuitServer:
             getattr(backend, "required_acks", 0) > 0
             and hasattr(backend, "drain_acks")
         )
-        self._ack_waiters: list[asyncio.Future] = []
+        #: Waiters registered for the next ack round, with their
+        #: deadlines so the drain bridge can bound its own wait.
+        self._ack_waiters: list[tuple[asyncio.Future, float]] = []
         self._ack_drainer: Optional[asyncio.Task] = None
+        # Armed in start() under QUIT_SANITIZE=1: reports loop-thread
+        # stalls (blocking work that dodged the executor) as sanitizer
+        # violations.
+        self._watchdog: Optional[sanitizer.LoopStallWatchdog] = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -161,6 +168,7 @@ class QuitServer:
         """Bind and start accepting; resolves :attr:`port`."""
         self._loop = asyncio.get_running_loop()
         self._drained = asyncio.Event()
+        self._watchdog = sanitizer.make_loop_watchdog(self._loop)
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port
         )
@@ -233,6 +241,9 @@ class QuitServer:
                 writer.close()
             except Exception:  # pragma: no cover - best effort
                 pass
+        if self._watchdog is not None:
+            self._watchdog.uninstall()
+            self._watchdog = None
         if self._drained is not None:
             self._drained.set()
         return settled
@@ -355,12 +366,16 @@ class QuitServer:
             return await self._serve_mutation(op, request_id, deadline, payload)
         if op == protocol.OP_STATUS:
             return protocol.ST_OK, 0, self._status_payload()
+        # check/scrub walk the whole tree (and scrub re-reads artifact
+        # bytes): loop-thread poison, so both run in the executor.
+        loop = asyncio.get_running_loop()
         if op == protocol.OP_CHECK:
-            return protocol.ST_OK, 0, list(
-                self.backend.check(check_min_fill=False)
+            issues = await loop.run_in_executor(
+                None, lambda: list(self.backend.check(check_min_fill=False))
             )
+            return protocol.ST_OK, 0, issues
         if op == protocol.OP_SCRUB:
-            report = self.backend.scrub()
+            report = await loop.run_in_executor(None, self.backend.scrub)
             return protocol.ST_OK, 0, {
                 "variant": report.variant,
                 "issues": list(report.issues),
@@ -478,14 +493,17 @@ class QuitServer:
     ) -> tuple[int, int, Any]:
         backend = self.backend
         try:
+            # Submits only append + enqueue under the served
+            # fsync='group' policy; the blocking part (the fsync ack)
+            # is awaited off-loop in _await_ticket.
             if op == protocol.OP_PUT:
                 key, value = payload
-                ticket = backend.submit_insert(key, value)
+                ticket = backend.submit_insert(key, value)  # loop-safe: group-commit enqueue
             elif op == protocol.OP_DELETE:
-                ticket = backend.submit_delete(payload)
+                ticket = backend.submit_delete(payload)  # loop-safe: group-commit enqueue
             else:  # OP_PUT_MANY
                 items = [(k, v) for k, v in payload]
-                ticket = backend.submit_many(items)
+                ticket = backend.submit_many(items)  # loop-safe: group-commit enqueue
         except ReadOnlyError as exc:
             self.stats.net_readonly_refusals += 1
             return protocol.ST_READ_ONLY, 0, str(exc)
@@ -545,7 +563,7 @@ class QuitServer:
 
     async def _await_ticket(self, ticket: Any, deadline: float) -> None:
         if ticket.done():
-            ticket.wait(0)  # re-raise a failed resolved ticket
+            ticket.wait(0)  # loop-safe: already resolved, re-raises without blocking
             return
         remaining = max(0.001, deadline - time.monotonic())
         loop = asyncio.get_running_loop()
@@ -556,7 +574,7 @@ class QuitServer:
     ) -> Optional[tuple[int, int, Any]]:
         loop = asyncio.get_running_loop()
         fut: asyncio.Future = loop.create_future()
-        self._ack_waiters.append(fut)
+        self._ack_waiters.append((fut, deadline))
         if self._ack_drainer is None or self._ack_drainer.done():
             self._ack_drainer = loop.create_task(self._drain_ack_rounds())
         try:
@@ -583,15 +601,22 @@ class QuitServer:
         loop = asyncio.get_running_loop()
         while self._ack_waiters:
             waiters, self._ack_waiters = self._ack_waiters, []
+            # The round is bounded by the latest waiter deadline (every
+            # earlier one gives up via its own wait_for), capped so a
+            # rogue budget can never pin the executor slot.
+            horizon = max(dl for _fut, dl in waiters) - time.monotonic()
+            budget = max(0.001, min(horizon, MAX_BUDGET))
             try:
-                await loop.run_in_executor(None, self.backend.drain_acks)
+                await loop.run_in_executor(
+                    None, self.backend.drain_acks, budget
+                )
             except Exception as exc:
-                for fut in waiters:
+                for fut, _dl in waiters:
                     if not fut.done():
                         fut.set_exception(exc)
                         fut.exception()  # consumed by _await_quorum or nobody
             else:
-                for fut in waiters:
+                for fut, _dl in waiters:
                     if not fut.done():
                         fut.set_result(None)
 
@@ -728,6 +753,9 @@ class BackgroundServer:
 
         def _slam() -> None:
             server.admission.draining = True
+            if server._watchdog is not None:
+                server._watchdog.uninstall()
+                server._watchdog = None
             if server._server is not None:
                 server._server.close()
             for writer in list(server._conn_writers):

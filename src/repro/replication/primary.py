@@ -34,11 +34,13 @@ from __future__ import annotations
 import os
 import time
 from pathlib import Path
-from typing import Any, Iterable, Iterator, Optional
+from typing import TYPE_CHECKING, Any, Iterable, Iterator, Optional
 
 from ..concurrency import sanitizer
 from ..core.durable import DurableTree
+from ..core.stats import ScrubReport
 from ..core.wal import (
+    CommitTicket,
     WALPosition,
     WALReader,
     WALStreamError,
@@ -47,6 +49,11 @@ from ..core.wal import (
 )
 from ..testing import failpoints
 from .transport import FetchResult, ReplicationError, SnapshotPayload, TransportError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.wal import WriteAheadLog
+    from .coordinator import EpochRegistry
+    from .replica import Replica
 
 EPOCH_FILENAME = "EPOCH"
 
@@ -125,7 +132,7 @@ class Primary:
         durable: DurableTree,
         *,
         epoch: Optional[int] = None,
-        registry=None,
+        registry: Optional["EpochRegistry"] = None,
         node_id: str = "primary",
         required_acks: int = 0,
         ack_deadline: Optional[float] = None,
@@ -154,11 +161,11 @@ class Primary:
         #: snapshotting it and truncating the damaged log is a full
         #: repair; the asking replica re-bootstraps from the result.
         self.stream_repairs = 0
-        self._replicas: list = []
+        self._replicas: list["Replica"] = []
         #: Commit tickets handed out by ``submit_*`` whose quorum
         #: confirmation is still owed; drained (one shipping round for
         #: all of them) by :meth:`drain_acks`.  Guarded by `_meta_lock`.
-        self._pending_tickets: list = []
+        self._pending_tickets: list[CommitTicket] = []
         self._meta_lock = sanitizer.make_lock("repl.primary.meta")
         self._reader = WALReader(self.wal.directory)
         stored = read_epoch(self.directory)
@@ -179,7 +186,7 @@ class Primary:
     # -- plumbing ------------------------------------------------------
 
     @property
-    def wal(self):
+    def wal(self) -> "WriteAheadLog":
         return self.durable.wal
 
     @property
@@ -187,7 +194,7 @@ class Primary:
         return self.durable.directory
 
     @property
-    def tree(self):
+    def tree(self) -> Any:
         return self.durable.tree
 
     @property
@@ -200,12 +207,12 @@ class Primary:
 
     # -- replica management --------------------------------------------
 
-    def attach(self, replica) -> None:
+    def attach(self, replica: "Replica") -> None:
         """Register a replica as a synchronous-ack target."""
         if replica not in self._replicas:
             self._replicas.append(replica)
 
-    def detach(self, replica) -> None:
+    def detach(self, replica: "Replica") -> None:
         if replica in self._replicas:
             self._replicas.remove(replica)
 
@@ -250,16 +257,16 @@ class Primary:
 
     # -- writes --------------------------------------------------------
 
-    def insert(self, key, value: Any = None) -> None:
+    def insert(self, key: Any, value: Any = None) -> None:
         """Fenced, locally durable, and (in sync mode) replicated upsert."""
         self._check_leadership()
         self.durable.insert(key, value)
         self._await_acks()
 
-    def __setitem__(self, key, value: Any) -> None:
+    def __setitem__(self, key: Any, value: Any) -> None:
         self.insert(key, value)
 
-    def delete(self, key) -> bool:
+    def delete(self, key: Any) -> bool:
         self._check_leadership()
         existed = self.durable.delete(key)
         self._await_acks()
@@ -273,7 +280,7 @@ class Primary:
 
     # -- pipelined writes ----------------------------------------------
 
-    def submit_insert(self, key, value: Any = None):
+    def submit_insert(self, key: Any, value: Any = None) -> CommitTicket:
         """Pipelined fenced upsert: returns the local-durability ticket.
 
         Leadership is checked *at submit* (a fenced primary must not
@@ -289,21 +296,21 @@ class Primary:
         self._track_ticket(ticket)
         return ticket
 
-    def submit_delete(self, key):
+    def submit_delete(self, key: Any) -> CommitTicket:
         """Pipelined fenced delete; ``result()`` is whether it existed."""
         self._check_leadership()
         ticket = self.durable.submit_delete(key)
         self._track_ticket(ticket)
         return ticket
 
-    def submit_many(self, items: Iterable[tuple]):
+    def submit_many(self, items: Iterable[tuple]) -> CommitTicket:
         """Pipelined fenced batched upsert (one WAL record)."""
         self._check_leadership()
         ticket = self.durable.submit_many(items)
         self._track_ticket(ticket)
         return ticket
 
-    def _track_ticket(self, ticket) -> None:
+    def _track_ticket(self, ticket: CommitTicket) -> None:
         if self.required_acks <= 0:
             return
         with self._meta_lock:
@@ -390,37 +397,37 @@ class Primary:
 
     # -- reads (delegation) --------------------------------------------
 
-    def get(self, key, default: Any = None) -> Any:
+    def get(self, key: Any, default: Any = None) -> Any:
         return self.durable.get(key, default)
 
-    def __getitem__(self, key) -> Any:
+    def __getitem__(self, key: Any) -> Any:
         return self.durable[key]
 
-    def __contains__(self, key) -> bool:
+    def __contains__(self, key: Any) -> bool:
         return key in self.durable
 
-    def get_many(self, keys, default: Any = None):
+    def get_many(self, keys: Iterable[Any], default: Any = None) -> list[Any]:
         return self.durable.get_many(keys, default)
 
-    def range_query(self, start, end):
+    def range_query(self, start: Any, end: Any) -> list[tuple[Any, Any]]:
         return self.durable.range_query(start, end)
 
-    def range_iter(self, start, end) -> Iterator[tuple]:
+    def range_iter(self, start: Any, end: Any) -> Iterator[tuple]:
         """Lazy range scan over the locally durable tree.  Like every
         read on the primary it is served unfenced — reads never need the
         epoch check because they acknowledge nothing."""
         return self.durable.range_iter(start, end)
 
-    def items(self):
+    def items(self) -> Iterable[tuple[Any, Any]]:
         return self.durable.items()
 
     def __len__(self) -> int:
         return len(self.durable)
 
-    def check(self, check_min_fill: bool = False):
+    def check(self, check_min_fill: bool = False) -> list[str]:
         return self.durable.check(check_min_fill=check_min_fill)
 
-    def scrub(self):
+    def scrub(self) -> ScrubReport:
         return self.durable.scrub()
 
     # -- serving the stream --------------------------------------------
@@ -531,7 +538,7 @@ class Primary:
     def __enter__(self) -> "Primary":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: Any) -> None:
         if exc_info[0] is not None and issubclass(
             exc_info[0], failpoints.SimulatedCrash
         ):

@@ -40,7 +40,7 @@ import shutil
 import time
 import zlib
 from pathlib import Path
-from typing import Any, Optional, Type, Union
+from typing import TYPE_CHECKING, Any, Iterable, Iterator, Optional, Type, Union
 
 from ..concurrency import sanitizer
 from ..concurrency.locks import RWLock
@@ -49,6 +49,7 @@ from ..core.config import TreeConfig
 from ..core.durable import SNAPSHOT_NAME, WAL_DIRNAME, DurableTree
 from ..core.persist import PersistenceError
 from ..core.scrubber import Scrubber
+from ..core.stats import ScrubReport
 from ..core.wal import (
     OP_DELETE,
     OP_EPOCH,
@@ -65,6 +66,9 @@ from .transport import (
     StaleEpochError,
     TransportError,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .coordinator import EpochRegistry
 
 CURSOR_FILENAME = "replica.cursor"
 
@@ -224,7 +228,7 @@ class Replica:
         self.peer_heals += 1
         return True
 
-    def make_scrubber(self, **kwargs) -> Scrubber:
+    def make_scrubber(self, **kwargs: Any) -> Scrubber:
         """A :class:`Scrubber` bound to this replica's *current* tree.
 
         The provider indirection matters: every bootstrap (including a
@@ -449,7 +453,7 @@ class Replica:
         self,
         *,
         epoch: int,
-        registry=None,
+        registry: Optional["EpochRegistry"] = None,
         required_acks: int = 0,
     ) -> tuple[Primary, Any]:
         """Become the primary of ``epoch``.
@@ -482,42 +486,51 @@ class Replica:
         """Leaf storage layout of the replicated tree."""
         return self.durable.layout
 
-    def get(self, key, default: Any = None) -> Any:
-        with self._lock.read_locked():
-            return self.durable.get(key, default)
+    def _state_or_raise(self) -> DurableTree:
+        durable = self.durable
+        if durable is None:
+            raise ReplicationError(
+                f"replica {self.name} has no local state "
+                "(bootstrap first)"
+            )
+        return durable
 
-    def get_many(self, keys, default: Any = None):
+    def get(self, key: Any, default: Any = None) -> Any:
         with self._lock.read_locked():
-            return self.durable.get_many(keys, default)
+            return self._state_or_raise().get(key, default)
 
-    def range_query(self, start, end):
+    def get_many(self, keys: Iterable[Any], default: Any = None) -> list[Any]:
         with self._lock.read_locked():
-            return self.durable.range_query(start, end)
+            return self._state_or_raise().get_many(keys, default)
 
-    def items(self):
+    def range_query(self, start: Any, end: Any) -> list[tuple[Any, Any]]:
         with self._lock.read_locked():
-            return list(self.durable.items())
+            return self._state_or_raise().range_query(start, end)
+
+    def items(self) -> list[tuple[Any, Any]]:
+        with self._lock.read_locked():
+            return list(self._state_or_raise().items())
 
     def __len__(self) -> int:
         with self._lock.read_locked():
             return len(self.durable) if self.durable is not None else 0
 
-    def check(self, check_min_fill: bool = False):
+    def check(self, check_min_fill: bool = False) -> list[str]:
         with self._lock.read_locked():
-            return self.durable.check(check_min_fill=check_min_fill)
+            return self._state_or_raise().check(check_min_fill=check_min_fill)
 
-    def range_iter(self, start, end):
+    def range_iter(self, start: Any, end: Any) -> Iterator[tuple[Any, Any]]:
         """Range scan with the lazy-iterator surface of the other tree
         facades.  The replica applies shipped records under its write
         lock, so the result is materialized under the read lock and the
         snapshot iterated — an open cursor must never pin the lock
         across caller-controlled iteration."""
         with self._lock.read_locked():
-            snapshot = self.durable.range_query(start, end)
+            snapshot = self._state_or_raise().range_query(start, end)
         return iter(snapshot)
 
-    def scrub(self):
+    def scrub(self) -> ScrubReport:
         """Scrub the local tree's derived state (what :meth:`promote`
         runs before serving writes), exposed for facade parity."""
         with self._lock.write_locked():
-            return self.durable.scrub()
+            return self._state_or_raise().scrub()

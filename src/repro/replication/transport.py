@@ -29,10 +29,13 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from ..core.wal import WALPosition, WALRecord
 from ..testing import failpoints
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .primary import Primary
 
 
 class TransportError(RuntimeError):
@@ -140,7 +143,9 @@ class InProcessTransport(ReplicationTransport):
     network implementation.
     """
 
-    def __init__(self, primary, *, chaos: Optional[TransportChaos] = None):
+    def __init__(
+        self, primary: "Primary", *, chaos: Optional[TransportChaos] = None
+    ) -> None:
         self.primary = primary
         self.chaos = chaos
         self.partitioned = False

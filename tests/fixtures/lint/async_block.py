@@ -1,0 +1,39 @@
+"""Seeded async-blocking violations: a blocking call two frames below
+an async handler and a sync lock held in an async body — plus executor-
+and pragma-cleared variants that must stay silent."""
+
+import asyncio
+import os
+import time
+
+_table_lock = None  # stands in for a threading.Lock
+
+
+def _sync_flush(fd):
+    os.fsync(fd)  # line 13: seeded — two frames below the async def
+
+
+def _middle(fd):
+    _sync_flush(fd)
+
+
+async def handler(fd):
+    _middle(fd)
+
+
+async def cleared_by_executor(fd):
+    loop = asyncio.get_running_loop()
+    await loop.run_in_executor(None, _sync_flush, fd)
+
+
+async def cleared_by_pragma():
+    time.sleep(0)  # loop-safe: zero-duration sleep as a scheduler hint
+
+
+async def loop_safe_function(fd):  # loop-safe: audited, runs pre-loop only
+    _middle(fd)
+
+
+async def lock_holder():
+    with _table_lock:  # line 38: seeded — sync lock on the loop thread
+        return 1

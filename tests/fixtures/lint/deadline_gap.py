@@ -1,0 +1,17 @@
+"""Seeded deadline-discipline violations: executor bridges to
+wait-shaped calls without a budget, plus a bounded one that is fine."""
+
+import asyncio
+
+
+class Server:
+    async def bad_wait(self, ticket):
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, ticket.wait)  # line 10: seeded
+
+    async def bad_drain(self, backend):
+        await asyncio.to_thread(backend.drain_acks)  # line 13: seeded
+
+    async def good_wait(self, ticket, deadline):
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, ticket.wait, deadline)

@@ -1,0 +1,50 @@
+"""Seeded exception-flow violations: a raw OSError escaping a wire
+handler from two frames down, a machinery catch-all that swallows, and
+a typed refusal wrapped into a retryable errno — plus a clean handler
+that catches and maps, which must stay silent."""
+
+ST_OK = 0
+ST_INTERNAL = 5
+
+
+class ReadOnlyError(RuntimeError):
+    pass
+
+
+class TransientNetworkError(OSError):
+    pass
+
+
+def _flush():
+    raise OSError("disk burp")  # line 19: seeded — must be typed first
+
+
+def _persist():
+    _flush()
+
+
+def handler_leak(payload):
+    value = _persist()
+    return ST_OK, 0, value
+
+
+def handler_swallow(payload):
+    try:
+        return ST_OK, 0, payload
+    except BaseException:  # line 34: seeded — swallows SimulatedCrash
+        return ST_INTERNAL, 0, "oops"
+
+
+def wrap_refusal(fn):
+    try:
+        return fn()
+    except ReadOnlyError as exc:
+        raise TransientNetworkError(str(exc))  # line 42: seeded
+
+
+def handler_clean(payload):
+    try:
+        value = _persist()
+    except OSError as exc:
+        return ST_INTERNAL, 0, str(exc)
+    return ST_OK, 0, value

@@ -182,3 +182,83 @@ def test_concurrent_workload_is_violation_free(sanitized):
     assert counts["acquisitions"] > 0  # instrumentation really ran
     assert sanitizer.take_violations() == []
     assert tree.check() == []
+
+
+# ---------------------------------------------------------------------------
+# loop-stall watchdog
+# ---------------------------------------------------------------------------
+
+
+def test_loop_stall_reported_with_frame(sanitized):
+    import asyncio
+    import time
+
+    dog = sanitizer.LoopStallWatchdog(threshold=0.1)
+
+    async def stall():
+        dog.install(asyncio.get_running_loop())
+        try:
+            await asyncio.sleep(0)
+            time.sleep(0.3)  # loop-safe: deliberate stall under test
+            await asyncio.sleep(0)
+        finally:
+            dog.uninstall()
+
+    asyncio.run(stall())
+    stalls = [v for v in sanitizer.take_violations() if v.kind == "loop-stall"]
+    assert stalls, "injected time.sleep on the loop thread was not reported"
+    assert dog.stalls_reported >= 1
+    v = stalls[0]
+    assert "stalled" in v.message
+    # The classified frame points back into this test file.
+    assert "test_sanitizer.py" in v.message
+
+
+def test_loop_watchdog_healthy_loop_silent(sanitized):
+    import asyncio
+
+    dog = sanitizer.LoopStallWatchdog(threshold=0.1)
+
+    async def healthy():
+        dog.install(asyncio.get_running_loop())
+        try:
+            for _ in range(10):
+                await asyncio.sleep(0.02)
+        finally:
+            dog.uninstall()
+
+    asyncio.run(healthy())
+    assert dog.stalls_reported == 0
+    assert "loop-stall" not in kinds()
+
+
+def test_make_loop_watchdog_disabled():
+    import asyncio
+
+    was_enabled = sanitizer.enabled()
+    sanitizer.disable()
+    try:
+
+        async def probe():
+            return sanitizer.make_loop_watchdog(asyncio.get_running_loop())
+
+        assert asyncio.run(probe()) is None
+    finally:
+        if was_enabled:
+            sanitizer.enable()
+
+
+def test_server_arms_watchdog_when_sanitizing(sanitized):
+    from repro.net.server import QuitServer
+
+    server = QuitServer(object())
+
+    async def lifecycle():
+        await server.start()
+        assert server._watchdog is not None
+        await server.drain()
+        assert server._watchdog is None
+
+    import asyncio
+
+    asyncio.run(lifecycle())

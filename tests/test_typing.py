@@ -1,4 +1,5 @@
-"""Strict-typing gate over the durability and concurrency layers.
+"""Strict-typing gate over the durability, concurrency, network,
+and replication layers.
 
 ``mypy`` is not part of the base test environment, so the test skips
 when it is absent; CI's ``lint`` job installs it (``pip install
@@ -17,7 +18,7 @@ pytest.importorskip("mypy", reason="mypy not installed; CI lint job runs this")
 REPO_ROOT = Path(__file__).parent.parent
 
 
-def test_mypy_strict_core_and_concurrency():
+def test_mypy_strict_gated_packages():
     proc = subprocess.run(
         [
             sys.executable,
@@ -27,6 +28,10 @@ def test_mypy_strict_core_and_concurrency():
             "repro.core",
             "-p",
             "repro.concurrency",
+            "-p",
+            "repro.net",
+            "-p",
+            "repro.replication",
         ],
         capture_output=True,
         text=True,
